@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (or one
+of the quantitative claims made in the text), prints the resulting table to
+stdout (visible with ``pytest -s``) and also writes it under
+``benchmarks/results/`` so the numbers recorded in EXPERIMENTS.md can be
+re-derived after a run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def write_table(name: str, lines: Iterable[str]) -> str:
+    """Print a result table and persist it to ``benchmarks/results/<name>.txt``."""
+    rows: List[str] = list(lines)
+    text = "\n".join(rows) + "\n"
+    print()
+    print(text, end="")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def format_row(values, widths) -> str:
+    """Format one table row with fixed column widths."""
+    cells = []
+    for value, width in zip(values, widths):
+        cells.append(f"{value:>{width}}" if not isinstance(value, str)
+                     else f"{value:<{width}}")
+    return "  ".join(str(cell) for cell in cells)

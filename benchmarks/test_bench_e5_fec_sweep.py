@@ -1,0 +1,116 @@
+"""E5 — the FEC design space: (n, k), loss rate, redundancy, and group delay.
+
+The paper fixes FEC(6,4) "so as to minimise jitter" and evaluates it at one
+operating point; this benchmark maps the surrounding design space so the
+choice can be seen in context:
+
+* delivered (reconstructed) fraction as a function of the code and the
+  channel loss rate,
+* the redundancy overhead each code pays, and
+* the group-assembly delay (packets a receiver must wait for before a lost
+  packet can be reconstructed) — the jitter the paper minimises by keeping
+  groups small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fec import FecGroupDecoder, FecGroupEncoder
+from repro.net import BernoulliLoss
+
+from benchutil import format_row, write_table
+
+CODES = [(4, 4), (4, 5), (4, 6), (4, 8), (8, 10), (8, 12), (16, 20)]
+LOSS_RATES = [0.01, 0.05, 0.10, 0.20]
+PAYLOADS_PER_RUN = 4000
+PAYLOAD_SIZE = 320  # the paper's 20 ms audio packet
+
+
+def run_code_over_loss(k: int, n: int, loss_rate: float, seed: int = 5) -> dict:
+    """Push a payload train through encode -> lossy channel -> decode."""
+    encoder = FecGroupEncoder(k=k, n=n)
+    decoder = FecGroupDecoder()
+    channel = BernoulliLoss(loss_rate, seed=seed)
+    payload = bytes(PAYLOAD_SIZE)
+    delivered = 0
+    transmitted = 0
+    for index in range(PAYLOADS_PER_RUN):
+        for packet in encoder.add(payload):
+            transmitted += 1
+            if channel.packet_lost():
+                continue
+            delivered += len(decoder.add(packet))
+    for packet in encoder.flush():
+        transmitted += 1
+        if not channel.packet_lost():
+            delivered += len(decoder.add(packet))
+    delivered += len(decoder.flush())
+    return {
+        "delivered_fraction": delivered / PAYLOADS_PER_RUN,
+        "overhead": (n - k) / k,
+        "transmitted": transmitted,
+    }
+
+
+def test_e5_code_times_loss_sweep(benchmark):
+    def sweep():
+        return {(k, n, loss): run_code_over_loss(k, n, loss)
+                for (k, n) in CODES for loss in LOSS_RATES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"E5: delivered fraction by (n,k) code and loss rate "
+        f"({PAYLOADS_PER_RUN} packets of {PAYLOAD_SIZE} B per cell)",
+        "",
+        format_row(["code", "overhead"] + [f"loss {p:.0%}" for p in LOSS_RATES],
+                   [10, 9] + [9] * len(LOSS_RATES)),
+    ]
+    for (k, n) in CODES:
+        row = [f"({n},{k})", f"{(n - k) / k:.0%}"]
+        for loss in LOSS_RATES:
+            row.append(f"{results[(k, n, loss)]['delivered_fraction']:.4f}")
+        lines.append(format_row(row, [10, 9] + [9] * len(LOSS_RATES)))
+    lines += [
+        "",
+        "group-assembly delay (worst-case packets a receiver waits before a "
+        "loss can be repaired) = n per group:",
+        format_row(["code"] + [f"({n},{k})" for (k, n) in CODES],
+                   [6] + [8] * len(CODES)),
+        format_row(["delay"] + [n for (_k, n) in CODES], [6] + [8] * len(CODES)),
+    ]
+    write_table("e5_fec_sweep", lines)
+
+    # Shape assertions.
+    for loss in LOSS_RATES:
+        no_fec = results[(4, 4, loss)]["delivered_fraction"]
+        paper_code = results[(4, 6, loss)]["delivered_fraction"]
+        heavy_code = results[(4, 8, loss)]["delivered_fraction"]
+        assert paper_code > no_fec                      # redundancy helps
+        assert heavy_code >= paper_code - 0.002         # more redundancy >= same
+    # The paper's FEC(6,4) essentially erases a 5% loss channel.
+    assert results[(4, 6, 0.05)]["delivered_fraction"] > 0.995
+    # Larger groups tolerate the same loss with lower overhead.
+    assert results[(16, 20, 0.05)]["delivered_fraction"] > 0.99
+    assert (16, 20)[1] / 16 < 6 / 4
+
+
+def test_e5_encode_decode_throughput(benchmark):
+    """Raw encode+decode throughput of the paper's FEC(6,4) configuration."""
+    payload = bytes(PAYLOAD_SIZE)
+
+    def encode_decode_group():
+        encoder = FecGroupEncoder(k=4, n=6)
+        decoder = FecGroupDecoder()
+        out = []
+        for _ in range(4):
+            for packet in encoder.add(payload):
+                # Drop one data packet per group to exercise real decoding.
+                if packet.index == 1:
+                    continue
+                out.extend(decoder.add(packet))
+        return out
+
+    out = benchmark(encode_decode_group)
+    assert len(out) == 4

@@ -1,0 +1,135 @@
+"""E6 — the cost of the composition mechanism itself.
+
+Detachable streams buy dynamic recomposition; this benchmark measures what
+they cost relative to a plain ``queue.Queue`` hand-off, and how throughput
+scales with the length of a pass-through filter chain (each extra filter
+adds one thread and one buffered hop, exactly as in the paper's Java
+implementation).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import pytest
+
+from repro.core import CollectorSink, ControlThread, IterableSource, NullSink
+from repro.filters import PassthroughFilter
+from repro.streams import make_pipe
+
+from benchutil import format_row, write_table
+
+TRANSFER_BYTES = 4 * 1024 * 1024
+CHUNK_SIZE = 8192
+CHUNKS = [bytes(CHUNK_SIZE) for _ in range(TRANSFER_BYTES // CHUNK_SIZE)]
+
+
+def transfer_through_pipe() -> int:
+    """Move the payload through one detachable DOS/DIS pair."""
+    dos, dis = make_pipe(capacity=256 * 1024)
+    received = {"n": 0}
+
+    def reader():
+        while True:
+            data = dis.read(65536, timeout=5.0)
+            if not data:
+                return
+            received["n"] += len(data)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    for chunk in CHUNKS:
+        dos.write(chunk)
+    dos.close()
+    thread.join(timeout=30.0)
+    return received["n"]
+
+
+def transfer_through_queue() -> int:
+    """The baseline: the same hand-off through a plain queue.Queue."""
+    q: "queue.Queue" = queue.Queue(maxsize=32)
+    received = {"n": 0}
+
+    def reader():
+        while True:
+            data = q.get()
+            if data is None:
+                return
+            received["n"] += len(data)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    for chunk in CHUNKS:
+        q.put(chunk)
+    q.put(None)
+    thread.join(timeout=30.0)
+    return received["n"]
+
+
+def transfer_through_chain(filter_count: int) -> int:
+    """Move the payload through a proxy chain of pass-through filters."""
+    source = IterableSource(list(CHUNKS))
+    sink = NullSink()
+    control = ControlThread(source, sink, auto_start=False)
+    for index in range(filter_count):
+        control.add(PassthroughFilter(name=f"pt-{index}"))
+    control.start()
+    control.wait_for_completion(timeout=120.0)
+    moved = sink.stats.snapshot()["bytes_in"]
+    control.shutdown()
+    return moved
+
+
+def test_e6_pipe_vs_queue_throughput(benchmark):
+    moved = benchmark(transfer_through_pipe)
+    assert moved == TRANSFER_BYTES
+
+
+def test_e6_queue_baseline_throughput(benchmark):
+    moved = benchmark(transfer_through_queue)
+    assert moved == TRANSFER_BYTES
+
+
+@pytest.mark.parametrize("filter_count", [0, 1, 2, 4, 8])
+def test_e6_chain_length_scaling(benchmark, filter_count):
+    moved = benchmark.pedantic(lambda: transfer_through_chain(filter_count),
+                               rounds=2, iterations=1)
+    assert moved == TRANSFER_BYTES
+
+
+def test_e6_summary_table(benchmark):
+    """One-shot comparison table (fine-grained timings come from the rows above)."""
+    import time
+
+    def timed(func):
+        start = time.perf_counter()
+        moved = func()
+        elapsed = time.perf_counter() - start
+        return moved, elapsed
+
+    def collect():
+        rows = []
+        for label, func in [
+            ("queue.Queue baseline", transfer_through_queue),
+            ("detachable pipe", transfer_through_pipe),
+            ("null proxy (0 filters)", lambda: transfer_through_chain(0)),
+            ("chain of 4 filters", lambda: transfer_through_chain(4)),
+        ]:
+            moved, elapsed = timed(func)
+            rows.append((label, moved, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = [
+        f"E6: moving {TRANSFER_BYTES // (1024 * 1024)} MiB in {CHUNK_SIZE}-byte chunks",
+        "",
+        format_row(["configuration", "MiB/s"], [24, 10]),
+    ]
+    for label, moved, elapsed in rows:
+        rate = moved / (1024 * 1024) / elapsed if elapsed else float("inf")
+        lines.append(format_row([label, f"{rate:.1f}"], [24, 10]))
+    write_table("e6_stream_overhead", lines)
+    for _label, moved, _elapsed in rows:
+        assert moved == TRANSFER_BYTES

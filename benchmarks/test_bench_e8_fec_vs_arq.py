@@ -1,0 +1,93 @@
+"""E8 — FEC versus retransmission (the baseline the paper's FEC replaces).
+
+The paper chooses forward error correction for interactive multicast audio;
+the implicit alternatives are retransmission schemes.  This benchmark puts
+the three on the same per-receiver loss processes and measures
+
+* transmission overhead (copies of each packet the sender must transmit) and
+* delivery rounds (how many sender turns the slowest receiver waits —
+  a proxy for latency, which interactive audio cannot afford),
+
+as the number of wireless receivers grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import BernoulliLoss
+from repro.net.arq import (
+    fec_transmission_overhead,
+    simulate_multicast_arq,
+    simulate_unicast_arq,
+)
+
+from benchutil import format_row, write_table
+
+PACKETS = 3000
+LOSS_RATE = 0.05
+RECEIVER_COUNTS = [1, 2, 4, 8, 16]
+FEC_K, FEC_N = 4, 6
+
+
+def run_comparison():
+    rows = []
+    for receivers in RECEIVER_COUNTS:
+        multicast = simulate_multicast_arq(
+            PACKETS, [BernoulliLoss(LOSS_RATE, seed=i) for i in range(receivers)])
+        unicast = simulate_unicast_arq(
+            PACKETS, [BernoulliLoss(LOSS_RATE, seed=i) for i in range(receivers)])
+        rows.append({
+            "receivers": receivers,
+            "fec_overhead": fec_transmission_overhead(FEC_K, FEC_N),
+            "marq_overhead": multicast.transmission_overhead,
+            "uarq_overhead": unicast.transmission_overhead,
+            "marq_rounds": multicast.mean_rounds,
+            "marq_max_rounds": multicast.max_rounds,
+        })
+    return rows
+
+
+def test_e8_fec_vs_arq_scaling(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    widths = [10, 14, 17, 15, 12, 11]
+    lines = [
+        f"E8: FEC({FEC_N},{FEC_K}) vs ARQ, {PACKETS} packets, "
+        f"{LOSS_RATE:.0%} independent loss per receiver",
+        "(overhead = transmissions per source packet; rounds = sender turns "
+        "until the slowest receiver has a packet)",
+        "",
+        format_row(["receivers", "FEC overhead", "mcast-ARQ overhd",
+                    "ucast-ARQ overhd", "ARQ rounds", "ARQ worst"], widths),
+    ]
+    for row in rows:
+        lines.append(format_row(
+            [row["receivers"], f"{row['fec_overhead']:.2f}",
+             f"{row['marq_overhead']:.3f}", f"{row['uarq_overhead']:.2f}",
+             f"{row['marq_rounds']:.3f}", row["marq_max_rounds"]], widths))
+    lines += [
+        "",
+        "FEC's cost is flat in the number of receivers and needs exactly one "
+        "round; ARQ overhead/latency grow with the receiver population, and "
+        "unicast repair grows linearly.",
+    ]
+    write_table("e8_fec_vs_arq", lines)
+
+    # Shape assertions.
+    assert all(row["fec_overhead"] == pytest.approx(1.5) for row in rows)
+    marq_overheads = [row["marq_overhead"] for row in rows]
+    assert marq_overheads == sorted(marq_overheads)          # grows with receivers
+    assert rows[-1]["uarq_overhead"] > 10 * rows[-1]["fec_overhead"]
+    assert all(row["marq_rounds"] > 1.0 for row in rows)
+    # At 16 receivers, multicast ARQ already retransmits more than half the
+    # FEC redundancy while still needing multiple rounds.
+    assert rows[-1]["marq_overhead"] > 1.25
+    assert rows[-1]["marq_max_rounds"] >= 2
+
+
+def test_e8_arq_simulation_throughput(benchmark):
+    """Throughput of the ARQ simulator itself (packets simulated per call)."""
+    result = benchmark(lambda: simulate_multicast_arq(
+        1000, [BernoulliLoss(LOSS_RATE, seed=i) for i in range(4)]))
+    assert result.packet_count == 1000

@@ -1,0 +1,9 @@
+"""Make the examples runnable from a source checkout without installation."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+_SRC = os.path.abspath(_SRC)
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

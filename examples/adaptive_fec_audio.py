@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Demand-driven FEC for a live audio stream (the paper's Section 3 scenario).
+
+A user joins a collaborative session on a wireless laptop near the access
+point and then walks to a conference room down the hall.  A loss-rate
+observer raplet watches her link; when losses rise, an FEC responder inserts
+an (n, k) erasure-code encoder into the proxy's running stream — without
+disturbing the connection to the audio source — and upgrades the code as the
+link keeps degrading.
+
+Run it with ``python examples/adaptive_fec_audio.py``.
+"""
+
+import _path  # noqa: F401
+
+from repro.net import LinearWalk
+from repro.rapidware import FecPolicy, run_adaptive_walk_experiment
+
+
+def main() -> None:
+    walk = LinearWalk(start_distance_m=5.0, end_distance_m=42.0, duration_s=16.0)
+    print(f"user walks {walk.start_distance_m:.0f} m -> {walk.end_distance_m:.0f} m "
+          f"from the access point while listening to {walk.duration_s:.0f} s of audio")
+    print()
+
+    adaptive = run_adaptive_walk_experiment(walk=walk, policy=FecPolicy(),
+                                            wlan_seed=41)
+    baseline = run_adaptive_walk_experiment(walk=walk, adaptive=False,
+                                            wlan_seed=41)
+
+    print(f"{'t (s)':>6}  {'dist (m)':>8}  {'observed loss':>13}  {'FEC':>4}  code")
+    for step in adaptive.steps:
+        code = f"({step.fec_code[1]},{step.fec_code[0]})" if step.fec_code else "-"
+        print(f"{step.time_s:6.1f}  {step.distance_m:8.1f}  "
+              f"{step.observed_loss_rate:13.3f}  {'on' if step.fec_active else 'off':>4}  {code}")
+
+    print()
+    activation = adaptive.fec_activation_time()
+    print(f"FEC first inserted at t = {activation:.1f} s "
+          f"({adaptive.insertions} insertion(s), {adaptive.upgrades} code upgrade(s))")
+    print()
+    print(f"{'':28}{'adaptive':>10}{'no FEC':>10}")
+    print(f"{'% of packets received raw':28}"
+          f"{adaptive.report.received_percent:10.2f}"
+          f"{baseline.report.received_percent:10.2f}")
+    print(f"{'% delivered to application':28}"
+          f"{adaptive.report.reconstructed_percent:10.2f}"
+          f"{baseline.report.reconstructed_percent:10.2f}")
+    print()
+    print("the adaptive proxy pays FEC overhead only once the link actually "
+          "degrades, and the application-level delivery stays high for the "
+          "whole walk")
+
+
+if __name__ == "__main__":
+    main()

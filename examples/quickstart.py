@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: compose, reconfigure and manage a proxy filter chain.
+
+This walks through the core API in five minutes:
+
+1. build a "null proxy" (two EndPoints joined by a ControlThread),
+2. insert a filter into the *running* stream (nothing is lost),
+3. add, reorder and remove more filters,
+4. upload a brand-new filter type from source code at run time, and
+5. inspect everything through the ControlManager, the way the paper's
+   management GUI would.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+import time
+
+import _path  # noqa: F401  (makes ``repro`` importable from a checkout)
+
+from repro.core import (
+    CollectorSink,
+    ControlManager,
+    FilterSpec,
+    FilterRegistry,
+    IterableSource,
+    Proxy,
+)
+from repro.filters import ByteCounterFilter, PassthroughFilter, UppercaseFilter
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ 1
+    # A data source (here: a generator of text records, paced so the stream
+    # stays alive long enough for us to reconfigure it) and a sink.
+    records = (f"record {i:04d} from the wired network | ".encode()
+               for i in range(4000))
+    source = IterableSource(records, pacing_s=0.001, name="wired-in")
+    sink = CollectorSink(name="wireless-out")
+
+    proxy = Proxy("quickstart-proxy")
+    stream = proxy.add_stream(source, sink, name="demo")
+    print("null proxy is running:", stream.filter_names() or "[no filters]")
+
+    # ------------------------------------------------------------------ 2
+    # Insert a filter while data is flowing.  The ControlThread pauses the
+    # upstream detachable stream, waits for in-flight bytes to drain,
+    # re-splices, and resumes — no byte is lost or reordered.
+    time.sleep(0.2)
+    stream.add(UppercaseFilter(name="shout"))
+    print("after inserting a filter:", stream.filter_names())
+
+    # ------------------------------------------------------------------ 3
+    # Chains compose freely on the live stream: add more filters, reorder
+    # them, and remove them again — the endpoints never notice.
+    meter = ByteCounterFilter(name="meter")
+    stream.add(meter, position=0)
+    stream.add(PassthroughFilter(name="noop"))
+    print("three filters:", stream.filter_names())
+    stream.reorder(["shout", "meter", "noop"])
+    print("reordered:", stream.filter_names())
+    stream.remove("noop")
+    print("after removing one:", stream.filter_names())
+
+    # ------------------------------------------------------------------ 4
+    # Third-party code can be uploaded into the running proxy — the Python
+    # analogue of the paper's serialized-filter upload.
+    registry = FilterRegistry()
+    manager = ControlManager()
+    manager.register_proxy("edge", proxy, registry=registry)
+    manager.upload_filters("edge", "thirdparty", '''
+class Redactor(Filter):
+    "Masks digits, e.g. before data crosses an untrusted wireless segment."
+    type_name = "redactor"
+
+    def transform(self, chunk):
+        return bytes(ord("#") if 48 <= b <= 57 else b for b in chunk)
+''')
+    manager.insert_filter("edge", FilterSpec("redactor", name="redact"),
+                          stream="demo")
+
+    # ------------------------------------------------------------------ 5
+    print()
+    print(manager.render_state())
+    print()
+
+    stream.wait_for_completion(timeout=60.0)
+    data = sink.data()
+    proxy.shutdown()
+    manager.close()
+
+    print(f"delivered {len(data)} bytes "
+          f"({meter.total_bytes} of them metered by the 'meter' filter)")
+    print("first 60 bytes :", data[:60].decode(errors="replace"))
+    print("last 60 bytes  :", data[-60:].decode(errors="replace"))
+    print("(early records are lowercase with digits; late records are "
+          "uppercase and redacted — the chain changed while the stream ran)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — a reproduction of "Design of Composable Proxy Filters for
+Heterogeneous Mobile Computing" (McKinley & Padmanabhan, 2001).
+
+The package is organised as a set of substrates underneath the paper's
+primary contribution:
+
+===================  ========================================================
+``repro.streams``    detachable streams (pause / disconnect / reconnect)
+``repro.core``       composable filters, ControlThread, Proxy, ControlManager
+``repro.filters``    the filter library (FEC, transcoders, compression, taps)
+``repro.fec``        (n, k) block erasure codes over GF(2^8)
+``repro.media``      PCM audio, WAV, GOP video, packetisation
+``repro.net``        simulated WaveLAN, loss models, traces, Figure 7 stats
+``repro.rapidware``  observer/responder raplets and adaptation policies
+``repro.pavilion``   collaborative browsing substrate (leadership, browsers)
+``repro.proxies``    composed proxies: FEC audio (Figure 6/7), transcoding
+===================  ========================================================
+
+The most commonly used classes are re-exported here; see the subpackages for
+the full API.
+"""
+
+from . import core, fec, filters, media, net, pavilion, proxies, rapidware, streams
+from .core import (
+    CallableSink,
+    CallableSource,
+    CollectorSink,
+    ControlManager,
+    ControlServer,
+    ControlThread,
+    Filter,
+    FilterContainer,
+    FilterRegistry,
+    FilterSpec,
+    IterableSource,
+    PacketFilter,
+    Proxy,
+    default_registry,
+    null_proxy,
+)
+from .filters import FecDecoderFilter, FecEncoderFilter
+from .proxies import FecAudioProxy, run_fec_audio_experiment
+from .rapidware import AdaptiveAudioSession, run_adaptive_walk_experiment
+from .streams import DetachableInputStream, DetachableOutputStream, make_pipe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "streams",
+    "core",
+    "filters",
+    "fec",
+    "media",
+    "net",
+    "rapidware",
+    "pavilion",
+    "proxies",
+    "DetachableInputStream",
+    "DetachableOutputStream",
+    "make_pipe",
+    "Filter",
+    "PacketFilter",
+    "FilterContainer",
+    "IterableSource",
+    "CallableSource",
+    "CollectorSink",
+    "CallableSink",
+    "ControlThread",
+    "Proxy",
+    "null_proxy",
+    "ControlServer",
+    "ControlManager",
+    "FilterRegistry",
+    "FilterSpec",
+    "default_registry",
+    "FecEncoderFilter",
+    "FecDecoderFilter",
+    "FecAudioProxy",
+    "run_fec_audio_experiment",
+    "AdaptiveAudioSession",
+    "run_adaptive_walk_experiment",
+]

@@ -1,0 +1,101 @@
+"""The composable-proxy-filter core — the paper's primary contribution.
+
+* :class:`~repro.core.filter.Filter` / :class:`~repro.core.filter.PacketFilter`
+  — the components a proxy composes;
+* :class:`~repro.core.endpoints.SourceEndPoint` /
+  :class:`~repro.core.endpoints.SinkEndPoint` — chain anchors;
+* :class:`~repro.core.control_thread.ControlThread` — dynamic insertion,
+  removal and reordering of filters on a running stream;
+* :class:`~repro.core.proxy.Proxy` — a node hosting several streams;
+* :class:`~repro.core.control_server.ControlServer` /
+  :class:`~repro.core.control_manager.ControlManager` — remote management
+  and filter upload;
+* :class:`~repro.core.registry.FilterRegistry` — instantiate filters by name
+  and accept third-party filter uploads.
+"""
+
+from .boundary import (
+    any_packet_boundary,
+    frame_type_boundary,
+    gop_boundary,
+    i_frame_boundary,
+    sequence_multiple_boundary,
+)
+from .commands import (
+    ALL_COMMANDS,
+    CommandHandler,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from .control_manager import ControlManager, ProxyControlClient
+from .control_server import ControlServer
+from .control_thread import DEFAULT_OPERATION_TIMEOUT, ControlThread
+from .endpoints import (
+    CallableSink,
+    CallableSource,
+    CollectorSink,
+    EndPoint,
+    IterableSource,
+    NullSink,
+    SinkEndPoint,
+    SocketSink,
+    SocketSource,
+    SourceEndPoint,
+)
+from .errors import (
+    CompositionError,
+    ControlProtocolError,
+    FilterStateError,
+    ProxyError,
+    RegistryError,
+)
+from .filter import Filter, FilterContainer, PacketFilter
+from .proxy import Proxy, null_proxy
+from .registry import FilterRegistry, FilterSpec, default_registry
+from .stats import ChainSnapshot, FilterStats
+
+__all__ = [
+    "Filter",
+    "PacketFilter",
+    "FilterContainer",
+    "FilterStats",
+    "ChainSnapshot",
+    "EndPoint",
+    "SourceEndPoint",
+    "SinkEndPoint",
+    "IterableSource",
+    "CallableSource",
+    "SocketSource",
+    "CollectorSink",
+    "CallableSink",
+    "SocketSink",
+    "NullSink",
+    "ControlThread",
+    "DEFAULT_OPERATION_TIMEOUT",
+    "Proxy",
+    "null_proxy",
+    "ControlServer",
+    "ControlManager",
+    "ProxyControlClient",
+    "CommandHandler",
+    "encode_message",
+    "decode_message",
+    "ok_response",
+    "error_response",
+    "ALL_COMMANDS",
+    "FilterRegistry",
+    "FilterSpec",
+    "default_registry",
+    "ProxyError",
+    "CompositionError",
+    "FilterStateError",
+    "ControlProtocolError",
+    "RegistryError",
+    "any_packet_boundary",
+    "gop_boundary",
+    "i_frame_boundary",
+    "frame_type_boundary",
+    "sequence_multiple_boundary",
+]

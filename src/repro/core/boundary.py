@@ -1,0 +1,77 @@
+"""Stream-boundary predicates for boundary-aware filter insertion.
+
+Section 3 of the paper requires that some filters be inserted only at points
+"specific to the stream type" — the FEC video filter, for instance, must
+start at a frame boundary.  The ControlThread implements this by asking the
+upstream element to *hold* just before it emits a unit satisfying a boundary
+predicate; the splice then happens at that point and the matching unit is
+the first thing the newly inserted filter receives.
+
+A predicate receives the packet that is about to be emitted (raw packet
+bytes, with any stream framing already stripped) and returns True when the
+stream may be cut immediately before it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..media.packetizer import MediaPacket, MediaPacketError
+from ..media.video import FRAME_B, FRAME_I, FRAME_P
+
+BoundaryPredicate = Callable[[bytes], bool]
+
+
+def any_packet_boundary(_packet: bytes) -> bool:
+    """Every packet boundary is acceptable (the default for audio)."""
+    return True
+
+
+def _frame_type_of(packet: bytes) -> int:
+    try:
+        return MediaPacket.unpack(packet).marker
+    except MediaPacketError:
+        return 0
+
+
+def i_frame_boundary(packet: bytes) -> bool:
+    """Cut just before an I frame.
+
+    Used for video FEC insertion: the inserted filter's very first input is
+    the I frame that opens a GOP, so it never starts mid-group-of-pictures.
+    """
+    return _frame_type_of(packet) == FRAME_I
+
+
+#: A GOP boundary is exactly the point before an I frame.
+gop_boundary = i_frame_boundary
+
+
+def frame_type_boundary(*frame_types: int) -> BoundaryPredicate:
+    """A predicate allowing cuts just before any of the given frame types."""
+    allowed = set(frame_types) or {FRAME_I, FRAME_P, FRAME_B}
+
+    def predicate(packet: bytes) -> bool:
+        return _frame_type_of(packet) in allowed
+
+    return predicate
+
+
+def sequence_multiple_boundary(multiple: int) -> BoundaryPredicate:
+    """Cut just before packets whose sequence number is a multiple of ``multiple``.
+
+    Useful for aligning an insertion with FEC group boundaries (e.g.
+    ``sequence_multiple_boundary(4)`` for a (6, 4) code keeps groups aligned
+    with the original packetisation).
+    """
+    if multiple <= 0:
+        raise ValueError("multiple must be positive")
+
+    def predicate(packet: bytes) -> bool:
+        try:
+            media = MediaPacket.unpack(packet)
+        except MediaPacketError:
+            return False
+        return media.sequence % multiple == 0
+
+    return predicate

@@ -1,0 +1,202 @@
+"""The proxy control protocol.
+
+The paper's ControlThread "receives commands from across the network, either
+from the mobile client, from an application server, or from the control
+manager".  This module defines that command vocabulary as JSON messages and
+implements :class:`CommandHandler`, which applies commands to a
+:class:`~repro.core.proxy.Proxy` and a
+:class:`~repro.core.registry.FilterRegistry`.  The handler is transport
+agnostic: :mod:`repro.core.control_server` exposes it over TCP, and the
+tests drive it directly in-process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .errors import CompositionError, ControlProtocolError, ProxyError, RegistryError
+from .proxy import Proxy
+from .registry import FilterRegistry, FilterSpec, default_registry
+
+#: Command names understood by :class:`CommandHandler`.
+CMD_PING = "ping"
+CMD_LIST_STREAMS = "list_streams"
+CMD_DESCRIBE = "describe"
+CMD_LIST_FILTER_TYPES = "list_filter_types"
+CMD_INSERT_FILTER = "insert_filter"
+CMD_REMOVE_FILTER = "remove_filter"
+CMD_MOVE_FILTER = "move_filter"
+CMD_REORDER_FILTERS = "reorder_filters"
+CMD_UPLOAD_FILTERS = "upload_filters"
+CMD_STATS = "stats"
+CMD_SHUTDOWN_STREAM = "shutdown_stream"
+
+ALL_COMMANDS = (
+    CMD_PING, CMD_LIST_STREAMS, CMD_DESCRIBE, CMD_LIST_FILTER_TYPES,
+    CMD_INSERT_FILTER, CMD_REMOVE_FILTER, CMD_MOVE_FILTER,
+    CMD_REORDER_FILTERS, CMD_UPLOAD_FILTERS, CMD_STATS, CMD_SHUTDOWN_STREAM,
+)
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """Encode a protocol message as one JSON line."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Decode one JSON line into a protocol message."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ControlProtocolError(f"malformed control message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ControlProtocolError("control messages must be JSON objects")
+    return payload
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": message}
+
+
+class CommandHandler:
+    """Applies control commands to a proxy.
+
+    Parameters
+    ----------
+    proxy:
+        The proxy whose streams are managed.
+    registry:
+        Filter registry used to instantiate and upload filters; defaults to
+        the process-wide registry with the built-in filter library.
+    """
+
+    def __init__(self, proxy: Proxy,
+                 registry: Optional[FilterRegistry] = None) -> None:
+        self.proxy = proxy
+        self.registry = registry if registry is not None else default_registry()
+
+    # ------------------------------------------------------------------ entry
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one command and return the response payload."""
+        command = request.get("command")
+        try:
+            if command == CMD_PING:
+                return ok_response(reply="pong", proxy=self.proxy.name)
+            if command == CMD_LIST_STREAMS:
+                return ok_response(streams=self.proxy.stream_names())
+            if command == CMD_DESCRIBE:
+                return self._describe(request)
+            if command == CMD_LIST_FILTER_TYPES:
+                return ok_response(types=self.registry.types())
+            if command == CMD_INSERT_FILTER:
+                return self._insert_filter(request)
+            if command == CMD_REMOVE_FILTER:
+                return self._remove_filter(request)
+            if command == CMD_MOVE_FILTER:
+                return self._move_filter(request)
+            if command == CMD_REORDER_FILTERS:
+                return self._reorder(request)
+            if command == CMD_UPLOAD_FILTERS:
+                return self._upload(request)
+            if command == CMD_STATS:
+                return self._stats(request)
+            if command == CMD_SHUTDOWN_STREAM:
+                return self._shutdown_stream(request)
+            return error_response(f"unknown command {command!r}")
+        except (ProxyError, CompositionError, RegistryError, ControlProtocolError) as exc:
+            return error_response(str(exc))
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return error_response(f"internal error: {exc}")
+
+    def handle_line(self, line: bytes) -> bytes:
+        """Decode a request line, execute it, and encode the response."""
+        try:
+            request = decode_message(line)
+        except ControlProtocolError as exc:
+            return encode_message(error_response(str(exc)))
+        return encode_message(self.handle(request))
+
+    # --------------------------------------------------------------- commands
+
+    def _stream(self, request: Dict[str, Any]):
+        stream_name = request.get("stream")
+        if not stream_name:
+            names = self.proxy.stream_names()
+            if len(names) == 1:
+                stream_name = names[0]
+            else:
+                raise ControlProtocolError(
+                    "the 'stream' field is required when the proxy has "
+                    f"{len(names)} streams")
+        return self.proxy.stream(str(stream_name))
+
+    def _describe(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if request.get("stream"):
+            control = self._stream(request)
+            return ok_response(snapshot=control.snapshot().to_dict())
+        return ok_response(snapshots=self.proxy.snapshot())
+
+    def _insert_filter(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        control = self._stream(request)
+        spec_payload = request.get("spec")
+        if not isinstance(spec_payload, dict):
+            raise ControlProtocolError("insert_filter requires a 'spec' object")
+        spec = FilterSpec.from_dict(spec_payload)
+        filter_obj = self.registry.create(spec)
+        position = request.get("position")
+        position = int(position) if position is not None else None
+        inserted_at = control.add(filter_obj, position=position)
+        return ok_response(filter=filter_obj.name, position=inserted_at,
+                           filters=control.filter_names())
+
+    def _remove_filter(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        control = self._stream(request)
+        ref = request.get("filter")
+        if ref is None:
+            raise ControlProtocolError("remove_filter requires a 'filter' field")
+        removed = control.remove(ref)
+        return ok_response(filter=removed.name, filters=control.filter_names())
+
+    def _move_filter(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        control = self._stream(request)
+        ref = request.get("filter")
+        position = request.get("position")
+        if ref is None or position is None:
+            raise ControlProtocolError(
+                "move_filter requires 'filter' and 'position' fields")
+        control.move(ref, int(position))
+        return ok_response(filters=control.filter_names())
+
+    def _reorder(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        control = self._stream(request)
+        order = request.get("order")
+        if not isinstance(order, list):
+            raise ControlProtocolError("reorder_filters requires an 'order' list")
+        control.reorder(order)
+        return ok_response(filters=control.filter_names())
+
+    def _upload(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        module = request.get("module")
+        source = request.get("source")
+        if not module or not isinstance(source, str):
+            raise ControlProtocolError(
+                "upload_filters requires 'module' and 'source' fields")
+        registered = self.registry.upload_source(str(module), source)
+        return ok_response(registered=registered, types=self.registry.types())
+
+    def _stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        control = self._stream(request)
+        return ok_response(snapshot=control.snapshot().to_dict())
+
+    def _shutdown_stream(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        control = self._stream(request)
+        control.shutdown()
+        return ok_response(stream=control.name, running=control.running)

@@ -1,0 +1,261 @@
+"""The ControlManager — managing RAPIDware proxies.
+
+The paper's ControlManager is a Swing GUI that "supports management of
+multiple proxies", builds "a graphical representation of the state of the
+proxy, including the current configuration of filters", lets an
+administrator "insert and remove filters at specified locations in a given
+stream", and "uses serialization of filter objects to deliver new filters to
+the proxy".
+
+This reproduction keeps the management *capabilities* and drops the GUI:
+
+* :class:`ProxyControlClient` talks the JSON control protocol to one proxy,
+  either over TCP (to a :class:`~repro.core.control_server.ControlServer`)
+  or directly in-process (handy for tests and single-process deployments);
+* :class:`ControlManager` manages any number of registered proxies and can
+  render a textual representation of their filter chains — the console
+  analogue of the paper's GUI panel.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Union
+
+from .commands import (
+    CMD_DESCRIBE,
+    CMD_INSERT_FILTER,
+    CMD_LIST_FILTER_TYPES,
+    CMD_LIST_STREAMS,
+    CMD_MOVE_FILTER,
+    CMD_PING,
+    CMD_REMOVE_FILTER,
+    CMD_REORDER_FILTERS,
+    CMD_SHUTDOWN_STREAM,
+    CMD_STATS,
+    CMD_UPLOAD_FILTERS,
+    CommandHandler,
+    decode_message,
+    encode_message,
+)
+from .errors import ControlProtocolError
+from .proxy import Proxy
+from .registry import FilterRegistry, FilterSpec
+from .stats import ChainSnapshot
+
+
+class ProxyControlClient:
+    """A control-protocol client bound to a single proxy.
+
+    Construct it either with an in-process :class:`Proxy` (commands are
+    executed directly) or with a ``(host, port)`` address of a running
+    :class:`~repro.core.control_server.ControlServer`.
+    """
+
+    def __init__(self, target: Union[Proxy, "tuple[str, int]"],
+                 registry: Optional[FilterRegistry] = None,
+                 timeout: float = 5.0) -> None:
+        self._timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._handler: Optional[CommandHandler] = None
+        self._recv_buffer = bytearray()
+        if isinstance(target, Proxy):
+            self._handler = CommandHandler(target, registry=registry)
+            self.description = f"in-process:{target.name}"
+        else:
+            host, port = target
+            self._socket = socket.create_connection((host, int(port)),
+                                                    timeout=timeout)
+            self.description = f"tcp:{host}:{port}"
+
+    # --------------------------------------------------------------- plumbing
+
+    def request(self, command: str, **fields: Any) -> Dict[str, Any]:
+        """Send one command and return the decoded response payload.
+
+        Raises :class:`ControlProtocolError` when the proxy reports an error.
+        """
+        payload = {"command": command, **fields}
+        if self._handler is not None:
+            response = self._handler.handle(payload)
+        else:
+            response = self._request_over_socket(payload)
+        if not response.get("ok", False):
+            raise ControlProtocolError(response.get("error", "unknown proxy error"))
+        return response
+
+    def _request_over_socket(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._socket is not None
+        self._socket.sendall(encode_message(payload))
+        while b"\n" not in self._recv_buffer:
+            data = self._socket.recv(4096)
+            if not data:
+                raise ControlProtocolError("control connection closed by the proxy")
+            self._recv_buffer.extend(data)
+        line, _, rest = bytes(self._recv_buffer).partition(b"\n")
+        self._recv_buffer = bytearray(rest)
+        return decode_message(line)
+
+    def close(self) -> None:
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = None
+
+    def __enter__(self) -> "ProxyControlClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ conveniences
+
+    def ping(self) -> bool:
+        """True when the proxy answers the control protocol."""
+        return self.request(CMD_PING).get("reply") == "pong"
+
+    def streams(self) -> List[str]:
+        return list(self.request(CMD_LIST_STREAMS).get("streams", []))
+
+    def filter_types(self) -> List[str]:
+        return list(self.request(CMD_LIST_FILTER_TYPES).get("types", []))
+
+    def snapshot(self, stream: Optional[str] = None) -> ChainSnapshot:
+        response = self.request(CMD_DESCRIBE, stream=stream)
+        if "snapshot" in response:
+            return ChainSnapshot.from_dict(response["snapshot"])
+        snapshots = response.get("snapshots", {})
+        if len(snapshots) != 1:
+            raise ControlProtocolError(
+                "a stream name is required when the proxy has several streams")
+        return ChainSnapshot.from_dict(next(iter(snapshots.values())))
+
+    def snapshots(self) -> Dict[str, ChainSnapshot]:
+        response = self.request(CMD_DESCRIBE)
+        return {name: ChainSnapshot.from_dict(payload)
+                for name, payload in response.get("snapshots", {}).items()}
+
+    def insert_filter(self, spec: FilterSpec, stream: Optional[str] = None,
+                      position: Optional[int] = None) -> str:
+        """Instantiate and insert a filter; returns the new filter's name."""
+        response = self.request(CMD_INSERT_FILTER, stream=stream,
+                                spec=spec.to_dict(), position=position)
+        return str(response["filter"])
+
+    def remove_filter(self, ref: Union[str, int],
+                      stream: Optional[str] = None) -> str:
+        response = self.request(CMD_REMOVE_FILTER, stream=stream, filter=ref)
+        return str(response["filter"])
+
+    def move_filter(self, ref: Union[str, int], position: int,
+                    stream: Optional[str] = None) -> List[str]:
+        response = self.request(CMD_MOVE_FILTER, stream=stream, filter=ref,
+                                position=position)
+        return list(response.get("filters", []))
+
+    def reorder_filters(self, order: List[Union[str, int]],
+                        stream: Optional[str] = None) -> List[str]:
+        response = self.request(CMD_REORDER_FILTERS, stream=stream, order=order)
+        return list(response.get("filters", []))
+
+    def upload_filters(self, module: str, source: str) -> List[str]:
+        """Upload filter source code to the proxy; returns new type names."""
+        response = self.request(CMD_UPLOAD_FILTERS, module=module, source=source)
+        return list(response.get("registered", []))
+
+    def stats(self, stream: Optional[str] = None) -> ChainSnapshot:
+        response = self.request(CMD_STATS, stream=stream)
+        return ChainSnapshot.from_dict(response["snapshot"])
+
+    def shutdown_stream(self, stream: Optional[str] = None) -> None:
+        self.request(CMD_SHUTDOWN_STREAM, stream=stream)
+
+
+class ControlManager:
+    """Manages a set of named proxies through their control clients."""
+
+    def __init__(self) -> None:
+        self._clients: Dict[str, ProxyControlClient] = {}
+
+    # ----------------------------------------------------------- registration
+
+    def register_proxy(self, name: str,
+                       target: Union[Proxy, "tuple[str, int]"],
+                       registry: Optional[FilterRegistry] = None) -> ProxyControlClient:
+        """Register a proxy (in-process object or TCP address) under a name."""
+        client = ProxyControlClient(target, registry=registry)
+        self._clients[name] = client
+        return client
+
+    def unregister_proxy(self, name: str) -> None:
+        client = self._clients.pop(name, None)
+        if client is not None:
+            client.close()
+
+    def proxy_names(self) -> List[str]:
+        return sorted(self._clients)
+
+    def client(self, name: str) -> ProxyControlClient:
+        if name not in self._clients:
+            raise ControlProtocolError(f"no proxy registered under {name!r}")
+        return self._clients[name]
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    # -------------------------------------------------------------- operations
+
+    def ping_all(self) -> Dict[str, bool]:
+        """Ping every registered proxy."""
+        results = {}
+        for name, client in self._clients.items():
+            try:
+                results[name] = client.ping()
+            except (ControlProtocolError, OSError):
+                results[name] = False
+        return results
+
+    def insert_filter(self, proxy: str, spec: FilterSpec,
+                      stream: Optional[str] = None,
+                      position: Optional[int] = None) -> str:
+        return self.client(proxy).insert_filter(spec, stream=stream,
+                                                position=position)
+
+    def remove_filter(self, proxy: str, ref: Union[str, int],
+                      stream: Optional[str] = None) -> str:
+        return self.client(proxy).remove_filter(ref, stream=stream)
+
+    def upload_filters(self, proxy: str, module: str, source: str) -> List[str]:
+        return self.client(proxy).upload_filters(module, source)
+
+    def snapshots(self, proxy: str) -> Dict[str, ChainSnapshot]:
+        return self.client(proxy).snapshots()
+
+    # --------------------------------------------------------------- rendering
+
+    def render_state(self) -> str:
+        """A textual rendering of every proxy's filter chains.
+
+        This is the console counterpart of the paper's GUI panel: one line
+        per stream showing the source, the ordered filters, and the sink.
+        """
+        lines: List[str] = []
+        for name in self.proxy_names():
+            client = self._clients[name]
+            lines.append(f"proxy {name} ({client.description})")
+            try:
+                snapshots = client.snapshots()
+            except (ControlProtocolError, OSError) as exc:
+                lines.append(f"  <unreachable: {exc}>")
+                continue
+            if not snapshots:
+                lines.append("  (no streams)")
+            for stream_name, snapshot in sorted(snapshots.items()):
+                chain = " -> ".join(["[source]", *snapshot.filter_names, "[sink]"])
+                status = "running" if snapshot.running else "stopped"
+                lines.append(f"  stream {stream_name} ({status}): {chain}")
+        return "\n".join(lines)

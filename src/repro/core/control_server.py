@@ -1,0 +1,130 @@
+"""TCP transport for the proxy control protocol.
+
+A :class:`ControlServer` listens on a TCP port, accepts ControlManager
+connections, and executes one newline-delimited JSON command per line via a
+:class:`~repro.core.commands.CommandHandler`.  This is the reproduction of
+the paper's "ControlThread receives commands from across the network" — the
+data plane (detachable streams) and the control plane (this server) are
+deliberately separate.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from .commands import CommandHandler, encode_message, error_response
+from .proxy import Proxy
+from .registry import FilterRegistry
+
+
+class ControlServer:
+    """A threaded line-oriented JSON control server for one proxy."""
+
+    def __init__(self, proxy: Proxy, registry: Optional[FilterRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.handler = CommandHandler(proxy, registry=registry)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._client_threads: list = []
+        self._stop_event = threading.Event()
+        self.connections_accepted = 0
+        self.commands_handled = 0
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The (host, port) the server is listening on."""
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return (self._accept_thread is not None
+                and self._accept_thread.is_alive())
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ControlServer":
+        """Start accepting ControlManager connections."""
+        if self._accept_thread is not None:
+            return self
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"control-server:{self.port}",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Stop the server and close the listening socket."""
+        self._stop_event.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for thread in self._client_threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ControlServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- internals
+
+    def _accept_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                client, _address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections_accepted += 1
+            thread = threading.Thread(target=self._serve_client, args=(client,),
+                                      name="control-server-client", daemon=True)
+            thread.start()
+            self._client_threads.append(thread)
+
+    def _serve_client(self, client: socket.socket) -> None:
+        client.settimeout(0.2)
+        buffer = bytearray()
+        try:
+            while not self._stop_event.is_set():
+                try:
+                    data = client.recv(4096)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not data:
+                    return
+                buffer.extend(data)
+                while b"\n" in buffer:
+                    line, _, rest = bytes(buffer).partition(b"\n")
+                    buffer = bytearray(rest)
+                    if not line.strip():
+                        continue
+                    try:
+                        response = self.handler.handle_line(line)
+                    except Exception as exc:  # noqa: BLE001 - keep serving
+                        response = encode_message(error_response(str(exc)))
+                    self.commands_handled += 1
+                    try:
+                        client.sendall(response)
+                    except OSError:
+                        return
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass

@@ -1,0 +1,352 @@
+"""The ControlThread — dynamic composition of filters on a running stream.
+
+"A ControlThread object is responsible for managing the insertion, deletion,
+and ordering of the filters associated with the stream."  It owns the Filter
+Vector (the ordered list of active filters between the two EndPoints) and
+performs every reconfiguration with the detachable-stream pause/reconnect
+protocol, so that:
+
+* no byte is lost, duplicated, or reordered by a reconfiguration, and
+* the stream's EndPoints (and therefore the remote peers) never notice.
+
+The insertion algorithm mirrors the paper's ``add()`` excerpt::
+
+    LeftFilter.DOS.pause();
+    LeftFilter.DOS.reconnect(F.DIS);
+    RightFilter.DIS.reconnect(F.DOS);
+    F.start();
+    V.insertElement(F, pos);
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..streams import StreamClosedError
+from .endpoints import SinkEndPoint, SourceEndPoint
+from .errors import CompositionError
+from .filter import Filter
+from .stats import ChainSnapshot
+
+#: How long composition operations wait for buffers to drain / filters to
+#: quiesce before giving up.
+DEFAULT_OPERATION_TIMEOUT = 10.0
+
+FilterRef = Union[int, str, Filter]
+
+
+class ControlThread:
+    """Manages the filter chain of one proxied data stream.
+
+    Parameters
+    ----------
+    source:
+        The upstream EndPoint (data enters the chain here).
+    sink:
+        The downstream EndPoint (data leaves the chain here).
+    name:
+        Stream name used in snapshots and control-protocol replies.
+    auto_start:
+        When True (default) the EndPoints are connected and started
+        immediately, forming the paper's "null proxy".
+    """
+
+    def __init__(self, source: SourceEndPoint, sink: SinkEndPoint,
+                 name: str = "stream", auto_start: bool = True,
+                 operation_timeout: float = DEFAULT_OPERATION_TIMEOUT) -> None:
+        self.name = name
+        self.source = source
+        self.sink = sink
+        self.operation_timeout = operation_timeout
+        self._filters: List[Filter] = []
+        self._lock = threading.RLock()
+        self._started = False
+        self._shutdown = False
+        if auto_start:
+            self.start()
+
+    # ----------------------------------------------------------------- setup
+
+    def start(self) -> None:
+        """Wire up the chain and start every element.
+
+        With no filters this forms the paper's "null proxy" (source connected
+        straight to sink); filters added *before* start are wired statically
+        in order, which is how a pre-composed proxy (e.g. one created with
+        FEC already required) comes up without a transient unprotected
+        window.
+        """
+        with self._lock:
+            if self._started:
+                return
+            chain = [self.source, *self._filters, self.sink]
+            for left, right in zip(chain, chain[1:]):
+                left.dos.connect(right.dis)
+            for element in chain:
+                element.start()
+            self._started = True
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def filters(self) -> List[Filter]:
+        """The current Filter Vector (a copy)."""
+        with self._lock:
+            return list(self._filters)
+
+    def filter_count(self) -> int:
+        with self._lock:
+            return len(self._filters)
+
+    def filter_names(self) -> List[str]:
+        with self._lock:
+            return [f.name for f in self._filters]
+
+    def elements(self) -> List[Filter]:
+        """Source, filters, sink — the full chain in stream order."""
+        with self._lock:
+            return [self.source, *self._filters, self.sink]
+
+    def position_of(self, ref: FilterRef) -> int:
+        """Resolve a filter reference (index, name, or object) to its index."""
+        with self._lock:
+            if isinstance(ref, Filter):
+                for index, filter_obj in enumerate(self._filters):
+                    if filter_obj is ref:
+                        return index
+                raise CompositionError(f"filter {ref.name!r} is not in this chain")
+            if isinstance(ref, str):
+                for index, filter_obj in enumerate(self._filters):
+                    if filter_obj.name == ref:
+                        return index
+                raise CompositionError(f"no filter named {ref!r} in this chain")
+            index = int(ref)
+            if not 0 <= index < len(self._filters):
+                raise CompositionError(
+                    f"filter position {index} outside [0, {len(self._filters)})")
+            return index
+
+    def describe(self) -> List[dict]:
+        """Descriptions of the chain elements, in stream order."""
+        return [element.describe() for element in self.elements()]
+
+    def snapshot(self) -> ChainSnapshot:
+        """A serialisable snapshot of the chain (for the ControlManager)."""
+        with self._lock:
+            return ChainSnapshot(
+                stream_name=self.name,
+                filter_names=[f.name for f in self._filters],
+                filter_types=[f.type_name for f in self._filters],
+                filter_stats=[f.stats.snapshot() for f in self._filters],
+                source_stats=self.source.stats.snapshot(),
+                sink_stats=self.sink.stats.snapshot(),
+                running=self.running,
+            )
+
+    @property
+    def running(self) -> bool:
+        """True while both EndPoints are alive."""
+        return self.source.running or self.sink.running
+
+    # ------------------------------------------------------------- composition
+
+    def add(self, filter_obj: Filter, position: Optional[int] = None,
+            boundary: Optional[Callable[[bytes], bool]] = None,
+            timeout: Optional[float] = None) -> int:
+        """Insert ``filter_obj`` into the running stream.
+
+        ``position`` is the index in the Filter Vector (0 = immediately
+        after the source); the default appends just before the sink.  When
+        ``boundary`` is given, the upstream element is first asked to hold
+        at the next unit satisfying the predicate so the new filter starts
+        at a stream-type-specific boundary (Section 3 of the paper).
+
+        Returns the position at which the filter was inserted.
+        """
+        timeout = self.operation_timeout if timeout is None else timeout
+        if filter_obj.running or filter_obj.finished:
+            raise CompositionError(
+                f"filter {filter_obj.name!r} has already been started")
+        if filter_obj.dis.connected or filter_obj.dos.connected:
+            raise CompositionError(
+                f"filter {filter_obj.name!r} is already connected to a stream")
+        with self._lock:
+            self._ensure_not_shutdown()
+            if position is None:
+                position = len(self._filters)
+            if not 0 <= position <= len(self._filters):
+                raise CompositionError(
+                    f"insert position {position} outside [0, {len(self._filters)}]")
+            if not self._started:
+                # Static composition: the chain is wired when start() runs.
+                self._filters.insert(position, filter_obj)
+                return position
+            chain = self.elements()
+            left = chain[position]
+            right = chain[position + 1]
+
+            if boundary is not None:
+                # Ask the upstream element to stop emitting at the next
+                # stream boundary; even if the hold times out (idle stream)
+                # the predicate is cleared again in the finally block below.
+                left.hold_at_boundary(boundary, timeout=timeout)
+
+            try:
+                # The paper's protocol: pause the left DOS (the right DIS is
+                # implicitly paused once the buffer drains), then re-splice.
+                left.dos.pause(drain_timeout=timeout)
+                left.dos.reconnect(filter_obj.dis)
+                filter_obj.dos.reconnect(right.dis)
+            except StreamClosedError as exc:
+                raise CompositionError(
+                    f"cannot insert {filter_obj.name!r}: the stream upstream of "
+                    f"position {position} has already ended ({exc})") from exc
+            finally:
+                if boundary is not None:
+                    left.release_hold()
+            filter_obj.start()
+            self._filters.insert(position, filter_obj)
+            return position
+
+    def remove(self, ref: FilterRef, timeout: Optional[float] = None,
+               stop_filter: bool = True) -> Filter:
+        """Remove a filter from the running stream without losing data.
+
+        The upstream DOS is paused, the filter is allowed to finish
+        processing everything already delivered to it (``quiesce``), its own
+        DOS is paused to drain its output, and only then is the chain
+        re-spliced around it.  Returns the removed filter.
+        """
+        timeout = self.operation_timeout if timeout is None else timeout
+        with self._lock:
+            self._ensure_not_shutdown()
+            position = self.position_of(ref)
+            filter_obj = self._filters[position]
+            if not self._started:
+                self._filters.pop(position)
+                return filter_obj
+            chain = self.elements()
+            left = chain[position]
+            right = chain[position + 2]
+
+            if left.dos.closed:
+                # The stream already ended; the filter has seen (or will see)
+                # end-of-stream, so it only needs to be unlinked.
+                self._filters.pop(position)
+            elif filter_obj.finished:
+                # The filter's worker has already exited (it crashed or was
+                # stopped).  Its input can never drain, so splice around the
+                # dead element without the drain step; whatever it had
+                # buffered is already lost with it.
+                left.dos.detach()
+                filter_obj.dos.detach()
+                if not right.dis.connected:
+                    left.dos.reconnect(right.dis)
+                self._filters.pop(position)
+            else:
+                left.dos.pause(drain_timeout=timeout)
+                if not filter_obj.quiesce(timeout=timeout):
+                    # Put the chain back together before reporting failure.
+                    left.dos.reconnect(filter_obj.dis)
+                    raise CompositionError(
+                        f"filter {filter_obj.name!r} failed to quiesce within {timeout}s")
+                if not filter_obj.dos.closed:
+                    # Push out anything the filter still holds internally
+                    # (e.g. a partially filled FEC group), then drain it.
+                    filter_obj.flush_state()
+                    filter_obj.dos.pause(drain_timeout=timeout)
+                left.dos.reconnect(right.dis)
+                self._filters.pop(position)
+        if stop_filter:
+            filter_obj.stop()
+        return filter_obj
+
+    def replace(self, ref: FilterRef, new_filter: Filter,
+                timeout: Optional[float] = None) -> Filter:
+        """Swap one filter for another at the same position."""
+        with self._lock:
+            position = self.position_of(ref)
+            old = self.remove(position, timeout=timeout)
+            self.add(new_filter, position=position, timeout=timeout)
+            return old
+
+    def move(self, ref: FilterRef, new_position: int,
+             timeout: Optional[float] = None) -> None:
+        """Move a filter to a different position in the chain."""
+        with self._lock:
+            position = self.position_of(ref)
+            if not 0 <= new_position < len(self._filters):
+                raise CompositionError(
+                    f"target position {new_position} outside "
+                    f"[0, {len(self._filters)})")
+            if new_position == position:
+                return
+            filter_obj = self._filters[position]
+            # A moved filter keeps its internal state but is re-spliced, so
+            # it must be restartable: we remove it without stopping the
+            # worker thread and re-splice it at the new location.
+            self.remove(position, timeout=timeout, stop_filter=False)
+            self._readd_running(filter_obj, new_position, timeout=timeout)
+
+    def reorder(self, new_order: Sequence[FilterRef],
+                timeout: Optional[float] = None) -> None:
+        """Rearrange the whole chain to match ``new_order``.
+
+        ``new_order`` must reference every current filter exactly once.
+        """
+        with self._lock:
+            positions = [self.position_of(ref) for ref in new_order]
+            if sorted(positions) != list(range(len(self._filters))):
+                raise CompositionError(
+                    "reorder must reference every filter exactly once")
+            desired = [self._filters[p] for p in positions]
+            for target_index, filter_obj in enumerate(desired):
+                current_index = self.position_of(filter_obj)
+                if current_index != target_index:
+                    self.move(filter_obj, target_index, timeout=timeout)
+
+    def _readd_running(self, filter_obj: Filter, position: int,
+                       timeout: Optional[float]) -> None:
+        """Splice an already-running filter back into the chain."""
+        timeout = self.operation_timeout if timeout is None else timeout
+        chain = self.elements()
+        left = chain[position]
+        right = chain[position + 1]
+        left.dos.pause(drain_timeout=timeout)
+        left.dos.reconnect(filter_obj.dis)
+        filter_obj.dos.reconnect(right.dis)
+        self._filters.insert(position, filter_obj)
+
+    # --------------------------------------------------------------- teardown
+
+    def wait_for_completion(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the stream's end-of-file has flowed through to the sink."""
+        return self.sink.wait_for_eof(timeout=timeout)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every element of the chain.  Idempotent."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            elements = [self.source, *self._filters, self.sink]
+        for element in elements:
+            element.stop(timeout=timeout)
+        for element in elements:
+            try:
+                element.dos.close()
+            except Exception:  # noqa: BLE001 - best effort teardown
+                pass
+            try:
+                element.dis.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _ensure_not_shutdown(self) -> None:
+        if self._shutdown:
+            raise CompositionError("the stream has been shut down")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ControlThread {self.name!r} filters={self.filter_names()} "
+                f"running={self.running}>")

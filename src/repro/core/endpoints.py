@@ -1,0 +1,279 @@
+"""EndPoints — the components that anchor a proxy's filter chain.
+
+"EndPoints are special extensions of Filters that are instantiated by the
+ControlThread for providing Input and Output services to the framework."
+A :class:`SourceEndPoint` pulls data from outside the chain (a socket, a
+generator, a simulated network receiver) and writes it to its DOS; a
+:class:`SinkEndPoint` reads from its DIS and pushes data outside the chain.
+"Combined with the ControlThread, two EndPoints comprise a 'null' proxy".
+
+Concrete EndPoints are provided for the data sources and sinks used in this
+reproduction: Python iterables/callables, in-memory collectors, real TCP
+sockets, and the simulated wired/wireless networks.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from ..streams import (
+    BrokenStreamError,
+    FrameDecoder,
+    NotConnectedError,
+    StreamClosedError,
+    StreamTimeoutError,
+    encode_frame,
+)
+from .filter import Filter
+
+#: A pull-style source callback: returns the next chunk, or None at EOF.
+SourceCallable = Callable[[], Optional[bytes]]
+
+#: A push-style sink callback: receives each chunk (or packet).
+SinkCallable = Callable[[bytes], None]
+
+
+class EndPoint(Filter):
+    """Common base class for chain endpoints."""
+
+    type_name = "endpoint"
+
+
+class SourceEndPoint(EndPoint):
+    """Reads data from an external producer and writes it into the chain.
+
+    Subclasses implement :meth:`produce`, returning the next chunk of bytes
+    or ``None`` at end of input.  The endpoint's DIS is unused.
+    """
+
+    type_name = "source-endpoint"
+
+    def __init__(self, name: Optional[str] = None, frame_output: bool = False,
+                 pacing_s: float = 0.0, close_on_eof: bool = True) -> None:
+        super().__init__(name=name, propagate_eof=close_on_eof)
+        if pacing_s < 0:
+            raise ValueError("pacing_s must be non-negative")
+        self.frame_output = frame_output
+        self.pacing_s = pacing_s
+        self.items_produced = 0
+
+    def produce(self) -> Optional[bytes]:
+        """Return the next chunk/packet, or None when the source is exhausted."""
+        raise NotImplementedError
+
+    def _run(self) -> None:  # replaces the read loop: sources have no input
+        try:
+            self.on_start()
+            while not self._stop_event.is_set():
+                item = self.produce()
+                if item is None:
+                    break
+                if not item:
+                    continue
+                data = encode_frame(item) if self.frame_output else bytes(item)
+                self._maybe_hold(item)
+                self.dos.write(data)
+                self._last_emitted = item
+                self.items_produced += 1
+                self.stats.record_output(len(data),
+                                         packets=1 if self.frame_output else 0)
+                if self.pacing_s:
+                    self._stop_event.wait(self.pacing_s)
+            if not self._stop_event.is_set() and self.propagate_eof:
+                self._close_output()
+        except (StreamClosedError, BrokenStreamError, NotConnectedError) as exc:
+            self.error = exc
+            self.stats.record_error()
+        except Exception as exc:  # noqa: BLE001 - surfaced via self.error
+            self.error = exc
+            self.stats.record_error()
+            self._close_output()
+        finally:
+            try:
+                self.on_stop()
+            finally:
+                self._finished.set()
+
+
+class IterableSource(SourceEndPoint):
+    """A source that drains a Python iterable of byte chunks/packets."""
+
+    type_name = "iterable-source"
+
+    def __init__(self, items: Iterable[bytes], name: Optional[str] = None,
+                 frame_output: bool = False, pacing_s: float = 0.0) -> None:
+        super().__init__(name=name, frame_output=frame_output, pacing_s=pacing_s)
+        self._iterator: Iterator[bytes] = iter(items)
+
+    def produce(self) -> Optional[bytes]:
+        try:
+            return next(self._iterator)
+        except StopIteration:
+            return None
+
+
+class CallableSource(SourceEndPoint):
+    """A source that repeatedly calls a function until it returns None."""
+
+    type_name = "callable-source"
+
+    def __init__(self, callback: SourceCallable, name: Optional[str] = None,
+                 frame_output: bool = False, pacing_s: float = 0.0) -> None:
+        super().__init__(name=name, frame_output=frame_output, pacing_s=pacing_s)
+        self._callback = callback
+
+    def produce(self) -> Optional[bytes]:
+        return self._callback()
+
+
+class SocketSource(SourceEndPoint):
+    """Reads raw bytes from a connected TCP socket (EndPointSocketReader)."""
+
+    type_name = "socket-source"
+
+    def __init__(self, sock: socket.socket, name: Optional[str] = None,
+                 recv_size: int = 8192) -> None:
+        super().__init__(name=name, frame_output=False)
+        self._socket = sock
+        self._socket.settimeout(0.1)
+        self.recv_size = recv_size
+
+    def produce(self) -> Optional[bytes]:
+        while not self._stop_event.is_set():
+            try:
+                data = self._socket.recv(self.recv_size)
+            except socket.timeout:
+                continue
+            except OSError:
+                return None
+            return data if data else None
+        return None
+
+    def on_stop(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+
+class SinkEndPoint(EndPoint):
+    """Reads data from the chain and delivers it to an external consumer.
+
+    Subclasses implement :meth:`consume`.  When ``expect_frames`` is True the
+    sink deframes the byte stream and calls :meth:`consume` once per packet;
+    otherwise it is called with raw chunks.
+    """
+
+    type_name = "sink-endpoint"
+
+    def __init__(self, name: Optional[str] = None, expect_frames: bool = False) -> None:
+        super().__init__(name=name, propagate_eof=False)
+        self.expect_frames = expect_frames
+        self._sink_decoder = FrameDecoder()
+        self.items_consumed = 0
+        self.eof_seen = threading.Event()
+
+    def consume(self, data: bytes) -> None:
+        """Handle one chunk (or one packet when ``expect_frames`` is True)."""
+        raise NotImplementedError
+
+    def transform(self, chunk: bytes):
+        if self.expect_frames:
+            for packet in self._sink_decoder.feed(chunk):
+                self.stats.record_input(0, packets=1)
+                self.consume(packet)
+                self.items_consumed += 1
+        else:
+            self.consume(chunk)
+            self.items_consumed += 1
+        return None
+
+    def finalize(self):
+        self.eof_seen.set()
+        return None
+
+    def wait_for_eof(self, timeout: Optional[float] = None) -> bool:
+        """Block until the chain's end-of-stream reaches this sink."""
+        return self.eof_seen.wait(timeout=timeout)
+
+    def is_idle(self) -> bool:
+        if self.expect_frames and self._sink_decoder.has_partial_frame():
+            return False
+        return super().is_idle()
+
+
+class CollectorSink(SinkEndPoint):
+    """Accumulates everything that reaches the end of the chain.
+
+    With ``expect_frames=True`` the collected items are packets; otherwise
+    the raw byte chunks are concatenated by :meth:`data`.
+    """
+
+    type_name = "collector-sink"
+
+    def __init__(self, name: Optional[str] = None, expect_frames: bool = False) -> None:
+        super().__init__(name=name, expect_frames=expect_frames)
+        self._lock = threading.Lock()
+        self._items: List[bytes] = []
+
+    def consume(self, data: bytes) -> None:
+        with self._lock:
+            self._items.append(data)
+
+    def items(self) -> List[bytes]:
+        """The collected chunks/packets, in arrival order."""
+        with self._lock:
+            return list(self._items)
+
+    def data(self) -> bytes:
+        """All collected bytes concatenated."""
+        with self._lock:
+            return b"".join(self._items)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()
+
+
+class CallableSink(SinkEndPoint):
+    """Delivers each chunk/packet to a callback (e.g. ``WirelessLAN.send``)."""
+
+    type_name = "callable-sink"
+
+    def __init__(self, callback: SinkCallable, name: Optional[str] = None,
+                 expect_frames: bool = False) -> None:
+        super().__init__(name=name, expect_frames=expect_frames)
+        self._callback = callback
+
+    def consume(self, data: bytes) -> None:
+        self._callback(data)
+
+
+class SocketSink(SinkEndPoint):
+    """Writes raw bytes to a connected TCP socket (EndPointSocketWriter)."""
+
+    type_name = "socket-sink"
+
+    def __init__(self, sock: socket.socket, name: Optional[str] = None) -> None:
+        super().__init__(name=name, expect_frames=False)
+        self._socket = sock
+
+    def consume(self, data: bytes) -> None:
+        self._socket.sendall(data)
+
+    def on_stop(self) -> None:
+        try:
+            self._socket.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+
+class NullSink(SinkEndPoint):
+    """Discards everything (useful for throughput benchmarks)."""
+
+    type_name = "null-sink"
+
+    def consume(self, data: bytes) -> None:  # noqa: D401 - intentionally empty
+        pass

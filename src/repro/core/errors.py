@@ -1,0 +1,25 @@
+"""Exceptions raised by the composable-proxy core."""
+
+from __future__ import annotations
+
+
+class ProxyError(Exception):
+    """Base class for proxy/composition errors."""
+
+
+class CompositionError(ProxyError):
+    """Raised when a filter chain operation is invalid (bad position,
+    unknown filter, filter already in use, etc.)."""
+
+
+class FilterStateError(ProxyError):
+    """Raised when a filter is used in the wrong lifecycle state (started
+    twice, stopped before started, etc.)."""
+
+
+class ControlProtocolError(ProxyError):
+    """Raised when a control command is malformed or cannot be executed."""
+
+
+class RegistryError(ProxyError):
+    """Raised for unknown filter types and invalid filter uploads."""

@@ -1,0 +1,476 @@
+"""The Filter base classes — the components a proxy composes.
+
+The paper's ``Filter`` class "is meant to be extended by all proxy filters
+that are to be run in the proposed framework.  The class contains an
+instance of DIS and DOS that are always present.  The ControlThread uses the
+DIS and DOS to manipulate the stream connections."  This module provides the
+Python equivalents:
+
+* :class:`Filter` — a byte-oriented filter running in its own thread.  Data
+  read from the filter's DIS is passed to :meth:`Filter.transform`; whatever
+  the transform returns is written to the filter's DOS.
+* :class:`PacketFilter` — a filter operating on framed packets (see
+  :mod:`repro.streams.framing`); FEC encoders/decoders and media transcoders
+  subclass this.
+* :class:`FilterContainer` — the paper's container used to hold groups of
+  filters uploaded into a proxy.
+
+Filters cooperate with the ControlThread's splice protocol: a filter can be
+asked to *hold* at the next stream boundary (:meth:`Filter.hold_at_boundary`)
+and to *quiesce* (finish processing everything already delivered to it)
+before it is removed from a chain.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, List, Optional, Union
+
+from ..streams import (
+    BrokenStreamError,
+    DetachableInputStream,
+    DetachableOutputStream,
+    FrameDecoder,
+    NotConnectedError,
+    StreamClosedError,
+    StreamTimeoutError,
+    encode_frame,
+)
+from .errors import FilterStateError
+from .stats import FilterStats
+
+#: A transform may return nothing, one chunk, or several chunks.
+TransformResult = Union[None, bytes, Iterable[bytes]]
+
+#: Predicate deciding whether a just-emitted packet ends a stream boundary.
+BoundaryPredicate = Callable[[bytes], bool]
+
+_name_lock = threading.Lock()
+_name_counter = 0
+
+
+def _auto_name(prefix: str) -> str:
+    global _name_counter
+    with _name_lock:
+        _name_counter += 1
+        return f"{prefix}-{_name_counter}"
+
+
+class Filter:
+    """A byte-stream filter with its own DIS, DOS, and worker thread.
+
+    Lifecycle: construct → (ControlThread connects the DIS/DOS) →
+    :meth:`start` → worker thread loops reading, transforming, writing →
+    end-of-stream or :meth:`stop`.
+
+    Subclasses usually override only :meth:`transform` (per input chunk) and
+    optionally :meth:`finalize` (to emit trailing output at end-of-stream)
+    and :meth:`on_start` / :meth:`on_stop`.
+    """
+
+    #: Human-readable type name used by the registry and the ControlManager.
+    type_name = "filter"
+
+    def __init__(self, name: Optional[str] = None, read_timeout: float = 0.05,
+                 chunk_size: int = 8192, propagate_eof: bool = True) -> None:
+        if read_timeout <= 0:
+            raise ValueError("read_timeout must be positive")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.name = name or _auto_name(self.type_name)
+        self.read_timeout = read_timeout
+        self.chunk_size = chunk_size
+        self.propagate_eof = propagate_eof
+
+        self.dis = DetachableInputStream(name=f"{self.name}.dis")
+        self.dos = DetachableOutputStream(name=f"{self.name}.dos")
+        self.stats = FilterStats()
+        self.error: Optional[BaseException] = None
+
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._finished = threading.Event()
+        self._started = False
+        self._busy = False
+
+        # Boundary-hold support (used for boundary-aware insertion).
+        self._hold_lock = threading.Lock()
+        self._boundary_predicate: Optional[BoundaryPredicate] = None
+        self._held = threading.Event()
+        self._resume = threading.Event()
+
+    # ------------------------------------------------------------- accessors
+
+    def get_dis(self) -> DetachableInputStream:
+        """Paper-style accessor for the filter's input stream."""
+        return self.dis
+
+    def get_dos(self) -> DetachableOutputStream:
+        """Paper-style accessor for the filter's output stream."""
+        return self.dos
+
+    def set_dis(self, dis: DetachableInputStream) -> None:
+        """Replace the filter's input stream (only before the filter starts)."""
+        if self._started:
+            raise FilterStateError(f"{self.name}: cannot replace DIS after start")
+        self.dis = dis
+
+    def set_dos(self, dos: DetachableOutputStream) -> None:
+        """Replace the filter's output stream (only before the filter starts)."""
+        if self._started:
+            raise FilterStateError(f"{self.name}: cannot replace DOS after start")
+        self.dos = dos
+
+    def get_id(self) -> str:
+        """Paper-style accessor for the filter's identity."""
+        return self.name
+
+    @property
+    def running(self) -> bool:
+        """True while the worker thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def finished(self) -> bool:
+        """True once the worker thread has exited (EOF, stop, or error)."""
+        return self._finished.is_set()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "Filter":
+        """Start the worker thread.  A filter can be started only once."""
+        if self._started:
+            raise FilterStateError(f"{self.name}: already started")
+        self._started = True
+        self._thread = threading.Thread(target=self._run, name=self.name,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the worker thread to exit and wait for it.
+
+        Stopping does *not* close the filter's streams (the ControlThread
+        re-splices them); stopping a never-started filter is a no-op.
+        """
+        self._stop_event.set()
+        self._resume.set()  # never leave a held filter stuck
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the worker thread to finish; True if it did."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()
+
+    def wait_finished(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the filter's run loop has completed."""
+        return self._finished.wait(timeout=timeout)
+
+    # ------------------------------------------------------------ hold/quiesce
+
+    def hold_at_boundary(self, predicate: Optional[BoundaryPredicate] = None,
+                         timeout: Optional[float] = None) -> bool:
+        """Pause this filter's *output* at the next stream boundary.
+
+        The worker thread keeps processing until it is about to emit a unit
+        for which ``predicate`` returns True (with no predicate, the very
+        next unit), then blocks *before* emitting it until
+        :meth:`release_hold` is called.  The downstream side therefore ends
+        exactly at the boundary, and the unit that satisfied the predicate is
+        the first thing delivered to whatever the stream is reconnected to.
+        Returns True once the hold is in place, False on timeout.
+
+        The ControlThread uses this for boundary-aware insertion (e.g. "only
+        insert the video FEC filter so that it starts at an I frame").
+        """
+        with self._hold_lock:
+            self._held.clear()
+            self._resume.clear()
+            self._boundary_predicate = predicate if predicate is not None else (
+                lambda _unit: True)
+        return self._held.wait(timeout=timeout)
+
+    def release_hold(self) -> None:
+        """Allow a held filter to continue emitting."""
+        with self._hold_lock:
+            self._boundary_predicate = None
+        self._resume.set()
+
+    @property
+    def held(self) -> bool:
+        """True while the filter is holding at a boundary."""
+        return self._held.is_set() and not self._resume.is_set()
+
+    def is_idle(self) -> bool:
+        """True when the filter has no buffered or in-flight input."""
+        return self.dis.available() == 0 and not self._busy
+
+    def flush_state(self) -> None:
+        """Emit any data the filter is holding internally (without closing).
+
+        The ControlThread calls this when the filter is removed from a live
+        chain so that buffered state — for example the partial FEC group an
+        encoder is still filling — is pushed downstream rather than lost.
+        The upstream side must already be paused and the filter quiescent.
+        """
+        self._emit(self.finalize())
+
+    def quiesce(self, timeout: float = 5.0, poll_interval: float = 0.005) -> bool:
+        """Wait until every byte already delivered to the filter has been
+        processed and emitted downstream.  Returns True on success.
+
+        The ControlThread calls this (after pausing the upstream DOS) before
+        removing the filter, so removal never drops in-flight data.
+        """
+        deadline = _monotonic() + timeout
+        while _monotonic() < deadline:
+            if self.is_idle() or self.finished:
+                return True
+            _sleep(poll_interval)
+        return self.is_idle() or self.finished
+
+    # ------------------------------------------------------------- transform
+
+    def transform(self, chunk: bytes) -> TransformResult:
+        """Transform one input chunk; the default filter is a passthrough."""
+        return chunk
+
+    def finalize(self) -> TransformResult:
+        """Produce trailing output when the input stream ends."""
+        return None
+
+    def on_start(self) -> None:
+        """Hook invoked in the worker thread before the read loop."""
+
+    def on_stop(self) -> None:
+        """Hook invoked in the worker thread after the read loop."""
+
+    # -------------------------------------------------------------- main loop
+
+    def _run(self) -> None:
+        try:
+            self.on_start()
+            self._read_loop()
+            if not self._stop_event.is_set():
+                self._emit(self.finalize())
+                if self.propagate_eof:
+                    self._close_output()
+        except (StreamClosedError, BrokenStreamError, NotConnectedError) as exc:
+            # The chain was torn down around us; record and exit quietly.
+            self.error = exc
+            self.stats.record_error()
+        except Exception as exc:  # noqa: BLE001 - surfaced via self.error
+            self.error = exc
+            self.stats.record_error()
+            if self.propagate_eof:
+                self._close_output()
+        finally:
+            try:
+                self.on_stop()
+            finally:
+                self._finished.set()
+
+    def _read_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                chunk = self.dis.read(self.chunk_size, timeout=self.read_timeout)
+            except StreamTimeoutError:
+                continue
+            if chunk == b"":
+                return  # end of stream
+            self._busy = True
+            try:
+                self.stats.record_input(len(chunk))
+                self._emit(self.transform(chunk))
+            finally:
+                self._busy = False
+
+    def _emit(self, result: TransformResult) -> None:
+        if result is None:
+            return
+        if isinstance(result, (bytes, bytearray, memoryview)):
+            outputs: List[bytes] = [bytes(result)]
+        else:
+            outputs = [bytes(item) for item in result]
+        for data in outputs:
+            if not data:
+                continue
+            self._maybe_hold(data)
+            self.dos.write(data)
+            self._last_emitted = data
+            self.stats.record_output(len(data))
+
+    def _maybe_hold(self, unit: bytes) -> None:
+        """Honour a pending boundary hold before emitting ``unit``.
+
+        If a hold is armed and the unit about to be emitted satisfies the
+        boundary predicate, the worker blocks here until released; the
+        downstream side is left cleanly cut at the boundary and ``unit``
+        becomes the first thing sent over the new connection.
+        """
+        with self._hold_lock:
+            predicate = self._boundary_predicate
+        if predicate is None:
+            return
+        if not self._unit_matches(predicate, unit):
+            return
+        self._held.set()
+        self._resume.wait()
+        self._held.clear()
+
+    #: The most recently emitted unit (kept for diagnostics and tests).
+    _last_emitted: Optional[bytes] = None
+
+    def _boundary_unit(self, unit: bytes) -> bytes:
+        """The value handed to boundary predicates for ``unit``.
+
+        Byte filters hand over the chunk itself; packet filters strip the
+        framing so predicates see the application-level packet.
+        """
+        return unit
+
+    def _unit_matches(self, predicate: BoundaryPredicate, unit: bytes) -> bool:
+        try:
+            return bool(predicate(self._boundary_unit(unit)))
+        except Exception:  # noqa: BLE001 - a broken predicate must not kill the filter
+            return True
+
+    def _close_output(self) -> None:
+        try:
+            self.dos.close()
+        except Exception:  # noqa: BLE001 - best effort during teardown
+            pass
+
+    def describe(self) -> dict:
+        """A serialisable description of the filter (for the ControlManager)."""
+        return {
+            "name": self.name,
+            "type": self.type_name,
+            "running": self.running,
+            "stats": self.stats.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} running={self.running}>"
+
+
+class PacketFilter(Filter):
+    """A filter that operates on framed packets rather than raw bytes.
+
+    Input bytes are fed through a :class:`~repro.streams.framing.FrameDecoder`;
+    each complete packet is handed to :meth:`transform_packet`, and every
+    packet returned is re-framed onto the output stream.  Byte- and
+    packet-oriented filters can therefore be mixed freely in one chain.
+    """
+
+    type_name = "packet-filter"
+
+    #: Result type for packet transforms: none, one, or many packets.
+    PacketResult = Union[None, bytes, Iterable[bytes]]
+
+    def __init__(self, name: Optional[str] = None, read_timeout: float = 0.05,
+                 chunk_size: int = 65536, propagate_eof: bool = True) -> None:
+        super().__init__(name=name, read_timeout=read_timeout,
+                         chunk_size=chunk_size, propagate_eof=propagate_eof)
+        self._decoder = FrameDecoder()
+        self._last_packet: Optional[bytes] = None
+
+    # -- packet-level hooks ----------------------------------------------------
+
+    def transform_packet(self, packet: bytes) -> "PacketFilter.PacketResult":
+        """Transform one packet; the default is a passthrough."""
+        return packet
+
+    def finalize_packets(self) -> "PacketFilter.PacketResult":
+        """Produce trailing packets at end-of-stream (e.g. flush FEC groups)."""
+        return None
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def transform(self, chunk: bytes) -> TransformResult:
+        outputs: List[bytes] = []
+        for packet in self._decoder.feed(chunk):
+            self.stats.record_input(0, packets=1)
+            outputs.extend(self._frame_all(self.transform_packet(packet)))
+        return outputs
+
+    def finalize(self) -> TransformResult:
+        return self._frame_all(self.finalize_packets())
+
+    def _frame_all(self, result: "PacketFilter.PacketResult") -> List[bytes]:
+        if result is None:
+            return []
+        if isinstance(result, (bytes, bytearray, memoryview)):
+            packets: List[bytes] = [bytes(result)]
+        else:
+            packets = [bytes(item) for item in result]
+        framed = []
+        for packet in packets:
+            self._last_packet = packet
+            self.stats.record_output(0, packets=1)
+            framed.append(encode_frame(packet))
+        return framed
+
+    def is_idle(self) -> bool:
+        return (super().is_idle() and not self._decoder.has_partial_frame())
+
+    def _boundary_unit(self, unit: bytes) -> bytes:
+        """Strip the frame header so predicates see the packet payload."""
+        from ..streams.framing import HEADER_SIZE
+
+        return unit[HEADER_SIZE:] if len(unit) >= HEADER_SIZE else unit
+
+
+class FilterContainer:
+    """A named collection of filters, as uploaded into a proxy.
+
+    Mirrors the paper's ``FilterContainer``: it "has methods to obtain the
+    number of Filters available and an enumeration method to return a String
+    enumeration of the Filter objects names".
+    """
+
+    def __init__(self, filters: Optional[Iterable[Filter]] = None,
+                 name: str = "container") -> None:
+        self.name = name
+        self._filters: List[Filter] = list(filters or [])
+
+    def add(self, filter_obj: Filter) -> None:
+        self._filters.append(filter_obj)
+
+    def count(self) -> int:
+        """Number of filters in the container."""
+        return len(self._filters)
+
+    def names(self) -> List[str]:
+        """The contained filters' names, in order."""
+        return [f.name for f in self._filters]
+
+    def get(self, index: int) -> Filter:
+        return self._filters[index]
+
+    def by_name(self, name: str) -> Filter:
+        for filter_obj in self._filters:
+            if filter_obj.name == name:
+                return filter_obj
+        raise KeyError(f"no filter named {name!r} in container {self.name!r}")
+
+    def __iter__(self):
+        return iter(self._filters)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()
+
+
+def _sleep(seconds: float) -> None:
+    import time
+
+    time.sleep(seconds)

@@ -1,0 +1,111 @@
+"""The Proxy — a named collection of proxied streams.
+
+A RAPIDware proxy node (Figure 3/4 of the paper) terminates one or more data
+streams; each stream is anchored by two EndPoints and managed by its own
+:class:`~repro.core.control_thread.ControlThread`.  Two EndPoints plus a
+ControlThread form the paper's "null proxy" — data is forwarded unmodified
+until filters are inserted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from .control_thread import ControlThread
+from .endpoints import SinkEndPoint, SourceEndPoint
+from .errors import CompositionError
+
+
+class Proxy:
+    """A proxy node hosting any number of filtered data streams."""
+
+    def __init__(self, name: str = "proxy") -> None:
+        self.name = name
+        self._streams: Dict[str, ControlThread] = {}
+        self._lock = threading.RLock()
+        self._shutdown = False
+
+    # ----------------------------------------------------------------- streams
+
+    def add_stream(self, source: SourceEndPoint, sink: SinkEndPoint,
+                   name: Optional[str] = None, auto_start: bool = True) -> ControlThread:
+        """Create (and by default start) a new proxied stream."""
+        with self._lock:
+            if self._shutdown:
+                raise CompositionError(f"proxy {self.name!r} has been shut down")
+            stream_name = name or f"stream-{len(self._streams)}"
+            if stream_name in self._streams:
+                raise CompositionError(
+                    f"stream {stream_name!r} already exists on proxy {self.name!r}")
+            control = ControlThread(source, sink, name=stream_name,
+                                    auto_start=auto_start)
+            self._streams[stream_name] = control
+            return control
+
+    def stream(self, name: str) -> ControlThread:
+        """Look up a stream by name."""
+        with self._lock:
+            if name not in self._streams:
+                raise CompositionError(
+                    f"no stream named {name!r} on proxy {self.name!r}")
+            return self._streams[name]
+
+    @property
+    def streams(self) -> Dict[str, ControlThread]:
+        with self._lock:
+            return dict(self._streams)
+
+    def stream_names(self) -> List[str]:
+        with self._lock:
+            return list(self._streams)
+
+    def remove_stream(self, name: str, timeout: float = 5.0) -> None:
+        """Shut down and forget one stream."""
+        with self._lock:
+            control = self._streams.pop(name, None)
+        if control is not None:
+            control.shutdown(timeout=timeout)
+
+    # ------------------------------------------------------------------ state
+
+    def describe(self) -> Dict[str, List[dict]]:
+        """Chain descriptions for every stream (for the ControlManager)."""
+        with self._lock:
+            return {name: control.describe()
+                    for name, control in self._streams.items()}
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Serialisable snapshots of every stream."""
+        with self._lock:
+            return {name: control.snapshot().to_dict()
+                    for name, control in self._streams.items()}
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every stream.  Idempotent."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            streams = list(self._streams.values())
+        for control in streams:
+            control.shutdown(timeout=timeout)
+
+    def __enter__(self) -> "Proxy":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Proxy {self.name!r} streams={self.stream_names()}>"
+
+
+def null_proxy(source: SourceEndPoint, sink: SinkEndPoint,
+               name: str = "null-proxy") -> ControlThread:
+    """Build the paper's "null proxy": two EndPoints and a ControlThread.
+
+    Data flows from ``source`` to ``sink`` unmodified until filters are
+    inserted via the returned ControlThread.
+    """
+    return ControlThread(source, sink, name=name, auto_start=True)

@@ -1,0 +1,200 @@
+"""Filter registry and dynamic filter upload.
+
+A central requirement of the paper is that "RAPIDware-compatible filters
+[can] be developed by third parties, and dynamically inserted into an
+existing proxy by application processes" — i.e. a proxy must be able to
+instantiate filters it did not know about at compile time.  The paper
+achieves this with Java object serialisation; this reproduction provides the
+Python equivalent:
+
+* :class:`FilterSpec` — a JSON-serialisable description of a filter to
+  instantiate (type name + constructor arguments), used by the control
+  protocol;
+* :class:`FilterRegistry` — maps type names to filter classes, instantiates
+  specs, and accepts *source-code uploads*: a string of Python defining new
+  filter classes is executed into a private module and its ``Filter``
+  subclasses become available for instantiation, which is the moral
+  equivalent of uploading serialised filter objects into a running JVM.
+
+Uploaded code runs with full interpreter privileges, exactly as uploaded
+Java classes did in the original system; deployments that require isolation
+should disable uploads (``allow_uploads=False``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import types
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Type
+
+from .errors import RegistryError
+from .filter import Filter
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A serialisable request to instantiate a filter."""
+
+    type_name: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    name: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.type_name, "args": dict(self.args), "name": self.name}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FilterSpec":
+        if "type" not in payload:
+            raise RegistryError("filter spec is missing the 'type' field")
+        return cls(type_name=str(payload["type"]),
+                   args=dict(payload.get("args") or {}),
+                   name=payload.get("name"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FilterSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RegistryError(f"invalid filter spec JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+class FilterRegistry:
+    """Maps filter type names to classes and instantiates filter specs."""
+
+    def __init__(self, allow_uploads: bool = True) -> None:
+        self._classes: Dict[str, Type[Filter]] = {}
+        self._uploaded_modules: Dict[str, types.ModuleType] = {}
+        self._lock = threading.RLock()
+        self.allow_uploads = allow_uploads
+
+    # ---------------------------------------------------------------- classes
+
+    def register(self, filter_class: Type[Filter],
+                 type_name: Optional[str] = None) -> str:
+        """Register a filter class under its ``type_name``.
+
+        Returns the name it was registered under.  Registering the same name
+        twice replaces the earlier class (uploads may ship fixed versions).
+        """
+        if not (isinstance(filter_class, type) and issubclass(filter_class, Filter)):
+            raise RegistryError(
+                f"{filter_class!r} is not a Filter subclass")
+        name = type_name or getattr(filter_class, "type_name", None)
+        if not name or name in ("filter", "packet-filter"):
+            raise RegistryError(
+                f"filter class {filter_class.__name__} needs a distinctive "
+                "type_name to be registered")
+        with self._lock:
+            self._classes[name] = filter_class
+        return name
+
+    def unregister(self, type_name: str) -> None:
+        with self._lock:
+            self._classes.pop(type_name, None)
+
+    def types(self) -> List[str]:
+        """All registered type names, sorted."""
+        with self._lock:
+            return sorted(self._classes)
+
+    def has(self, type_name: str) -> bool:
+        with self._lock:
+            return type_name in self._classes
+
+    def get(self, type_name: str) -> Type[Filter]:
+        with self._lock:
+            if type_name not in self._classes:
+                raise RegistryError(f"unknown filter type {type_name!r}")
+            return self._classes[type_name]
+
+    # ----------------------------------------------------------- instantiation
+
+    def create(self, spec: FilterSpec) -> Filter:
+        """Instantiate a filter from a spec."""
+        filter_class = self.get(spec.type_name)
+        kwargs = dict(spec.args)
+        if spec.name is not None:
+            kwargs.setdefault("name", spec.name)
+        try:
+            return filter_class(**kwargs)
+        except TypeError as exc:
+            raise RegistryError(
+                f"cannot construct {spec.type_name!r} with args {spec.args!r}: {exc}"
+            ) from exc
+
+    def create_from_json(self, text: str) -> Filter:
+        return self.create(FilterSpec.from_json(text))
+
+    # ---------------------------------------------------------------- uploads
+
+    def upload_source(self, module_name: str, source_code: str) -> List[str]:
+        """Execute uploaded filter source code and register its filters.
+
+        The code is executed in a fresh module whose namespace already
+        contains ``Filter`` and ``PacketFilter``; every ``Filter`` subclass
+        defined by the upload (with a distinctive ``type_name``) is
+        registered.  Returns the list of registered type names.
+        """
+        if not self.allow_uploads:
+            raise RegistryError("filter uploads are disabled on this registry")
+        if not module_name.isidentifier():
+            raise RegistryError(f"invalid upload module name {module_name!r}")
+
+        from .filter import PacketFilter  # local import to avoid cycles at import time
+
+        module = types.ModuleType(f"repro.uploaded.{module_name}")
+        module.__dict__["Filter"] = Filter
+        module.__dict__["PacketFilter"] = PacketFilter
+        try:
+            exec(compile(source_code, f"<upload:{module_name}>", "exec"),  # noqa: S102
+                 module.__dict__)
+        except Exception as exc:  # noqa: BLE001 - report upload failures cleanly
+            raise RegistryError(f"uploaded filter code failed to execute: {exc}") from exc
+
+        registered: List[str] = []
+        for value in vars(module).values():
+            if (isinstance(value, type) and issubclass(value, Filter)
+                    and value not in (Filter, PacketFilter)
+                    and getattr(value, "type_name", None)
+                    and value.type_name not in ("filter", "packet-filter",
+                                                "endpoint")):
+                registered.append(self.register(value))
+        if not registered:
+            raise RegistryError(
+                "uploaded code did not define any registrable Filter subclass")
+        with self._lock:
+            self._uploaded_modules[module_name] = module
+        return registered
+
+    def uploaded_modules(self) -> List[str]:
+        with self._lock:
+            return sorted(self._uploaded_modules)
+
+
+_default_registry: Optional[FilterRegistry] = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> FilterRegistry:
+    """The process-wide registry, pre-populated with the built-in filters."""
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            registry = FilterRegistry()
+            _register_builtin_filters(registry)
+            _default_registry = registry
+        return _default_registry
+
+
+def _register_builtin_filters(registry: FilterRegistry) -> None:
+    """Register the filter library shipped with this package."""
+    from .. import filters as filter_library
+
+    for filter_class in filter_library.BUILTIN_FILTERS:
+        registry.register(filter_class)

@@ -1,0 +1,93 @@
+"""Per-filter and per-chain statistics.
+
+Every filter counts the data it moves; the ControlThread aggregates those
+counters into a chain-level snapshot that the ControlManager displays and
+the benchmarks assert on (e.g. "no bytes were lost across a splice").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class FilterStats:
+    """Counters maintained by every filter (thread-safe increments)."""
+
+    chunks_in: int = 0
+    chunks_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    packets_in: int = 0
+    packets_out: int = 0
+    errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
+
+    def record_input(self, nbytes: int, packets: int = 0) -> None:
+        with self._lock:
+            self.chunks_in += 1
+            self.bytes_in += nbytes
+            self.packets_in += packets
+
+    def record_output(self, nbytes: int, packets: int = 0) -> None:
+        with self._lock:
+            self.chunks_out += 1
+            self.bytes_out += nbytes
+            self.packets_out += packets
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of the counters (safe to serialise)."""
+        with self._lock:
+            return {
+                "chunks_in": self.chunks_in,
+                "chunks_out": self.chunks_out,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "packets_in": self.packets_in,
+                "packets_out": self.packets_out,
+                "errors": self.errors,
+            }
+
+
+@dataclass
+class ChainSnapshot:
+    """A point-in-time view of a proxy stream's configuration and counters."""
+
+    stream_name: str
+    filter_names: List[str]
+    filter_types: List[str]
+    filter_stats: List[Dict[str, int]]
+    source_stats: Dict[str, int]
+    sink_stats: Dict[str, int]
+    running: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for the control protocol."""
+        return {
+            "stream_name": self.stream_name,
+            "filter_names": list(self.filter_names),
+            "filter_types": list(self.filter_types),
+            "filter_stats": [dict(s) for s in self.filter_stats],
+            "source_stats": dict(self.source_stats),
+            "sink_stats": dict(self.sink_stats),
+            "running": self.running,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChainSnapshot":
+        return cls(
+            stream_name=str(payload.get("stream_name", "")),
+            filter_names=[str(v) for v in payload.get("filter_names", [])],
+            filter_types=[str(v) for v in payload.get("filter_types", [])],
+            filter_stats=[dict(v) for v in payload.get("filter_stats", [])],
+            source_stats=dict(payload.get("source_stats", {})),
+            sink_stats=dict(payload.get("sink_stats", {})),
+            running=bool(payload.get("running", False)),
+        )

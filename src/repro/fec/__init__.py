@@ -1,0 +1,97 @@
+"""(n, k) block erasure codes — the FEC substrate used by the proxy filters.
+
+The paper's demand-driven FEC proxy protects audio streams on lossy wireless
+LANs with systematic Vandermonde erasure codes (Rizzo-style): ``k`` source
+packets become ``n`` encoded packets, and any ``k`` of the ``n`` reconstruct
+the sources.  This package implements the field arithmetic, matrix algebra,
+code construction, per-packet wire format and group assembly from scratch.
+"""
+
+from .block_codes import (
+    BlockErasureCode,
+    FecCodingError,
+    decode_blocks,
+    encode_blocks,
+)
+from .gf256 import (
+    EXP_TABLE,
+    FIELD_SIZE,
+    LOG_TABLE,
+    PRIMITIVE_POLYNOMIAL,
+    gf_add,
+    gf_div,
+    gf_dot_bytes,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    gf_sub,
+)
+from .interleaver import BlockInterleaver, Deinterleaver
+from .group import (
+    FecDecoderStats,
+    FecEncoderStats,
+    FecGroupDecoder,
+    FecGroupEncoder,
+)
+from .matrix import GFMatrix, SingularMatrixError, solve
+from .packets import (
+    FEC_MAGIC,
+    FEC_VERSION,
+    FLAG_PARITY,
+    FLAG_UNCODED,
+    FecPacket,
+    FecPacketError,
+    block_size_for,
+    pad_block,
+    unpad_block,
+)
+from .vandermonde import (
+    MAX_GROUP_SIZE,
+    decoding_matrix,
+    parity_rows,
+    systematic_generator_matrix,
+    validate_parameters,
+    vandermonde_matrix,
+)
+
+__all__ = [
+    "BlockErasureCode",
+    "FecCodingError",
+    "encode_blocks",
+    "decode_blocks",
+    "gf_add",
+    "gf_sub",
+    "gf_mul",
+    "gf_div",
+    "gf_pow",
+    "gf_inv",
+    "gf_mul_bytes",
+    "gf_dot_bytes",
+    "EXP_TABLE",
+    "LOG_TABLE",
+    "FIELD_SIZE",
+    "PRIMITIVE_POLYNOMIAL",
+    "GFMatrix",
+    "SingularMatrixError",
+    "solve",
+    "vandermonde_matrix",
+    "systematic_generator_matrix",
+    "decoding_matrix",
+    "parity_rows",
+    "validate_parameters",
+    "MAX_GROUP_SIZE",
+    "FecPacket",
+    "FecPacketError",
+    "FLAG_PARITY",
+    "FLAG_UNCODED",
+    "FEC_MAGIC",
+    "FEC_VERSION",
+    "pad_block",
+    "unpad_block",
+    "block_size_for",
+    "FecGroupEncoder",
+    "FecGroupDecoder",
+    "FecEncoderStats",
+    "FecDecoderStats",
+]

@@ -1,0 +1,171 @@
+"""(n, k) block erasure encoder/decoder.
+
+This is the workhorse behind the paper's FEC proxy: ``k`` equal-sized source
+blocks go in, ``n`` encoded blocks come out (the first ``k`` are verbatim
+copies of the sources because the code is systematic), and *any* ``k`` of
+the ``n`` encoded blocks reconstruct the sources.
+
+Variable-length packets are handled one level up (see
+:mod:`repro.fec.group`), which pads payloads to a common block size; this
+module deals purely in equal-length byte blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .gf256 import gf_dot_bytes
+from .matrix import GFMatrix
+from .vandermonde import (
+    decoding_matrix,
+    systematic_generator_matrix,
+    validate_parameters,
+)
+
+
+class FecCodingError(ValueError):
+    """Raised for invalid encode/decode inputs (wrong counts, lengths,
+    duplicate indices, or too few blocks to reconstruct)."""
+
+
+def _as_arrays(blocks: Sequence[bytes]) -> List[np.ndarray]:
+    length = len(blocks[0])
+    arrays = []
+    for index, block in enumerate(blocks):
+        if len(block) != length:
+            raise FecCodingError(
+                f"block {index} has length {len(block)}, expected {length}")
+        arrays.append(np.frombuffer(bytes(block), dtype=np.uint8))
+    return arrays
+
+
+class BlockErasureCode:
+    """A systematic (n, k) erasure code over GF(256).
+
+    Parameters
+    ----------
+    k:
+        Number of source blocks per group.
+    n:
+        Total number of encoded blocks per group (``n - k`` parity blocks).
+
+    The paper's audio proxy uses ``BlockErasureCode(k=4, n=6)`` — written
+    FEC(6, 4) in the paper — chosen small "so as to minimise jitter".
+    """
+
+    def __init__(self, k: int, n: int) -> None:
+        validate_parameters(k, n)
+        self.k = k
+        self.n = n
+        self._generator: GFMatrix = systematic_generator_matrix(k, n)
+        self._parity_rows = [self._generator.row(i) for i in range(k, n)]
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def parity_count(self) -> int:
+        """Number of parity blocks produced per group (n - k)."""
+        return self.n - self.k
+
+    @property
+    def overhead(self) -> float:
+        """Relative redundancy added by the code: (n - k) / k."""
+        return (self.n - self.k) / self.k
+
+    @property
+    def rate(self) -> float:
+        """Code rate k / n (fraction of transmitted bytes that are data)."""
+        return self.k / self.n
+
+    @property
+    def generator_matrix(self) -> GFMatrix:
+        """The systematic n x k generator matrix."""
+        return self._generator
+
+    # -------------------------------------------------------------- encoding
+
+    def encode(self, source_blocks: Sequence[bytes]) -> List[bytes]:
+        """Encode ``k`` equal-length source blocks into ``n`` encoded blocks.
+
+        The first ``k`` returned blocks are byte-for-byte the source blocks;
+        the remaining ``n - k`` are parity blocks.
+        """
+        if len(source_blocks) != self.k:
+            raise FecCodingError(
+                f"expected {self.k} source blocks, got {len(source_blocks)}")
+        if not source_blocks[0]:
+            raise FecCodingError("blocks must be non-empty")
+        arrays = _as_arrays(source_blocks)
+        encoded: List[bytes] = [bytes(block) for block in source_blocks]
+        for row in self._parity_rows:
+            encoded.append(gf_dot_bytes(row, arrays).tobytes())
+        return encoded
+
+    def encode_parity(self, source_blocks: Sequence[bytes]) -> List[bytes]:
+        """Return only the ``n - k`` parity blocks for the group."""
+        return self.encode(source_blocks)[self.k:]
+
+    # -------------------------------------------------------------- decoding
+
+    def decode(self, received: Dict[int, bytes]) -> List[bytes]:
+        """Reconstruct the ``k`` source blocks from any ``k`` received blocks.
+
+        ``received`` maps encoded-block index (0-based, < n) to payload.  If
+        more than ``k`` blocks are supplied, data blocks are preferred (they
+        are free to use) and the lowest-index parity blocks fill the gaps.
+
+        Raises :class:`FecCodingError` when fewer than ``k`` blocks are
+        available or indices are invalid.
+        """
+        if len(received) < self.k:
+            raise FecCodingError(
+                f"need at least k={self.k} blocks to decode, got {len(received)}")
+        for index in received:
+            if not 0 <= index < self.n:
+                raise FecCodingError(f"block index {index} outside [0, {self.n})")
+
+        data_indices = sorted(i for i in received if i < self.k)
+        parity_indices = sorted(i for i in received if i >= self.k)
+
+        # Fast path: every source block arrived — no algebra needed.
+        if len(data_indices) == self.k:
+            return [bytes(received[i]) for i in range(self.k)]
+
+        chosen = (data_indices + parity_indices)[:self.k]
+        chosen.sort()
+        blocks = [received[i] for i in chosen]
+        arrays = _as_arrays(blocks)
+
+        decode_matrix = decoding_matrix(self.k, self.n, chosen)
+        sources: List[Optional[bytes]] = [None] * self.k
+        # Received source blocks are already correct; only reconstruct the
+        # missing ones (each missing source is one row of the decode matrix).
+        for i in chosen:
+            if i < self.k:
+                sources[i] = bytes(received[i])
+        for source_index in range(self.k):
+            if sources[source_index] is not None:
+                continue
+            row = decode_matrix.row(source_index)
+            sources[source_index] = gf_dot_bytes(row, arrays).tobytes()
+        return [block for block in sources if block is not None]
+
+    def can_decode(self, received_indices: Sequence[int]) -> bool:
+        """True when the given set of received indices suffices to decode."""
+        unique = {i for i in received_indices if 0 <= i < self.n}
+        return len(unique) >= self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockErasureCode(k={self.k}, n={self.n})"
+
+
+def encode_blocks(source_blocks: Sequence[bytes], k: int, n: int) -> List[bytes]:
+    """One-shot convenience wrapper around :meth:`BlockErasureCode.encode`."""
+    return BlockErasureCode(k, n).encode(source_blocks)
+
+
+def decode_blocks(received: Dict[int, bytes], k: int, n: int) -> List[bytes]:
+    """One-shot convenience wrapper around :meth:`BlockErasureCode.decode`."""
+    return BlockErasureCode(k, n).decode(received)

@@ -1,0 +1,249 @@
+"""FEC group assembly — turning packet streams into coded groups and back.
+
+The encoder side (:class:`FecGroupEncoder`) collects source packets into
+groups of ``k``, pads them to a common block size, and emits the ``n``
+encoded :class:`~repro.fec.packets.FecPacket` objects for each full group
+(the paper's "FEC Encoder" component in Figure 6).
+
+The decoder side (:class:`FecGroupDecoder`) receives whatever subset of
+those packets survived the lossy link, reconstructs each group as soon as
+any ``k`` of its packets have arrived, and emits the original payloads (the
+paper's "FEC Decoder").  Groups that never become decodable surrender
+whatever data packets did arrive, so FEC can only improve delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .block_codes import BlockErasureCode, FecCodingError
+from .packets import (
+    FLAG_PARITY,
+    FLAG_UNCODED,
+    FecPacket,
+    block_size_for,
+    pad_block,
+    unpad_block,
+)
+
+
+@dataclass
+class FecEncoderStats:
+    """Counters maintained by :class:`FecGroupEncoder`."""
+
+    payloads_in: int = 0
+    groups_encoded: int = 0
+    data_packets_out: int = 0
+    parity_packets_out: int = 0
+    uncoded_packets_out: int = 0
+
+    @property
+    def packets_out(self) -> int:
+        return self.data_packets_out + self.parity_packets_out + self.uncoded_packets_out
+
+
+class FecGroupEncoder:
+    """Accumulate payloads and emit (n, k)-encoded FEC packets.
+
+    Parameters
+    ----------
+    k, n:
+        Erasure-code parameters; the paper's audio experiment uses (6, 4),
+        i.e. ``k=4, n=6``.
+    start_group_id:
+        First group identifier to use (useful when resuming a stream).
+    """
+
+    def __init__(self, k: int, n: int, start_group_id: int = 0) -> None:
+        self._code = BlockErasureCode(k, n)
+        self._pending: List[bytes] = []
+        self._next_group_id = start_group_id
+        self.stats = FecEncoderStats()
+
+    @property
+    def k(self) -> int:
+        return self._code.k
+
+    @property
+    def n(self) -> int:
+        return self._code.n
+
+    @property
+    def pending_count(self) -> int:
+        """Payloads waiting for the current group to fill."""
+        return len(self._pending)
+
+    def add(self, payload: bytes) -> List[FecPacket]:
+        """Add one source payload; returns the group's packets when full.
+
+        Until ``k`` payloads have accumulated the return value is an empty
+        list; on the ``k``-th payload the full group of ``n`` packets is
+        returned (data packets first, then parity).
+        """
+        if payload is None:
+            raise ValueError("payload must be bytes, not None")
+        self._pending.append(bytes(payload))
+        self.stats.payloads_in += 1
+        if len(self._pending) < self._code.k:
+            return []
+        return self._encode_group()
+
+    def _encode_group(self) -> List[FecPacket]:
+        payloads, self._pending = self._pending, []
+        block_size = block_size_for(payloads)
+        blocks = [pad_block(p, block_size) for p in payloads]
+        encoded = self._code.encode(blocks)
+        group_id = self._next_group_id
+        self._next_group_id += 1
+
+        packets: List[FecPacket] = []
+        for index, block in enumerate(encoded):
+            flags = FLAG_PARITY if index >= self._code.k else 0
+            packets.append(FecPacket(group_id=group_id, index=index,
+                                     k=self._code.k, n=self._code.n,
+                                     payload=block, flags=flags))
+        self.stats.groups_encoded += 1
+        self.stats.data_packets_out += self._code.k
+        self.stats.parity_packets_out += self._code.n - self._code.k
+        return packets
+
+    def flush(self) -> List[FecPacket]:
+        """Emit any partially filled group as *uncoded* packets.
+
+        Called at end-of-stream so trailing payloads that never filled a
+        group are not lost; they are sent without redundancy, exactly as the
+        original unprotected stream would have sent them.
+        """
+        if not self._pending:
+            return []
+        payloads, self._pending = self._pending, []
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        packets = [FecPacket(group_id=group_id, index=index,
+                             k=self._code.k, n=self._code.n,
+                             payload=payload, flags=FLAG_UNCODED)
+                   for index, payload in enumerate(payloads)]
+        self.stats.uncoded_packets_out += len(packets)
+        return packets
+
+
+@dataclass
+class FecDecoderStats:
+    """Counters maintained by :class:`FecGroupDecoder`."""
+
+    packets_in: int = 0
+    data_packets_in: int = 0
+    parity_packets_in: int = 0
+    uncoded_packets_in: int = 0
+    groups_seen: int = 0
+    groups_decoded: int = 0
+    groups_repaired: int = 0
+    groups_unrecoverable: int = 0
+    payloads_out: int = 0
+    payloads_recovered: int = 0
+
+
+@dataclass
+class _GroupState:
+    k: int
+    n: int
+    received: Dict[int, bytes] = field(default_factory=dict)
+    uncoded: Dict[int, bytes] = field(default_factory=dict)
+    delivered: bool = False
+
+
+class FecGroupDecoder:
+    """Reassemble FEC groups and recover lost payloads.
+
+    ``add`` returns the group's original payloads (in source order) as soon
+    as the group becomes decodable — i.e. when any ``k`` of its ``n``
+    packets have arrived.  Each group is delivered exactly once; late
+    packets for an already-delivered group are counted and dropped.
+    """
+
+    def __init__(self, max_tracked_groups: int = 1024) -> None:
+        if max_tracked_groups < 1:
+            raise ValueError("max_tracked_groups must be >= 1")
+        self._groups: Dict[int, _GroupState] = {}
+        self._max_tracked = max_tracked_groups
+        self.stats = FecDecoderStats()
+
+    def add(self, packet: FecPacket) -> List[bytes]:
+        """Process one received packet; returns recovered payloads (if any)."""
+        self.stats.packets_in += 1
+        if packet.is_uncoded:
+            self.stats.uncoded_packets_in += 1
+            self.stats.payloads_out += 1
+            return [packet.payload]
+
+        if packet.is_parity:
+            self.stats.parity_packets_in += 1
+        else:
+            self.stats.data_packets_in += 1
+
+        state = self._groups.get(packet.group_id)
+        if state is None:
+            state = _GroupState(k=packet.k, n=packet.n)
+            self._groups[packet.group_id] = state
+            self.stats.groups_seen += 1
+            self._evict_if_needed()
+        if state.delivered:
+            return []
+        if packet.k != state.k or packet.n != state.n:
+            raise FecCodingError(
+                f"group {packet.group_id} has inconsistent (n, k) parameters")
+        state.received.setdefault(packet.index, packet.payload)
+
+        if len(state.received) < state.k:
+            return []
+        return self._deliver(packet.group_id, state)
+
+    def _deliver(self, group_id: int, state: _GroupState) -> List[bytes]:
+        code = BlockErasureCode(state.k, state.n)
+        blocks = code.decode(state.received)
+        payloads = [unpad_block(block) for block in blocks]
+        data_received = sum(1 for i in state.received if i < state.k)
+        state.delivered = True
+        state.received.clear()
+        self.stats.groups_decoded += 1
+        if data_received < state.k:
+            self.stats.groups_repaired += 1
+            self.stats.payloads_recovered += state.k - data_received
+        self.stats.payloads_out += len(payloads)
+        return payloads
+
+    def flush(self) -> List[bytes]:
+        """Surrender data packets from groups that never became decodable.
+
+        Called at end-of-stream.  For each undelivered group the payloads of
+        the data packets that *did* arrive are returned in index order; lost
+        packets in those groups are counted as unrecoverable.
+        """
+        leftovers: List[bytes] = []
+        for group_id in sorted(self._groups):
+            state = self._groups[group_id]
+            if state.delivered:
+                continue
+            if state.received:
+                self.stats.groups_unrecoverable += 1
+            for index in sorted(state.received):
+                if index < state.k:
+                    leftovers.append(unpad_block(state.received[index]))
+                    self.stats.payloads_out += 1
+            state.received.clear()
+            state.delivered = True
+        return leftovers
+
+    def _evict_if_needed(self) -> None:
+        """Drop the oldest tracked groups when the table grows too large."""
+        while len(self._groups) > self._max_tracked:
+            oldest = min(self._groups)
+            state = self._groups.pop(oldest)
+            if not state.delivered and state.received:
+                self.stats.groups_unrecoverable += 1
+
+    @property
+    def pending_groups(self) -> int:
+        """Number of groups tracked but not yet delivered."""
+        return sum(1 for state in self._groups.values() if not state.delivered)

@@ -1,0 +1,118 @@
+"""Packet interleaving — spreading loss bursts across FEC groups.
+
+Block erasure codes repair at most ``n - k`` losses per group, so a *burst*
+of consecutive losses (common on 802.11: interference, fading, microwave
+ovens) can defeat a code that would easily handle the same number of losses
+spread out.  The classic counter-measure is interleaving: transmit packets
+from ``depth`` different groups in round-robin order so that a burst of
+``b`` consecutive channel losses costs each group at most ``ceil(b/depth)``
+packets.
+
+The paper's proxies keep groups small to bound jitter; the interleaver is
+the complementary knob (trading extra buffering delay for burst tolerance)
+and is used by the E5 benchmark's burst-loss ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .packets import FecPacket
+
+
+class BlockInterleaver:
+    """Round-robin interleaver over fixed-size blocks of packets.
+
+    Packets are buffered in rows of ``row_length`` (one FEC group per row);
+    once ``depth`` rows have accumulated, they are emitted column by column.
+    ``flush()`` emits whatever is buffered (padding nothing — a short final
+    block is simply emitted in the same column order).
+    """
+
+    def __init__(self, depth: int, row_length: int) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if row_length < 1:
+            raise ValueError("row_length must be >= 1")
+        self.depth = depth
+        self.row_length = row_length
+        self._rows: List[List[FecPacket]] = []
+        self._current: List[FecPacket] = []
+        self.packets_in = 0
+        self.packets_out = 0
+
+    def add(self, packet: FecPacket) -> List[FecPacket]:
+        """Add one packet; returns an interleaved block when one is ready."""
+        self._current.append(packet)
+        self.packets_in += 1
+        if len(self._current) == self.row_length:
+            self._rows.append(self._current)
+            self._current = []
+        if len(self._rows) == self.depth:
+            return self._emit()
+        return []
+
+    def _emit(self) -> List[FecPacket]:
+        rows, self._rows = self._rows, []
+        out: List[FecPacket] = []
+        for column in range(max(len(row) for row in rows)):
+            for row in rows:
+                if column < len(row):
+                    out.append(row[column])
+        self.packets_out += len(out)
+        return out
+
+    def flush(self) -> List[FecPacket]:
+        """Emit everything still buffered (possibly a partial block)."""
+        if self._current:
+            self._rows.append(self._current)
+            self._current = []
+        if not self._rows:
+            return []
+        return self._emit()
+
+    @property
+    def buffered(self) -> int:
+        """Packets currently held back waiting for a full block."""
+        return sum(len(row) for row in self._rows) + len(self._current)
+
+    @property
+    def added_delay_packets(self) -> int:
+        """Worst-case extra delay (in packets) the interleaver introduces."""
+        return self.depth * self.row_length
+
+
+class Deinterleaver:
+    """Restore original per-group order on the receiving side.
+
+    Because every :class:`~repro.fec.packets.FecPacket` carries its group id
+    and index, deinterleaving does not need to mirror the interleaver's
+    geometry: packets are simply reordered by (group, index) within a sliding
+    window.  Losses leave gaps, which is fine — the FEC group decoder accepts
+    packets in any order.
+    """
+
+    def __init__(self, window_groups: int = 8) -> None:
+        if window_groups < 1:
+            raise ValueError("window_groups must be >= 1")
+        self.window_groups = window_groups
+        self._pending: Dict[int, List[FecPacket]] = {}
+        self.packets_in = 0
+
+    def add(self, packet: FecPacket) -> List[FecPacket]:
+        """Add one received packet; returns packets released in order."""
+        self.packets_in += 1
+        self._pending.setdefault(packet.group_id, []).append(packet)
+        released: List[FecPacket] = []
+        while len(self._pending) > self.window_groups:
+            oldest = min(self._pending)
+            released.extend(sorted(self._pending.pop(oldest),
+                                   key=lambda p: p.index))
+        return released
+
+    def flush(self) -> List[FecPacket]:
+        """Release every buffered packet in (group, index) order."""
+        out: List[FecPacket] = []
+        for group_id in sorted(self._pending):
+            out.extend(sorted(self._pending.pop(group_id), key=lambda p: p.index))
+        return out

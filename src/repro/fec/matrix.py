@@ -1,0 +1,174 @@
+"""Dense matrix algebra over GF(2^8).
+
+Provides exactly the operations the erasure code needs: construction,
+multiplication, sub-matrix extraction, and Gauss–Jordan inversion.  Matrices
+are small (at most n x k with n, k <= 255), so clarity is preferred over
+micro-optimisation; the per-byte heavy lifting happens in
+:func:`repro.fec.gf256.gf_dot_bytes` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .gf256 import gf_add, gf_div, gf_inv, gf_mul
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible is singular.
+
+    For a correctly constructed Vandermonde code this can only happen if the
+    caller passes duplicate packet indices to the decoder.
+    """
+
+
+class GFMatrix:
+    """A dense matrix with elements in GF(256).
+
+    Rows are stored as lists of ints in ``[0, 255]``.  Instances are mutable
+    (the in-place row operations are used by the inversion routine) but all
+    public arithmetic returns new matrices.
+    """
+
+    def __init__(self, rows: Sequence[Sequence[int]]) -> None:
+        if not rows:
+            raise ValueError("matrix must have at least one row")
+        width = len(rows[0])
+        if width == 0:
+            raise ValueError("matrix must have at least one column")
+        self._rows: List[List[int]] = []
+        for row in rows:
+            if len(row) != width:
+                raise ValueError("all rows must have the same length")
+            for value in row:
+                if not 0 <= int(value) <= 255:
+                    raise ValueError(f"element {value!r} outside GF(256)")
+            self._rows.append([int(v) for v in row])
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def identity(cls, size: int) -> "GFMatrix":
+        """The size x size identity matrix."""
+        return cls([[1 if i == j else 0 for j in range(size)] for i in range(size)])
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "GFMatrix":
+        return cls([[0] * ncols for _ in range(nrows)])
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def nrows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def ncols(self) -> int:
+        return len(self._rows[0])
+
+    @property
+    def shape(self) -> "tuple[int, int]":
+        return (self.nrows, self.ncols)
+
+    def row(self, i: int) -> List[int]:
+        """A copy of row ``i``."""
+        return list(self._rows[i])
+
+    def rows(self) -> List[List[int]]:
+        """A deep copy of all rows."""
+        return [list(r) for r in self._rows]
+
+    def __getitem__(self, index: "tuple[int, int]") -> int:
+        i, j = index
+        return self._rows[i][j]
+
+    def __setitem__(self, index: "tuple[int, int]", value: int) -> None:
+        i, j = index
+        if not 0 <= int(value) <= 255:
+            raise ValueError(f"element {value!r} outside GF(256)")
+        self._rows[i][j] = int(value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GFMatrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GFMatrix({self._rows!r})"
+
+    # ------------------------------------------------------------ operations
+
+    def submatrix(self, row_indices: Iterable[int]) -> "GFMatrix":
+        """Select the given rows (in the given order) into a new matrix."""
+        return GFMatrix([self.row(i) for i in row_indices])
+
+    def multiply(self, other: "GFMatrix") -> "GFMatrix":
+        """Matrix product ``self @ other`` over GF(256)."""
+        if self.ncols != other.nrows:
+            raise ValueError(
+                f"cannot multiply {self.shape} by {other.shape}")
+        result = GFMatrix.zeros(self.nrows, other.ncols)
+        for i in range(self.nrows):
+            for j in range(other.ncols):
+                acc = 0
+                for k in range(self.ncols):
+                    acc = gf_add(acc, gf_mul(self._rows[i][k], other._rows[k][j]))
+                result[i, j] = acc
+        return result
+
+    def multiply_vector(self, vector: Sequence[int]) -> List[int]:
+        """Matrix-vector product over GF(256)."""
+        if len(vector) != self.ncols:
+            raise ValueError("vector length must equal the number of columns")
+        out = []
+        for row in self._rows:
+            acc = 0
+            for coefficient, value in zip(row, vector):
+                acc = gf_add(acc, gf_mul(coefficient, value))
+            out.append(acc)
+        return out
+
+    def inverse(self) -> "GFMatrix":
+        """Invert the matrix with Gauss–Jordan elimination over GF(256)."""
+        if self.nrows != self.ncols:
+            raise ValueError("only square matrices can be inverted")
+        size = self.nrows
+        work = [list(r) + identity_row for r, identity_row in
+                zip(self.rows(), GFMatrix.identity(size).rows())]
+
+        for col in range(size):
+            # Find a pivot in or below row `col`.
+            pivot_row = None
+            for r in range(col, size):
+                if work[r][col] != 0:
+                    pivot_row = r
+                    break
+            if pivot_row is None:
+                raise SingularMatrixError("matrix is singular over GF(256)")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+
+            # Normalise the pivot row.
+            pivot = work[col][col]
+            inv_pivot = gf_inv(pivot)
+            work[col] = [gf_mul(inv_pivot, v) for v in work[col]]
+
+            # Eliminate the column from every other row.
+            for r in range(size):
+                if r == col or work[r][col] == 0:
+                    continue
+                factor = work[r][col]
+                work[r] = [gf_add(v, gf_mul(factor, p))
+                           for v, p in zip(work[r], work[col])]
+
+        return GFMatrix([row[size:] for row in work])
+
+    def is_identity(self) -> bool:
+        """True when the matrix is the identity matrix."""
+        if self.nrows != self.ncols:
+            return False
+        return self == GFMatrix.identity(self.nrows)
+
+
+def solve(matrix: GFMatrix, rhs: Sequence[int]) -> List[int]:
+    """Solve ``matrix @ x = rhs`` for ``x`` over GF(256)."""
+    return matrix.inverse().multiply_vector(rhs)

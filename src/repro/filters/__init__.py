@@ -1,0 +1,94 @@
+"""The filter library: concrete, composable proxy filters.
+
+Everything here subclasses :class:`repro.core.filter.Filter` or
+:class:`repro.core.filter.PacketFilter` and can be inserted into a running
+stream by a ControlThread, either directly or by name through the filter
+registry / control protocol (see :data:`BUILTIN_FILTERS`).
+"""
+
+from .cache import BrowseCacheFilter, CacheStats, LruContentCache
+from .compression import XorCipherFilter, ZlibCompressFilter, ZlibDecompressFilter
+from .fec_filters import PAPER_FEC_K, PAPER_FEC_N, FecDecoderFilter, FecEncoderFilter
+from .passthrough import (
+    DelayFilter,
+    PacketPassthroughFilter,
+    PassthroughFilter,
+    UppercaseFilter,
+)
+from .sequencing import (
+    DuplicateSuppressorFilter,
+    ReorderingFilter,
+    SequenceStamperFilter,
+)
+from .tap import (
+    ByteCounterFilter,
+    PacketTapFilter,
+    RateLimiterFilter,
+    SequenceGapTapFilter,
+)
+from .transcoders import (
+    AudioDownsampleFilter,
+    AudioMonoFilter,
+    AudioRequantizeFilter,
+    MediaPacketFilter,
+    VideoBFrameDropFilter,
+    VideoFrameThinningFilter,
+)
+
+#: Filter classes registered with the default registry (and therefore
+#: available to ControlManager ``insert_filter`` requests by type name).
+BUILTIN_FILTERS = (
+    PassthroughFilter,
+    BrowseCacheFilter,
+    PacketPassthroughFilter,
+    UppercaseFilter,
+    DelayFilter,
+    FecEncoderFilter,
+    FecDecoderFilter,
+    AudioDownsampleFilter,
+    AudioMonoFilter,
+    AudioRequantizeFilter,
+    VideoBFrameDropFilter,
+    VideoFrameThinningFilter,
+    ZlibCompressFilter,
+    ZlibDecompressFilter,
+    XorCipherFilter,
+    ByteCounterFilter,
+    PacketTapFilter,
+    SequenceGapTapFilter,
+    RateLimiterFilter,
+    SequenceStamperFilter,
+    DuplicateSuppressorFilter,
+    ReorderingFilter,
+)
+
+__all__ = [
+    "PassthroughFilter",
+    "BrowseCacheFilter",
+    "LruContentCache",
+    "CacheStats",
+    "PacketPassthroughFilter",
+    "UppercaseFilter",
+    "DelayFilter",
+    "FecEncoderFilter",
+    "FecDecoderFilter",
+    "PAPER_FEC_K",
+    "PAPER_FEC_N",
+    "MediaPacketFilter",
+    "AudioDownsampleFilter",
+    "AudioMonoFilter",
+    "AudioRequantizeFilter",
+    "VideoBFrameDropFilter",
+    "VideoFrameThinningFilter",
+    "ZlibCompressFilter",
+    "ZlibDecompressFilter",
+    "XorCipherFilter",
+    "ByteCounterFilter",
+    "PacketTapFilter",
+    "SequenceGapTapFilter",
+    "RateLimiterFilter",
+    "SequenceStamperFilter",
+    "DuplicateSuppressorFilter",
+    "ReorderingFilter",
+    "BUILTIN_FILTERS",
+]

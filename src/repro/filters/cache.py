@@ -1,0 +1,145 @@
+"""Content caching filters for memory-limited handheld devices.
+
+Pavilion's proxy duties include "data caching for memory-limited handheld
+devices" (Pocket Pavilion): the proxy remembers recently delivered resources
+so a handheld that revisits a page (or rejoins after a disconnection) can be
+served from the proxy instead of refetching across the wired network.
+
+:class:`LruContentCache` is the storage policy (size-bounded LRU keyed by
+URL); :class:`BrowseCacheFilter` is the composable filter that watches
+Pavilion content messages flowing through a proxy chain and populates the
+cache as a side effect, so caching can be switched on and off at run time
+like every other proxy service.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.filter import PacketFilter
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for a content cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_stored: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruContentCache:
+    """A size-bounded least-recently-used cache of (url -> content) entries."""
+
+    def __init__(self, capacity_bytes: int = 4 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._size = 0
+        self.stats = CacheStats()
+
+    def put(self, url: str, body: bytes) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries as needed.
+
+        Objects larger than the whole cache are not stored at all.
+        """
+        body = bytes(body)
+        if len(body) > self.capacity_bytes:
+            return
+        if url in self._entries:
+            self._size -= len(self._entries.pop(url))
+        self._entries[url] = body
+        self._size += len(body)
+        self.stats.insertions += 1
+        while self._size > self.capacity_bytes:
+            _old_url, old_body = self._entries.popitem(last=False)
+            self._size -= len(old_body)
+            self.stats.evictions += 1
+        self.stats.bytes_stored = self._size
+
+    def get(self, url: str) -> Optional[bytes]:
+        """Return the cached body for ``url`` (refreshing recency), or None."""
+        if url not in self._entries:
+            self.stats.misses += 1
+            return None
+        body = self._entries.pop(url)
+        self._entries[url] = body  # most recently used
+        self.stats.hits += 1
+        return body
+
+    def contains(self, url: str) -> bool:
+        return url in self._entries
+
+    def urls(self) -> "list[str]":
+        """Cached URLs from least to most recently used."""
+        return list(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class BrowseCacheFilter(PacketFilter):
+    """Populate a content cache from the browse messages flowing by.
+
+    The filter forwards every packet unchanged; whenever a Pavilion content
+    message passes through, its body is stored in the attached cache so that
+    a later ``serve(url)`` (e.g. for a reconnecting handheld) needs no
+    upstream fetch.
+    """
+
+    type_name = "browse-cache"
+
+    def __init__(self, cache: Optional[LruContentCache] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.cache = cache if cache is not None else LruContentCache()
+        self.content_messages_seen = 0
+        self.non_browse_packets = 0
+
+    def transform_packet(self, packet: bytes) -> bytes:
+        # Imported lazily: the filter library must stay importable without
+        # the Pavilion layer (which itself composes filters from this
+        # package), so the dependency only materialises when browse traffic
+        # actually flows through the filter.
+        from ..pavilion.browser import (
+            MESSAGE_CONTENT,
+            BrowseMessage,
+            BrowserProtocolError,
+        )
+
+        try:
+            message = BrowseMessage.unpack(packet)
+        except BrowserProtocolError:
+            self.non_browse_packets += 1
+            return packet
+        if message.message_type == MESSAGE_CONTENT:
+            self.content_messages_seen += 1
+            self.cache.put(message.url, message.body)
+        return packet
+
+    def serve(self, url: str) -> Optional[bytes]:
+        """Serve a cached body (None on a miss) — the proxy-side lookup."""
+        return self.cache.get(url)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["cache"] = {
+            "entries": len(self.cache),
+            "bytes": self.cache.size_bytes,
+            "hit_ratio": round(self.cache.stats.hit_ratio, 3),
+        }
+        return info

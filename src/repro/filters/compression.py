@@ -1,0 +1,80 @@
+"""Compression and (toy) encryption filters.
+
+Per-packet zlib compression is a realistic proxy service for low-bandwidth
+wireless links (text/HTML collaborative content compresses well); the XOR
+stream cipher is *not* real cryptography — it exists to demonstrate that
+order matters when composing filters (cipher-then-compress performs much
+worse than compress-then-cipher), which is one of the reasons the
+ControlThread supports reordering.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from ..core.filter import PacketFilter
+
+
+class ZlibCompressFilter(PacketFilter):
+    """Compress every packet payload with zlib."""
+
+    type_name = "zlib-compress"
+
+    def __init__(self, level: int = 6, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+        self.bytes_saved = 0
+
+    def transform_packet(self, packet: bytes) -> bytes:
+        compressed = zlib.compress(packet, self.level)
+        self.bytes_saved += len(packet) - len(compressed)
+        return compressed
+
+
+class ZlibDecompressFilter(PacketFilter):
+    """Decompress packets produced by :class:`ZlibCompressFilter`.
+
+    Packets that are not valid zlib streams are forwarded unchanged when
+    ``passthrough_invalid`` is True.
+    """
+
+    type_name = "zlib-decompress"
+
+    def __init__(self, passthrough_invalid: bool = False,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.passthrough_invalid = passthrough_invalid
+        self.invalid_packets = 0
+
+    def transform_packet(self, packet: bytes):
+        try:
+            return zlib.decompress(packet)
+        except zlib.error:
+            self.invalid_packets += 1
+            if self.passthrough_invalid:
+                return packet
+            raise
+
+
+class XorCipherFilter(PacketFilter):
+    """XOR every payload byte with a repeating key.
+
+    Symmetric: inserting the same filter on both sides of a link round-trips
+    the data.  This is a stand-in for the paper's mention of security
+    services as adaptable middleware components, not a real cipher.
+    """
+
+    type_name = "xor-cipher"
+
+    def __init__(self, key: bytes = b"rapidware", name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if not key:
+            raise ValueError("key must be non-empty")
+        self.key = bytes(key)
+
+    def transform_packet(self, packet: bytes) -> bytes:
+        key = self.key
+        return bytes(byte ^ key[i % len(key)] for i, byte in enumerate(packet))

@@ -1,0 +1,125 @@
+"""Sequencing filters: stamping, duplicate suppression, reordering repair.
+
+Pavilion's collaborative protocols attach sequence numbers to multicast
+content (the "SeqNum" in Figure 1); these filters provide that service as
+composable chain elements and clean up the artefacts of lossy/multipath
+delivery (duplicates, reordering) before data reaches the application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.filter import PacketFilter
+from ..media.packetizer import MediaPacket, MediaPacketError, TYPE_CONTROL
+
+
+class SequenceStamperFilter(PacketFilter):
+    """Wrap every payload in a :class:`MediaPacket` with a fresh sequence number.
+
+    Useful when the upstream produces raw payloads (e.g. HTTP content
+    chunks) that downstream components — FEC, gap detection, reordering —
+    expect to be sequenced.
+    """
+
+    type_name = "sequence-stamper"
+
+    def __init__(self, media_type: int = TYPE_CONTROL, start_sequence: int = 0,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.media_type = media_type
+        self._next_sequence = start_sequence
+
+    def transform_packet(self, packet: bytes) -> bytes:
+        stamped = MediaPacket(sequence=self._next_sequence, timestamp_ms=0,
+                              payload=packet, media_type=self.media_type)
+        self._next_sequence += 1
+        return stamped.pack()
+
+
+class DuplicateSuppressorFilter(PacketFilter):
+    """Drop media packets whose sequence number has already been seen.
+
+    Multicast over overlapping cells (or FEC repair plus late arrival) can
+    deliver the same packet twice; the application should see it once.
+    """
+
+    type_name = "duplicate-suppressor"
+
+    def __init__(self, history: int = 4096, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.history = history
+        self._seen: "dict[int, None]" = {}
+        self.duplicates_dropped = 0
+        self.non_media = 0
+
+    def transform_packet(self, packet: bytes) -> Optional[bytes]:
+        try:
+            media = MediaPacket.unpack(packet)
+        except MediaPacketError:
+            self.non_media += 1
+            return packet
+        if media.sequence in self._seen:
+            self.duplicates_dropped += 1
+            return None
+        self._seen[media.sequence] = None
+        if len(self._seen) > self.history:
+            oldest = next(iter(self._seen))
+            del self._seen[oldest]
+        return packet
+
+
+class ReorderingFilter(PacketFilter):
+    """Re-emit media packets in sequence order using a small playout window.
+
+    Packets are buffered until either the next expected sequence number
+    arrives or the window fills, at which point the stream skips forward
+    (the missing packet is declared lost).  This mirrors the playout buffer
+    a real-time audio receiver runs.
+    """
+
+    type_name = "reordering"
+
+    def __init__(self, window: int = 16, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._pending: "dict[int, bytes]" = {}
+        self._next_expected = 0
+        self.packets_skipped = 0
+        self.non_media = 0
+
+    def transform_packet(self, packet: bytes) -> List[bytes]:
+        try:
+            media = MediaPacket.unpack(packet)
+        except MediaPacketError:
+            self.non_media += 1
+            return [packet]
+        if media.sequence < self._next_expected:
+            # Late packet for a position we already gave up on.
+            return []
+        self._pending[media.sequence] = packet
+        return self._drain()
+
+    def _drain(self) -> List[bytes]:
+        out: List[bytes] = []
+        while True:
+            if self._next_expected in self._pending:
+                out.append(self._pending.pop(self._next_expected))
+                self._next_expected += 1
+                continue
+            if len(self._pending) >= self.window:
+                # Give up on the missing packet and skip ahead.
+                self.packets_skipped += 1
+                self._next_expected += 1
+                continue
+            return out
+
+    def finalize_packets(self) -> List[bytes]:
+        """Flush everything still pending, in sequence order."""
+        out = [self._pending[sequence] for sequence in sorted(self._pending)]
+        self._pending.clear()
+        return out

@@ -1,0 +1,153 @@
+"""Observation filters: taps, counters, and rate limiting.
+
+RAPIDware observers need a way to watch a stream without modifying it; the
+tap filters below forward everything unchanged while exposing counters (and
+optional callbacks) that observer raplets poll.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Deque, Optional
+
+from collections import deque
+
+from ..core.filter import Filter, PacketFilter
+from ..media.packetizer import MediaPacket, MediaPacketError
+
+
+class ByteCounterFilter(Filter):
+    """Counts bytes and chunks without modifying the stream."""
+
+    type_name = "byte-counter"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.total_bytes = 0
+        self.total_chunks = 0
+
+    def transform(self, chunk: bytes) -> bytes:
+        self.total_bytes += len(chunk)
+        self.total_chunks += 1
+        return chunk
+
+
+class PacketTapFilter(PacketFilter):
+    """Forwards packets unchanged, invoking a callback for each one.
+
+    Observer raplets attach here to watch sequence numbers, measure packet
+    rates, or copy traffic into a trace, all without perturbing the chain.
+    """
+
+    type_name = "packet-tap"
+
+    def __init__(self, callback: Optional[Callable[[bytes], None]] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.callback = callback
+        self.packets_seen = 0
+        self.bytes_seen = 0
+
+    def transform_packet(self, packet: bytes) -> bytes:
+        self.packets_seen += 1
+        self.bytes_seen += len(packet)
+        if self.callback is not None:
+            try:
+                self.callback(packet)
+            except Exception:  # noqa: BLE001 - observers must not break the chain
+                self.stats.record_error()
+        return packet
+
+
+class SequenceGapTapFilter(PacketFilter):
+    """Tracks media sequence numbers and reports gaps (lost packets).
+
+    Maintains a sliding window of recent sequence observations so an
+    observer raplet can compute a *recent* loss rate, which is what drives
+    the paper's "insert FEC when losses rise" adaptation.
+    """
+
+    type_name = "sequence-gap-tap"
+
+    def __init__(self, window: int = 200, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._lock = threading.Lock()
+        self._recent: Deque[int] = deque(maxlen=window)
+        self.highest_sequence = -1
+        self.packets_seen = 0
+        self.non_media = 0
+
+    def transform_packet(self, packet: bytes) -> bytes:
+        try:
+            media = MediaPacket.unpack(packet)
+        except MediaPacketError:
+            self.non_media += 1
+            return packet
+        with self._lock:
+            self.packets_seen += 1
+            self._recent.append(media.sequence)
+            if media.sequence > self.highest_sequence:
+                self.highest_sequence = media.sequence
+        return packet
+
+    def recent_loss_rate(self) -> float:
+        """Estimated loss rate over the recent window of observed packets.
+
+        Computed as 1 - observed/spanned, where *spanned* is the range of
+        sequence numbers covered by the window.
+        """
+        with self._lock:
+            if len(self._recent) < 2:
+                return 0.0
+            observed = len(set(self._recent))
+            span = max(self._recent) - min(self._recent) + 1
+        if span <= 0:
+            return 0.0
+        return max(0.0, 1.0 - observed / span)
+
+
+class RateLimiterFilter(Filter):
+    """Token-bucket rate limiter (bytes per second).
+
+    Models a constrained wireless uplink inside a chain, and gives the
+    adaptive examples a knob that observers can tighten or relax.
+    """
+
+    type_name = "rate-limiter"
+
+    def __init__(self, bytes_per_second: float = 250_000.0,
+                 burst_bytes: Optional[float] = None,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if bytes_per_second <= 0:
+            raise ValueError("bytes_per_second must be positive")
+        self.bytes_per_second = float(bytes_per_second)
+        self.burst_bytes = float(burst_bytes if burst_bytes is not None
+                                 else bytes_per_second / 10.0)
+        self._tokens = self.burst_bytes
+        self._last_refill = time.monotonic()
+        self.total_wait_s = 0.0
+
+    def transform(self, chunk: bytes) -> bytes:
+        self._consume(len(chunk))
+        return chunk
+
+    def _consume(self, nbytes: int) -> None:
+        while True:
+            now = time.monotonic()
+            elapsed = now - self._last_refill
+            self._last_refill = now
+            self._tokens = min(self.burst_bytes,
+                               self._tokens + elapsed * self.bytes_per_second)
+            if self._tokens >= nbytes:
+                self._tokens -= nbytes
+                return
+            deficit = nbytes - self._tokens
+            wait = deficit / self.bytes_per_second
+            self.total_wait_s += wait
+            if self._stop_event.wait(wait):
+                return

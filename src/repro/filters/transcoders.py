@@ -1,0 +1,185 @@
+"""Transcoding filters for resource-limited mobile hosts.
+
+Pavilion/RAPIDware proxies transcode streams "to reduce bandwidth and load
+on mobile clients".  These filters operate on the sequenced media packets
+produced by :mod:`repro.media.packetizer`:
+
+* :class:`AudioDownsampleFilter` — drop PCM frames to reduce the sample rate;
+* :class:`AudioMonoFilter` — mix stereo down to mono;
+* :class:`AudioRequantizeFilter` — reduce 16-bit samples to 8-bit;
+* :class:`VideoBFrameDropFilter` — drop B frames from a GOP video stream;
+* :class:`VideoFrameThinningFilter` — keep only every N-th frame.
+
+Each transcoder preserves sequence numbers and timestamps so downstream
+statistics (and FEC grouping) keep working on the transcoded stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.filter import PacketFilter
+from ..media.packetizer import MediaPacket, MediaPacketError, TYPE_AUDIO, TYPE_VIDEO
+from ..media.video import FRAME_B
+
+
+class MediaPacketFilter(PacketFilter):
+    """Base class for filters that transform :class:`MediaPacket` payloads.
+
+    Non-media packets (anything that fails to parse) are passed through
+    unchanged so these filters can coexist with FEC and control traffic.
+    """
+
+    type_name = "media-filter"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.non_media_packets = 0
+
+    def transform_packet(self, packet: bytes):
+        try:
+            media = MediaPacket.unpack(packet)
+        except MediaPacketError:
+            self.non_media_packets += 1
+            return packet
+        result = self.transform_media(media)
+        if result is None:
+            return None
+        if isinstance(result, MediaPacket):
+            return result.pack()
+        return [item.pack() for item in result]
+
+    def transform_media(self, packet: MediaPacket):
+        """Transform one media packet; return a packet, a list, or None."""
+        raise NotImplementedError
+
+
+class AudioDownsampleFilter(MediaPacketFilter):
+    """Reduce the audio sample rate by an integer factor.
+
+    With the paper's 8 kHz stereo format and ``factor=2`` the output needs
+    half the bandwidth; the mobile host interpolates on playback.
+    """
+
+    type_name = "audio-downsample"
+
+    def __init__(self, factor: int = 2, channels: int = 2,
+                 sample_width: int = 1, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        if sample_width not in (1, 2):
+            raise ValueError("sample_width must be 1 or 2")
+        self.factor = factor
+        self.channels = channels
+        self.sample_width = sample_width
+
+    def transform_media(self, packet: MediaPacket) -> MediaPacket:
+        if packet.media_type != TYPE_AUDIO or self.factor == 1:
+            return packet
+        frame_size = self.channels * self.sample_width
+        usable = len(packet.payload) - (len(packet.payload) % frame_size)
+        frames = np.frombuffer(packet.payload[:usable], dtype=np.uint8)
+        frames = frames.reshape(-1, frame_size)
+        kept = frames[::self.factor].reshape(-1)
+        return MediaPacket(sequence=packet.sequence,
+                           timestamp_ms=packet.timestamp_ms,
+                           payload=kept.tobytes(),
+                           media_type=packet.media_type,
+                           marker=packet.marker)
+
+
+class AudioMonoFilter(MediaPacketFilter):
+    """Mix interleaved stereo PCM down to a single channel."""
+
+    type_name = "audio-mono"
+
+    def __init__(self, sample_width: int = 1, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if sample_width not in (1, 2):
+            raise ValueError("sample_width must be 1 or 2")
+        self.sample_width = sample_width
+
+    def transform_media(self, packet: MediaPacket) -> MediaPacket:
+        if packet.media_type != TYPE_AUDIO:
+            return packet
+        dtype = np.uint8 if self.sample_width == 1 else np.dtype("<i2")
+        frame_bytes = 2 * self.sample_width
+        usable = len(packet.payload) - (len(packet.payload) % frame_bytes)
+        samples = np.frombuffer(packet.payload[:usable], dtype=dtype)
+        stereo = samples.reshape(-1, 2).astype(np.int32)
+        mono = ((stereo[:, 0] + stereo[:, 1]) // 2).astype(dtype)
+        return MediaPacket(sequence=packet.sequence,
+                           timestamp_ms=packet.timestamp_ms,
+                           payload=mono.tobytes(),
+                           media_type=packet.media_type,
+                           marker=packet.marker)
+
+
+class AudioRequantizeFilter(MediaPacketFilter):
+    """Convert 16-bit signed PCM to 8-bit unsigned PCM (halves the bitrate)."""
+
+    type_name = "audio-requantize"
+
+    def transform_media(self, packet: MediaPacket) -> MediaPacket:
+        if packet.media_type != TYPE_AUDIO:
+            return packet
+        usable = len(packet.payload) - (len(packet.payload) % 2)
+        samples = np.frombuffer(packet.payload[:usable], dtype="<i2").astype(np.int32)
+        as_uint8 = ((samples + 32768) >> 8).astype(np.uint8)
+        return MediaPacket(sequence=packet.sequence,
+                           timestamp_ms=packet.timestamp_ms,
+                           payload=as_uint8.tobytes(),
+                           media_type=packet.media_type,
+                           marker=packet.marker)
+
+
+class VideoBFrameDropFilter(MediaPacketFilter):
+    """Drop B frames from a GOP video stream.
+
+    The classic low-bandwidth transcode: I and P frames suffice to decode a
+    (choppier) stream, and B frames are both the most numerous and the least
+    important frames in a GOP.
+    """
+
+    type_name = "video-bframe-drop"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.frames_dropped = 0
+
+    def transform_media(self, packet: MediaPacket) -> Optional[MediaPacket]:
+        if packet.media_type != TYPE_VIDEO:
+            return packet
+        if packet.marker == FRAME_B:
+            self.frames_dropped += 1
+            return None
+        return packet
+
+
+class VideoFrameThinningFilter(MediaPacketFilter):
+    """Keep only every N-th video frame (a crude frame-rate reducer)."""
+
+    type_name = "video-frame-thinning"
+
+    def __init__(self, keep_every: int = 2, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if keep_every < 1:
+            raise ValueError("keep_every must be >= 1")
+        self.keep_every = keep_every
+        self._seen = 0
+        self.frames_dropped = 0
+
+    def transform_media(self, packet: MediaPacket) -> Optional[MediaPacket]:
+        if packet.media_type != TYPE_VIDEO:
+            return packet
+        position = self._seen
+        self._seen += 1
+        if position % self.keep_every == 0:
+            return packet
+        self.frames_dropped += 1
+        return None

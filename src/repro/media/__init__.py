@@ -1,0 +1,85 @@
+"""Media substrate: PCM audio, WAV container, packetisation, GOP video.
+
+The paper's testbed streamed live PCM audio (8 kHz, two 8-bit channels) and
+motivated frame-boundary-aware insertion with MPEG-style video.  This
+package provides deterministic synthetic equivalents of both, plus the
+packetisation layer whose sequence numbers drive the Figure 7 statistics.
+"""
+
+from .audio import (
+    PAPER_AUDIO_FORMAT,
+    PAPER_CHANNELS,
+    PAPER_SAMPLE_RATE,
+    PAPER_SAMPLE_WIDTH,
+    AudioFormat,
+    AudioSource,
+    NoiseSource,
+    SpeechLikeSource,
+    ToneSource,
+    pcm_similarity,
+)
+from .packetizer import (
+    HEADER_SIZE as MEDIA_HEADER_SIZE,
+    MEDIA_MAGIC,
+    TYPE_AUDIO,
+    TYPE_CONTROL,
+    TYPE_VIDEO,
+    AudioPacketizer,
+    Depacketizer,
+    MediaPacket,
+    MediaPacketError,
+    packetize_pcm,
+    sequence_numbers,
+)
+from .video import (
+    FRAME_B,
+    FRAME_I,
+    FRAME_P,
+    FRAME_TYPE_NAMES,
+    GopPattern,
+    VideoFrame,
+    VideoSource,
+    drop_b_frames,
+    is_gop_boundary,
+    stream_bitrate,
+)
+from .wav import WavFile, WavFormatError, read_wav, wav_bytes, write_wav
+
+__all__ = [
+    "AudioFormat",
+    "AudioSource",
+    "ToneSource",
+    "NoiseSource",
+    "SpeechLikeSource",
+    "PAPER_AUDIO_FORMAT",
+    "PAPER_SAMPLE_RATE",
+    "PAPER_CHANNELS",
+    "PAPER_SAMPLE_WIDTH",
+    "pcm_similarity",
+    "MediaPacket",
+    "MediaPacketError",
+    "AudioPacketizer",
+    "Depacketizer",
+    "packetize_pcm",
+    "sequence_numbers",
+    "MEDIA_MAGIC",
+    "MEDIA_HEADER_SIZE",
+    "TYPE_AUDIO",
+    "TYPE_VIDEO",
+    "TYPE_CONTROL",
+    "VideoFrame",
+    "VideoSource",
+    "GopPattern",
+    "FRAME_I",
+    "FRAME_P",
+    "FRAME_B",
+    "FRAME_TYPE_NAMES",
+    "is_gop_boundary",
+    "drop_b_frames",
+    "stream_bitrate",
+    "WavFile",
+    "WavFormatError",
+    "read_wav",
+    "write_wav",
+    "wav_bytes",
+]

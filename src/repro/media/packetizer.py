@@ -1,0 +1,218 @@
+"""Media packetisation: turning PCM/video byte streams into sequenced packets.
+
+The paper's proxies operate on packet streams (audio datagrams multicast on
+the LAN).  The packetiser slices a media stream into fixed-duration packets
+and stamps each with a sequence number and timestamp; the depacketiser
+reverses the process and — crucially for the evaluation — reports exactly
+which sequence numbers arrived, which is how Figure 7's "% received" and
+"% reconstructed" series are computed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .audio import AudioFormat, AudioSource, PAPER_AUDIO_FORMAT
+
+_HEADER = struct.Struct(">BBIIH")
+HEADER_SIZE = _HEADER.size
+
+MEDIA_MAGIC = 0xAD
+
+#: Media packet payload types.
+TYPE_AUDIO = 1
+TYPE_VIDEO = 2
+TYPE_CONTROL = 3
+
+
+class MediaPacketError(ValueError):
+    """Raised when a media packet header is malformed."""
+
+
+@dataclass(frozen=True)
+class MediaPacket:
+    """One sequenced media packet.
+
+    Attributes
+    ----------
+    sequence:
+        Monotonically increasing sequence number, starting at 0.
+    timestamp_ms:
+        Presentation timestamp in milliseconds from stream start.
+    media_type:
+        One of ``TYPE_AUDIO``, ``TYPE_VIDEO`` or ``TYPE_CONTROL``.
+    marker:
+        Free-form per-packet marker; video uses it for the frame type.
+    payload:
+        The raw media bytes.
+    """
+
+    sequence: int
+    timestamp_ms: int
+    payload: bytes
+    media_type: int = TYPE_AUDIO
+    marker: int = 0
+
+    def pack(self) -> bytes:
+        """Serialise header + payload."""
+        if not 0 <= self.sequence <= 0xFFFFFFFF:
+            raise MediaPacketError(f"sequence {self.sequence} out of range")
+        if not 0 <= self.timestamp_ms <= 0xFFFFFFFF:
+            raise MediaPacketError(f"timestamp {self.timestamp_ms} out of range")
+        header = _HEADER.pack(MEDIA_MAGIC, self.media_type, self.sequence,
+                              self.timestamp_ms, self.marker & 0xFFFF)
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "MediaPacket":
+        """Parse a packet previously produced by :meth:`pack`."""
+        if len(data) < HEADER_SIZE:
+            raise MediaPacketError(f"packet too short ({len(data)} bytes)")
+        magic, media_type, sequence, timestamp, marker = _HEADER.unpack_from(data, 0)
+        if magic != MEDIA_MAGIC:
+            raise MediaPacketError(f"bad media magic 0x{magic:02x}")
+        return cls(sequence=sequence, timestamp_ms=timestamp,
+                   payload=data[HEADER_SIZE:], media_type=media_type,
+                   marker=marker)
+
+
+class AudioPacketizer:
+    """Slice an :class:`~repro.media.audio.AudioSource` into media packets.
+
+    Parameters
+    ----------
+    source:
+        The PCM source to packetise.
+    packet_duration_ms:
+        Playback time carried by each packet.  The default of 20 ms matches
+        typical interactive audio packetisation (at the paper's format this
+        is 320 bytes of PCM per packet).
+    """
+
+    def __init__(self, source: AudioSource, packet_duration_ms: int = 20) -> None:
+        if packet_duration_ms <= 0:
+            raise ValueError("packet_duration_ms must be positive")
+        self.source = source
+        self.packet_duration_ms = packet_duration_ms
+        frames = source.format.sample_rate * packet_duration_ms / 1000.0
+        self.frames_per_packet = max(1, int(round(frames)))
+
+    @property
+    def bytes_per_packet(self) -> int:
+        """PCM bytes carried by each (full) packet."""
+        return self.frames_per_packet * self.source.format.frame_size
+
+    def packets(self) -> Iterator[MediaPacket]:
+        """Yield the full stream as sequenced audio packets."""
+        sequence = 0
+        frame = 0
+        while True:
+            payload = self.source.read(frame, self.frames_per_packet)
+            if not payload:
+                return
+            timestamp = int(round(frame * 1000.0 / self.source.format.sample_rate))
+            yield MediaPacket(sequence=sequence, timestamp_ms=timestamp,
+                              payload=payload, media_type=TYPE_AUDIO)
+            sequence += 1
+            frame += self.frames_per_packet
+
+    def packet_list(self) -> List[MediaPacket]:
+        """The whole stream as a list (convenience for tests/benchmarks)."""
+        return list(self.packets())
+
+
+class Depacketizer:
+    """Reassemble a media stream from (possibly lossy) packet delivery.
+
+    Tracks which sequence numbers arrived; :meth:`reassemble` fills gaps
+    with silence/filler so the output length matches the original stream —
+    this mirrors what a playout buffer does when packets are missing.
+    """
+
+    def __init__(self, filler_byte: int = 0x80) -> None:
+        self._packets: Dict[int, MediaPacket] = {}
+        self.filler_byte = filler_byte
+        self.duplicates = 0
+        self.malformed = 0
+
+    def add(self, packet: MediaPacket) -> None:
+        """Record a received packet (duplicates are counted and ignored)."""
+        if packet.sequence in self._packets:
+            self.duplicates += 1
+            return
+        self._packets[packet.sequence] = packet
+
+    def add_raw(self, data: bytes) -> Optional[MediaPacket]:
+        """Parse and record a packed packet; returns it, or None if malformed."""
+        try:
+            packet = MediaPacket.unpack(data)
+        except MediaPacketError:
+            self.malformed += 1
+            return None
+        self.add(packet)
+        return packet
+
+    @property
+    def received_sequences(self) -> List[int]:
+        """Sorted list of sequence numbers seen so far."""
+        return sorted(self._packets)
+
+    def received_count(self) -> int:
+        return len(self._packets)
+
+    def missing_sequences(self, total_packets: int) -> List[int]:
+        """Sequence numbers in [0, total_packets) that never arrived."""
+        return [seq for seq in range(total_packets) if seq not in self._packets]
+
+    def delivery_ratio(self, total_packets: int) -> float:
+        """Fraction of the original packets that arrived (0..1)."""
+        if total_packets <= 0:
+            return 1.0
+        received = sum(1 for seq in self._packets if seq < total_packets)
+        return received / total_packets
+
+    def reassemble(self, total_packets: int,
+                   packet_size: Optional[int] = None) -> bytes:
+        """Rebuild the byte stream, substituting filler for lost packets.
+
+        ``packet_size`` is needed only when the very first packets were lost
+        (otherwise it is inferred from any received packet).
+        """
+        if total_packets <= 0:
+            return b""
+        if packet_size is None:
+            if not self._packets:
+                raise MediaPacketError(
+                    "cannot infer packet size: no packets were received")
+            packet_size = len(next(iter(self._packets.values())).payload)
+        parts = []
+        filler = bytes([self.filler_byte]) * packet_size
+        for sequence in range(total_packets):
+            packet = self._packets.get(sequence)
+            parts.append(packet.payload if packet is not None else filler)
+        return b"".join(parts)
+
+
+def packetize_pcm(pcm: bytes, audio_format: AudioFormat = PAPER_AUDIO_FORMAT,
+                  packet_duration_ms: int = 20) -> List[MediaPacket]:
+    """Packetise a raw PCM byte string directly (no AudioSource needed)."""
+    frame_size = audio_format.frame_size
+    frames_per_packet = max(
+        1, int(round(audio_format.sample_rate * packet_duration_ms / 1000.0)))
+    bytes_per_packet = frames_per_packet * frame_size
+    packets = []
+    sequence = 0
+    for offset in range(0, len(pcm), bytes_per_packet):
+        payload = pcm[offset:offset + bytes_per_packet]
+        timestamp = int(round((offset // frame_size) * 1000.0 / audio_format.sample_rate))
+        packets.append(MediaPacket(sequence=sequence, timestamp_ms=timestamp,
+                                   payload=payload, media_type=TYPE_AUDIO))
+        sequence += 1
+    return packets
+
+
+def sequence_numbers(packets: Iterable[MediaPacket]) -> List[int]:
+    """Extract the sequence numbers from an iterable of packets."""
+    return [packet.sequence for packet in packets]

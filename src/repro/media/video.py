@@ -1,0 +1,174 @@
+"""Synthetic GOP-structured video streams.
+
+Section 3 of the paper motivates *stream-type-aware* filter insertion: an
+FEC filter for video "may be specific to video streams (e.g., placing more
+redundancy in I frames than in B frames)" and must therefore be inserted "at
+a frame boundary in the stream".  To exercise that requirement without real
+video hardware or codecs, this module generates an MPEG-like stream of typed
+frames organised into groups of pictures (GOPs), with I frames much larger
+than P and B frames — enough structure for boundary detection, prioritised
+FEC, and B-frame-dropping transcoders to operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from .packetizer import MediaPacket, TYPE_VIDEO
+
+#: Frame-type markers carried in :attr:`MediaPacket.marker`.
+FRAME_I = 1
+FRAME_P = 2
+FRAME_B = 3
+
+FRAME_TYPE_NAMES = {FRAME_I: "I", FRAME_P: "P", FRAME_B: "B"}
+
+
+@dataclass(frozen=True)
+class VideoFrame:
+    """One encoded video frame."""
+
+    index: int
+    frame_type: int
+    timestamp_ms: int
+    payload: bytes
+
+    @property
+    def type_name(self) -> str:
+        return FRAME_TYPE_NAMES[self.frame_type]
+
+    @property
+    def is_i_frame(self) -> bool:
+        return self.frame_type == FRAME_I
+
+    def to_packet(self) -> MediaPacket:
+        """Convert the frame into a media packet (one frame per packet)."""
+        return MediaPacket(sequence=self.index, timestamp_ms=self.timestamp_ms,
+                           payload=self.payload, media_type=TYPE_VIDEO,
+                           marker=self.frame_type)
+
+    @classmethod
+    def from_packet(cls, packet: MediaPacket) -> "VideoFrame":
+        """Reconstruct a frame from a media packet produced by ``to_packet``."""
+        return cls(index=packet.sequence, frame_type=packet.marker,
+                   timestamp_ms=packet.timestamp_ms, payload=packet.payload)
+
+
+@dataclass(frozen=True)
+class GopPattern:
+    """Structure of a group of pictures.
+
+    The default ``IBBPBBPBB`` pattern (GOP length 9) with 30 frames/s and
+    roughly 4:2:1 I:P:B frame sizes is typical of the late-1990s MPEG-1
+    streams the paper's proxies transcoded.
+    """
+
+    length: int = 9
+    p_interval: int = 3
+    frames_per_second: int = 30
+    i_frame_size: int = 6000
+    p_frame_size: int = 3000
+    b_frame_size: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("GOP length must be >= 1")
+        if self.p_interval < 1:
+            raise ValueError("p_interval must be >= 1")
+        if self.frames_per_second < 1:
+            raise ValueError("frames_per_second must be >= 1")
+        if min(self.i_frame_size, self.p_frame_size, self.b_frame_size) < 1:
+            raise ValueError("frame sizes must be positive")
+
+    def frame_type_at(self, position: int) -> int:
+        """Frame type for position ``position`` within a GOP."""
+        if position % self.length == 0:
+            return FRAME_I
+        if position % self.p_interval == 0:
+            return FRAME_P
+        return FRAME_B
+
+    def size_for(self, frame_type: int) -> int:
+        if frame_type == FRAME_I:
+            return self.i_frame_size
+        if frame_type == FRAME_P:
+            return self.p_frame_size
+        return self.b_frame_size
+
+
+class VideoSource:
+    """Generate a deterministic GOP-structured frame sequence."""
+
+    def __init__(self, pattern: GopPattern = GopPattern(), duration: float = 1.0,
+                 seed: int = 0) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.pattern = pattern
+        self.duration = duration
+        self.seed = seed
+        self.total_frames = int(round(duration * pattern.frames_per_second))
+
+    def frame(self, index: int) -> VideoFrame:
+        """Render frame ``index`` (deterministic given the seed)."""
+        if not 0 <= index < self.total_frames:
+            raise IndexError(f"frame index {index} outside [0, {self.total_frames})")
+        frame_type = self.pattern.frame_type_at(index)
+        size = self.pattern.size_for(frame_type)
+        rng = np.random.default_rng(np.int64(self.seed) * 1_000_003 + index)
+        payload = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        timestamp = int(round(index * 1000.0 / self.pattern.frames_per_second))
+        return VideoFrame(index=index, frame_type=frame_type,
+                          timestamp_ms=timestamp, payload=payload)
+
+    def frames(self) -> Iterator[VideoFrame]:
+        """Iterate over every frame of the stream."""
+        for index in range(self.total_frames):
+            yield self.frame(index)
+
+    def frame_list(self) -> List[VideoFrame]:
+        return list(self.frames())
+
+    def packets(self) -> Iterator[MediaPacket]:
+        """The stream as media packets (one frame per packet)."""
+        for frame in self.frames():
+            yield frame.to_packet()
+
+    def gop_count(self) -> int:
+        """Number of (possibly partial) GOPs in the stream."""
+        return -(-self.total_frames // self.pattern.length)
+
+    def total_bytes(self) -> int:
+        """Total encoded size of the stream."""
+        return sum(self.pattern.size_for(self.pattern.frame_type_at(i))
+                   for i in range(self.total_frames))
+
+
+def is_gop_boundary(packet: MediaPacket) -> bool:
+    """True when ``packet`` starts a new GOP (i.e. carries an I frame).
+
+    This is the predicate the ControlThread uses for boundary-aware filter
+    insertion on video streams (experiment E7).
+    """
+    return packet.media_type == TYPE_VIDEO and packet.marker == FRAME_I
+
+
+def drop_b_frames(frames: List[VideoFrame]) -> List[VideoFrame]:
+    """Remove B frames — the simplest bandwidth-reducing video transcode."""
+    return [frame for frame in frames if frame.frame_type != FRAME_B]
+
+
+def stream_bitrate(frames: List[VideoFrame], frames_per_second: int) -> float:
+    """Average bitrate (bits/second) of a frame sequence.
+
+    The playback duration is taken from the frame *indices* (the original
+    timeline), so dropping frames — a transcoder's whole purpose — lowers
+    the bitrate rather than shortening the clip.
+    """
+    if not frames:
+        return 0.0
+    total_bits = sum(len(frame.payload) for frame in frames) * 8
+    duration = (max(frame.index for frame in frames) + 1) / frames_per_second
+    return total_bits / duration

@@ -1,0 +1,128 @@
+"""Minimal RIFF/WAVE reader and writer.
+
+The paper records its test audio in "Windows PCM-based waveform audio file
+format (.WAV)".  This module implements just enough of the RIFF container to
+round-trip the uncompressed PCM formats used in the experiments (8- and
+16-bit linear PCM), so example scripts can persist and reload test material
+without external dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Union
+
+from .audio import AudioFormat
+
+_RIFF_MAGIC = b"RIFF"
+_WAVE_MAGIC = b"WAVE"
+_FMT_CHUNK = b"fmt "
+_DATA_CHUNK = b"data"
+_PCM_FORMAT_TAG = 1
+
+
+class WavFormatError(ValueError):
+    """Raised when a file is not a supported PCM WAV file."""
+
+
+@dataclass(frozen=True)
+class WavFile:
+    """An in-memory WAV file: a PCM format plus raw sample data."""
+
+    format: AudioFormat
+    data: bytes
+
+    @property
+    def duration(self) -> float:
+        """Playback duration in seconds."""
+        return self.format.duration_of(len(self.data))
+
+
+def write_wav(destination: Union[str, BinaryIO], data: bytes,
+              audio_format: AudioFormat) -> int:
+    """Write raw PCM ``data`` as a WAV file; returns the bytes written."""
+    payload = _build_wav_bytes(data, audio_format)
+    if isinstance(destination, str):
+        with open(destination, "wb") as handle:
+            handle.write(payload)
+    else:
+        destination.write(payload)
+    return len(payload)
+
+
+def wav_bytes(data: bytes, audio_format: AudioFormat) -> bytes:
+    """Return the full WAV file contents for raw PCM ``data``."""
+    return _build_wav_bytes(data, audio_format)
+
+
+def _build_wav_bytes(data: bytes, audio_format: AudioFormat) -> bytes:
+    byte_rate = audio_format.bytes_per_second
+    block_align = audio_format.frame_size
+    bits_per_sample = audio_format.sample_width * 8
+    fmt_body = struct.pack("<HHIIHH", _PCM_FORMAT_TAG, audio_format.channels,
+                           audio_format.sample_rate, byte_rate, block_align,
+                           bits_per_sample)
+    chunks = (
+        _FMT_CHUNK + struct.pack("<I", len(fmt_body)) + fmt_body
+        + _DATA_CHUNK + struct.pack("<I", len(data)) + data
+    )
+    riff_size = 4 + len(chunks)
+    return _RIFF_MAGIC + struct.pack("<I", riff_size) + _WAVE_MAGIC + chunks
+
+
+def read_wav(source: Union[str, bytes, BinaryIO]) -> WavFile:
+    """Read a PCM WAV file from a path, a byte string, or a binary stream."""
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            raw = handle.read()
+    elif isinstance(source, (bytes, bytearray)):
+        raw = bytes(source)
+    else:
+        raw = source.read()
+    return _parse_wav(raw)
+
+
+def _parse_wav(raw: bytes) -> WavFile:
+    stream = io.BytesIO(raw)
+    header = stream.read(12)
+    if len(header) < 12 or header[:4] != _RIFF_MAGIC or header[8:12] != _WAVE_MAGIC:
+        raise WavFormatError("not a RIFF/WAVE file")
+
+    audio_format = None
+    data = None
+    while True:
+        chunk_header = stream.read(8)
+        if len(chunk_header) < 8:
+            break
+        chunk_id = chunk_header[:4]
+        (chunk_size,) = struct.unpack("<I", chunk_header[4:])
+        body = stream.read(chunk_size)
+        if len(body) < chunk_size:
+            raise WavFormatError(f"truncated {chunk_id!r} chunk")
+        if chunk_size % 2:
+            stream.read(1)  # chunks are word aligned
+        if chunk_id == _FMT_CHUNK:
+            audio_format = _parse_fmt(body)
+        elif chunk_id == _DATA_CHUNK:
+            data = body
+
+    if audio_format is None:
+        raise WavFormatError("missing fmt chunk")
+    if data is None:
+        raise WavFormatError("missing data chunk")
+    return WavFile(format=audio_format, data=data)
+
+
+def _parse_fmt(body: bytes) -> AudioFormat:
+    if len(body) < 16:
+        raise WavFormatError("fmt chunk too short")
+    (format_tag, channels, sample_rate, _byte_rate, _block_align,
+     bits_per_sample) = struct.unpack("<HHIIHH", body[:16])
+    if format_tag != _PCM_FORMAT_TAG:
+        raise WavFormatError(f"unsupported WAV format tag {format_tag} (PCM only)")
+    if bits_per_sample not in (8, 16):
+        raise WavFormatError(f"unsupported bit depth {bits_per_sample}")
+    return AudioFormat(sample_rate=sample_rate, channels=channels,
+                       sample_width=bits_per_sample // 8)

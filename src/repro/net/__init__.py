@@ -1,0 +1,95 @@
+"""Network substrate: loss models, wireless/wired LAN simulation, traces.
+
+The paper's evaluation ran on a real 2 Mbps WaveLAN; this package provides
+the simulated replacement — calibrated distance-based loss, bursty
+Gilbert–Elliott loss, an access point with independent per-receiver losses,
+a reliable wired LAN, generic multicast groups, and packet traces/statistics
+including the Figure 7 windowing.
+"""
+
+from .arq import (
+    ArqResult,
+    compare_fec_with_arq,
+    fec_transmission_overhead,
+    simulate_multicast_arq,
+    simulate_unicast_arq,
+)
+from .channel import (
+    CALIBRATION_DISTANCE_M,
+    CALIBRATION_LOSS,
+    BernoulliLoss,
+    DistanceLoss,
+    FixedPatternLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    loss_probability_at_distance,
+)
+from .multicast import MulticastGroup, SubscriberRecord
+from .stats import (
+    FIG7_WINDOW_SIZE,
+    DeliveryReport,
+    ReceiverStats,
+    WindowPoint,
+    loss_run_lengths,
+    windowed_percentages,
+)
+from .trace import (
+    EVENT_DELIVERED,
+    EVENT_LOST,
+    EVENT_REPAIRED,
+    EVENT_SENT,
+    PacketTrace,
+    TraceEvent,
+)
+from .wired import WIRED_BANDWIDTH_BPS, WiredHost, WiredLAN
+from .wlan import (
+    PER_PACKET_OVERHEAD_S,
+    WAVELAN_BANDWIDTH_BPS,
+    AccessPoint,
+    LinearWalk,
+    TransmissionRecord,
+    WirelessLAN,
+    WirelessReceiver,
+)
+
+__all__ = [
+    "ArqResult",
+    "simulate_multicast_arq",
+    "simulate_unicast_arq",
+    "compare_fec_with_arq",
+    "fec_transmission_overhead",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "DistanceLoss",
+    "FixedPatternLoss",
+    "loss_probability_at_distance",
+    "CALIBRATION_DISTANCE_M",
+    "CALIBRATION_LOSS",
+    "AccessPoint",
+    "WirelessLAN",
+    "WirelessReceiver",
+    "TransmissionRecord",
+    "LinearWalk",
+    "WAVELAN_BANDWIDTH_BPS",
+    "PER_PACKET_OVERHEAD_S",
+    "WiredLAN",
+    "WiredHost",
+    "WIRED_BANDWIDTH_BPS",
+    "MulticastGroup",
+    "SubscriberRecord",
+    "ReceiverStats",
+    "DeliveryReport",
+    "WindowPoint",
+    "FIG7_WINDOW_SIZE",
+    "windowed_percentages",
+    "loss_run_lengths",
+    "PacketTrace",
+    "TraceEvent",
+    "EVENT_SENT",
+    "EVENT_DELIVERED",
+    "EVENT_LOST",
+    "EVENT_REPAIRED",
+]

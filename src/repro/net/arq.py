@@ -1,0 +1,166 @@
+"""ARQ (retransmission) baselines for multicast delivery.
+
+The paper argues for *forward* error correction on wireless multicast
+because "a single parity packet can be used to correct independent
+single-packet losses among different receivers" — the implicit comparison is
+against ARQ, where every receiver's loss costs its own retransmission and
+real-time audio cannot wait for retransmission rounds anyway.
+
+This module provides a synchronous (no-threads) simulator of NACK-based
+selective-repeat multicast ARQ so the benchmarks can quantify that
+comparison on the same loss processes used for FEC:
+
+* how many transmissions the sender needs until *every* receiver holds every
+  packet (bandwidth cost), and
+* how many round trips each packet needs before the slowest receiver has it
+  (latency cost — the quantity that makes ARQ unattractive for interactive
+  audio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from .channel import LossModel
+
+
+@dataclass
+class ArqResult:
+    """Outcome of one multicast ARQ simulation."""
+
+    packet_count: int
+    receiver_count: int
+    transmissions: int = 0
+    retransmissions: int = 0
+    rounds_per_packet: List[int] = field(default_factory=list)
+    undelivered: int = 0
+
+    @property
+    def transmission_overhead(self) -> float:
+        """Transmissions per source packet (1.0 means no retransmissions)."""
+        if self.packet_count == 0:
+            return 1.0
+        return self.transmissions / self.packet_count
+
+    @property
+    def mean_rounds(self) -> float:
+        """Average number of multicast rounds until every receiver had a packet."""
+        if not self.rounds_per_packet:
+            return 0.0
+        return sum(self.rounds_per_packet) / len(self.rounds_per_packet)
+
+    @property
+    def max_rounds(self) -> int:
+        return max(self.rounds_per_packet) if self.rounds_per_packet else 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.packet_count == 0 or self.receiver_count == 0:
+            return 1.0
+        total = self.packet_count * self.receiver_count
+        return 1.0 - self.undelivered / total
+
+
+def simulate_multicast_arq(packet_count: int,
+                           loss_models: Sequence[LossModel],
+                           max_rounds: int = 16) -> ArqResult:
+    """Simulate NACK-based selective-repeat multicast of ``packet_count`` packets.
+
+    Every packet is multicast once; receivers that lost it NACK, and the
+    sender multicasts the packet again (a retransmission reaches every
+    receiver, but each receiver applies its own loss process to it).  The
+    process repeats until every receiver has the packet or ``max_rounds`` is
+    exhausted (after which the packet counts as undelivered at the receivers
+    that still miss it — what a playout deadline does to late audio).
+
+    ``loss_models`` supplies one independent loss process per receiver.
+    """
+    if packet_count < 0:
+        raise ValueError("packet_count must be non-negative")
+    if not loss_models:
+        raise ValueError("at least one receiver loss model is required")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+
+    result = ArqResult(packet_count=packet_count,
+                       receiver_count=len(loss_models))
+    for _packet in range(packet_count):
+        missing = set(range(len(loss_models)))
+        rounds = 0
+        while missing and rounds < max_rounds:
+            rounds += 1
+            result.transmissions += 1
+            if rounds > 1:
+                result.retransmissions += 1
+            delivered_now = {index for index in missing
+                             if not loss_models[index].packet_lost()}
+            missing -= delivered_now
+        result.rounds_per_packet.append(rounds)
+        result.undelivered += len(missing)
+    return result
+
+
+def simulate_unicast_arq(packet_count: int,
+                         loss_models: Sequence[LossModel],
+                         max_rounds: int = 16) -> ArqResult:
+    """Per-receiver unicast retransmission (no multicast sharing at all).
+
+    The worst-case baseline: the sender repeats each packet separately for
+    each receiver until that receiver has it.  Transmission cost therefore
+    scales with the number of receivers even when nothing is lost.
+    """
+    if not loss_models:
+        raise ValueError("at least one receiver loss model is required")
+    result = ArqResult(packet_count=packet_count,
+                       receiver_count=len(loss_models))
+    for _packet in range(packet_count):
+        worst_rounds = 0
+        for model in loss_models:
+            rounds = 0
+            delivered = False
+            while not delivered and rounds < max_rounds:
+                rounds += 1
+                result.transmissions += 1
+                if rounds > 1:
+                    result.retransmissions += 1
+                delivered = not model.packet_lost()
+            if not delivered:
+                result.undelivered += 1
+            worst_rounds = max(worst_rounds, rounds)
+        result.rounds_per_packet.append(worst_rounds)
+    return result
+
+
+def fec_transmission_overhead(k: int, n: int) -> float:
+    """Transmissions per source packet for an (n, k) FEC multicast: n / k,
+    independent of the number of receivers and of the loss realisation."""
+    if k < 1 or n < k:
+        raise ValueError("need 1 <= k <= n")
+    return n / k
+
+
+def compare_fec_with_arq(packet_count: int, receiver_count: int,
+                         loss_model_factory: Callable[[int], LossModel],
+                         k: int = 4, n: int = 6,
+                         max_rounds: int = 16) -> Dict[str, float]:
+    """Head-to-head transmission overhead: FEC vs multicast ARQ vs unicast ARQ.
+
+    All three schemes face the same per-receiver loss processes (constructed
+    via ``loss_model_factory(receiver_index)``; the factory is called anew
+    for each scheme so every scheme sees an identical, independent copy).
+    """
+    multicast = simulate_multicast_arq(
+        packet_count, [loss_model_factory(i) for i in range(receiver_count)],
+        max_rounds=max_rounds)
+    unicast = simulate_unicast_arq(
+        packet_count, [loss_model_factory(i) for i in range(receiver_count)],
+        max_rounds=max_rounds)
+    return {
+        "fec_overhead": fec_transmission_overhead(k, n),
+        "multicast_arq_overhead": multicast.transmission_overhead,
+        "unicast_arq_overhead": unicast.transmission_overhead,
+        "multicast_arq_mean_rounds": multicast.mean_rounds,
+        "multicast_arq_max_rounds": float(multicast.max_rounds),
+        "fec_rounds": 1.0,
+    }

@@ -1,0 +1,208 @@
+"""Packet loss models for the simulated wireless channel.
+
+The paper's experiments ran on a 2 Mbps WaveLAN network where "packet loss
+rate can change dramatically over a distance of several meters"; the
+Figure 7 trace was captured 25 m from the access point and saw an average
+raw receipt rate of 98.54%.  Since the physical testbed is unavailable, this
+module provides the loss processes used in its place:
+
+* :class:`NoLoss` — a perfect channel (the wired LAN),
+* :class:`BernoulliLoss` — independent losses with a fixed probability,
+* :class:`GilbertElliottLoss` — the classic two-state bursty-loss model,
+  which better matches 802.11 interference/fading behaviour,
+* :class:`DistanceLoss` — loss probability as a function of receiver
+  distance from the access point, calibrated so that 25 m gives the paper's
+  measured ~1.46% loss and so that loss rises steeply beyond ~35 m.
+
+All models are seeded and therefore reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+#: Calibration anchors for :func:`loss_probability_at_distance`.
+CALIBRATION_DISTANCE_M = 25.0
+CALIBRATION_LOSS = 0.0146  # 1 - 0.9854, the paper's measured raw loss at 25 m
+DISTANCE_SCALE_M = 6.0     # e-folding distance of the loss curve
+MAX_LOSS_PROBABILITY = 0.95
+
+
+def loss_probability_at_distance(distance_m: float) -> float:
+    """Packet loss probability at ``distance_m`` metres from the access point.
+
+    An exponential path-loss-driven curve anchored at the paper's measured
+    operating point (1.46% at 25 m).  Representative values::
+
+        5 m  -> ~0.05%     25 m -> 1.46%      35 m -> ~7.7%
+        15 m -> ~0.27%     30 m -> ~3.4%      45 m -> ~41%
+
+    which reproduces both the "already quite high" delivery at 25 m and the
+    dramatic degradation over a few additional metres reported in the
+    companion measurement study.
+    """
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    probability = CALIBRATION_LOSS * math.exp(
+        (distance_m - CALIBRATION_DISTANCE_M) / DISTANCE_SCALE_M)
+    return min(probability, MAX_LOSS_PROBABILITY)
+
+
+class LossModel:
+    """Base class for per-packet loss decisions."""
+
+    def packet_lost(self) -> bool:
+        """Decide the fate of the next packet: True means dropped."""
+        raise NotImplementedError
+
+    def expected_loss_rate(self) -> float:
+        """Long-run average loss probability of the model."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset any internal state (burst state, RNG position is kept)."""
+
+
+class NoLoss(LossModel):
+    """A lossless channel (used for the wired LAN)."""
+
+    def packet_lost(self) -> bool:
+        return False
+
+    def expected_loss_rate(self) -> float:
+        return 0.0
+
+
+class BernoulliLoss(LossModel):
+    """Independent (memoryless) packet losses with probability ``p``."""
+
+    def __init__(self, probability: float, seed: Optional[int] = None) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self._rng = random.Random(seed)
+
+    def packet_lost(self) -> bool:
+        if self.probability <= 0.0:
+            return False
+        return self._rng.random() < self.probability
+
+    def expected_loss_rate(self) -> float:
+        return self.probability
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state (good/bad) bursty loss model.
+
+    In the *good* state packets are lost with probability ``good_loss``; in
+    the *bad* state with ``bad_loss``.  Transitions happen per packet with
+    probabilities ``p_good_to_bad`` and ``p_bad_to_good``.  Wireless LAN
+    losses are bursty (interference, fading, microwave ovens), and burstiness
+    is exactly what stresses an FEC group: this model lets the benchmarks
+    explore it.
+    """
+
+    def __init__(self, p_good_to_bad: float = 0.005, p_bad_to_good: float = 0.2,
+                 good_loss: float = 0.001, bad_loss: float = 0.3,
+                 seed: Optional[int] = None) -> None:
+        for name, value in [("p_good_to_bad", p_good_to_bad),
+                            ("p_bad_to_good", p_bad_to_good),
+                            ("good_loss", good_loss), ("bad_loss", bad_loss)]:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if p_bad_to_good == 0.0 and p_good_to_bad > 0.0:
+            raise ValueError("p_bad_to_good must be > 0 when the bad state is reachable")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self._rng = random.Random(seed)
+        self._in_bad_state = False
+
+    @property
+    def in_bad_state(self) -> bool:
+        return self._in_bad_state
+
+    def packet_lost(self) -> bool:
+        # State transition first, then the per-state loss draw.
+        if self._in_bad_state:
+            if self._rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss = self.bad_loss if self._in_bad_state else self.good_loss
+        return self._rng.random() < loss
+
+    def expected_loss_rate(self) -> float:
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator == 0.0:
+            return self.good_loss
+        fraction_bad = self.p_good_to_bad / denominator
+        return fraction_bad * self.bad_loss + (1.0 - fraction_bad) * self.good_loss
+
+    def reset(self) -> None:
+        self._in_bad_state = False
+
+
+class DistanceLoss(LossModel):
+    """Loss driven by the receiver's distance from the access point.
+
+    The distance can be updated at any time (user mobility); the loss
+    probability follows :func:`loss_probability_at_distance`.
+    """
+
+    def __init__(self, distance_m: float, seed: Optional[int] = None) -> None:
+        self._distance_m = 0.0
+        self._rng = random.Random(seed)
+        self.set_distance(distance_m)
+
+    @property
+    def distance_m(self) -> float:
+        return self._distance_m
+
+    def set_distance(self, distance_m: float) -> None:
+        """Move the receiver to ``distance_m`` metres from the access point."""
+        if distance_m < 0:
+            raise ValueError("distance must be non-negative")
+        self._distance_m = float(distance_m)
+
+    def packet_lost(self) -> bool:
+        return self._rng.random() < loss_probability_at_distance(self._distance_m)
+
+    def expected_loss_rate(self) -> float:
+        return loss_probability_at_distance(self._distance_m)
+
+
+class FixedPatternLoss(LossModel):
+    """Deterministic loss pattern (for unit tests and worked examples).
+
+    ``pattern`` is a sequence of booleans; ``True`` at position ``i`` means
+    the i-th packet is lost.  The pattern repeats if more packets are sent
+    than it covers (unless ``repeat=False``, in which case extra packets are
+    delivered).
+    """
+
+    def __init__(self, pattern, repeat: bool = True) -> None:
+        self.pattern = [bool(v) for v in pattern]
+        self.repeat = repeat
+        self._position = 0
+
+    def packet_lost(self) -> bool:
+        if not self.pattern:
+            return False
+        if self._position >= len(self.pattern) and not self.repeat:
+            return False
+        lost = self.pattern[self._position % len(self.pattern)]
+        self._position += 1
+        return lost
+
+    def expected_loss_rate(self) -> float:
+        if not self.pattern:
+            return 0.0
+        return sum(self.pattern) / len(self.pattern)
+
+    def reset(self) -> None:
+        self._position = 0

@@ -1,0 +1,156 @@
+"""Receiver statistics and the Figure 7 windowed-percentage computation.
+
+Figure 7 of the paper plots, per window of sequence numbers, the percentage
+of packets received raw and the percentage available after FEC
+reconstruction, together with the run averages (98.54% and 99.98%).  This
+module holds the counters and the windowing logic used to regenerate that
+figure from simulated traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+#: The x-axis of Figure 7 advances in steps of 432 sequence numbers, which
+#: is the window size used when the paper binned its trace.
+FIG7_WINDOW_SIZE = 432
+
+
+@dataclass
+class ReceiverStats:
+    """Per-receiver delivery counters."""
+
+    name: str = ""
+    packets_sent_to: int = 0
+    packets_received: int = 0
+    packets_lost: int = 0
+    bytes_received: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of packets addressed to the receiver that arrived."""
+        if self.packets_sent_to == 0:
+            return 1.0
+        return self.packets_received / self.packets_sent_to
+
+    @property
+    def loss_ratio(self) -> float:
+        return 1.0 - self.delivery_ratio
+
+    def record_delivery(self, nbytes: int) -> None:
+        self.packets_sent_to += 1
+        self.packets_received += 1
+        self.bytes_received += nbytes
+
+    def record_loss(self) -> None:
+        self.packets_sent_to += 1
+        self.packets_lost += 1
+
+
+@dataclass
+class WindowPoint:
+    """One point of a Figure 7 style series."""
+
+    window_start: int
+    window_end: int
+    received_percent: float
+    reconstructed_percent: float
+
+
+@dataclass
+class DeliveryReport:
+    """Raw-vs-reconstructed delivery accounting for one experiment run.
+
+    ``total_packets`` is the number of source packets transmitted;
+    ``received`` and ``reconstructed`` are the sets of source sequence
+    numbers that were (a) received directly and (b) available to the
+    application after FEC reconstruction.  ``reconstructed`` is always a
+    superset of ``received`` in a correct run.
+    """
+
+    total_packets: int
+    received: Set[int] = field(default_factory=set)
+    reconstructed: Set[int] = field(default_factory=set)
+
+    @property
+    def received_percent(self) -> float:
+        if self.total_packets == 0:
+            return 100.0
+        return 100.0 * len(self._clip(self.received)) / self.total_packets
+
+    @property
+    def reconstructed_percent(self) -> float:
+        if self.total_packets == 0:
+            return 100.0
+        return 100.0 * len(self._clip(self.reconstructed)) / self.total_packets
+
+    @property
+    def repaired_count(self) -> int:
+        """Packets missing from the raw stream but present after FEC."""
+        return len(self._clip(self.reconstructed) - self._clip(self.received))
+
+    def _clip(self, sequences: Set[int]) -> Set[int]:
+        return {seq for seq in sequences if 0 <= seq < self.total_packets}
+
+    def windowed(self, window_size: int = FIG7_WINDOW_SIZE) -> List[WindowPoint]:
+        """Bin the run into Figure 7 style windows."""
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        received = self._clip(self.received)
+        reconstructed = self._clip(self.reconstructed)
+        points: List[WindowPoint] = []
+        for start in range(0, self.total_packets, window_size):
+            end = min(start + window_size, self.total_packets)
+            count = end - start
+            got = sum(1 for seq in range(start, end) if seq in received)
+            fixed = sum(1 for seq in range(start, end) if seq in reconstructed)
+            points.append(WindowPoint(
+                window_start=start,
+                window_end=end,
+                received_percent=100.0 * got / count,
+                reconstructed_percent=100.0 * fixed / count,
+            ))
+        return points
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers in the form the paper reports them."""
+        return {
+            "total_packets": float(self.total_packets),
+            "received_percent": self.received_percent,
+            "reconstructed_percent": self.reconstructed_percent,
+            "repaired_packets": float(self.repaired_count),
+        }
+
+
+def windowed_percentages(present: Iterable[int], total_packets: int,
+                         window_size: int = FIG7_WINDOW_SIZE) -> List[float]:
+    """Percentage of sequence numbers present per window (helper for plots)."""
+    present_set = {seq for seq in present if 0 <= seq < total_packets}
+    percentages = []
+    for start in range(0, total_packets, window_size):
+        end = min(start + window_size, total_packets)
+        count = end - start
+        got = sum(1 for seq in range(start, end) if seq in present_set)
+        percentages.append(100.0 * got / count)
+    return percentages
+
+
+def loss_run_lengths(lost_flags: Sequence[bool]) -> List[int]:
+    """Lengths of consecutive-loss bursts in a per-packet loss trace.
+
+    Used by the benchmarks to characterise burstiness (Gilbert–Elliott vs
+    Bernoulli) — burst length relative to the FEC group size determines
+    whether a group is recoverable.
+    """
+    runs: List[int] = []
+    current = 0
+    for lost in lost_flags:
+        if lost:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs

@@ -1,0 +1,107 @@
+"""Packet event traces.
+
+A lightweight event log used by the benchmarks to record what happened to
+every packet (sent, delivered, lost, repaired) together with a logical
+timestamp, so experiment results can be recomputed and inspected after a
+run without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+EVENT_SENT = "sent"
+EVENT_DELIVERED = "delivered"
+EVENT_LOST = "lost"
+EVENT_REPAIRED = "repaired"
+
+_VALID_EVENTS = {EVENT_SENT, EVENT_DELIVERED, EVENT_LOST, EVENT_REPAIRED}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One packet event."""
+
+    time_s: float
+    event: str
+    sequence: int
+    receiver: str = ""
+    size_bytes: int = 0
+
+
+class PacketTrace:
+    """An append-only log of :class:`TraceEvent` records."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self._events: List[TraceEvent] = []
+
+    def record(self, event: str, sequence: int, time_s: float = 0.0,
+               receiver: str = "", size_bytes: int = 0) -> None:
+        """Append one event to the trace."""
+        if event not in _VALID_EVENTS:
+            raise ValueError(f"unknown event type {event!r}")
+        self._events.append(TraceEvent(time_s=time_s, event=event,
+                                       sequence=sequence, receiver=receiver,
+                                       size_bytes=size_bytes))
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            if event.event not in _VALID_EVENTS:
+                raise ValueError(f"unknown event type {event.event!r}")
+            self._events.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- queries --------------------------------------------------------------
+
+    def count(self, event: str, receiver: Optional[str] = None) -> int:
+        """Number of events of a given type (optionally for one receiver)."""
+        return sum(1 for e in self._events
+                   if e.event == event and (receiver is None or e.receiver == receiver))
+
+    def sequences(self, event: str, receiver: Optional[str] = None) -> List[int]:
+        """Sequence numbers of all events of a given type."""
+        return [e.sequence for e in self._events
+                if e.event == event and (receiver is None or e.receiver == receiver)]
+
+    def receivers(self) -> List[str]:
+        return sorted({e.receiver for e in self._events if e.receiver})
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by type."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.event] = counts.get(event.event, 0) + 1
+        return counts
+
+    # -- export ---------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Render the trace as CSV text (time, event, sequence, receiver, size)."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["time_s", "event", "sequence", "receiver", "size_bytes"])
+        for event in self._events:
+            writer.writerow([f"{event.time_s:.6f}", event.event, event.sequence,
+                             event.receiver, event.size_bytes])
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, name: str = "trace") -> "PacketTrace":
+        """Parse a trace previously produced by :meth:`to_csv`."""
+        trace = cls(name=name)
+        reader = csv.DictReader(io.StringIO(text))
+        for row in reader:
+            trace.record(event=row["event"], sequence=int(row["sequence"]),
+                         time_s=float(row["time_s"]), receiver=row["receiver"],
+                         size_bytes=int(row["size_bytes"]))
+        return trace

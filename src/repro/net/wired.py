@@ -1,0 +1,118 @@
+"""Simulated wired LAN — the lossless side of the proxy.
+
+In the paper's configuration (Figure 3) the proxy node receives the
+multicast stream from a sender on the wired network, which for the purposes
+of the experiments is reliable and fast.  This module models that segment as
+a simple reliable message fabric with named hosts and multicast groups, plus
+bandwidth accounting so transcoding benchmarks can compare wired versus
+wireless load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+#: Default wired bandwidth (100 Mbps switched Ethernet of the era).
+WIRED_BANDWIDTH_BPS = 100_000_000
+
+
+@dataclass
+class WiredHost:
+    """A host attached to the wired LAN."""
+
+    name: str
+    inbox: List[bytes] = field(default_factory=list)
+    on_receive: Optional[Callable[[bytes], None]] = None
+    packets_received: int = 0
+    bytes_received: int = 0
+
+    def deliver(self, data: bytes) -> None:
+        self.packets_received += 1
+        self.bytes_received += len(data)
+        self.inbox.append(data)
+        if self.on_receive is not None:
+            self.on_receive(data)
+
+    def take(self) -> List[bytes]:
+        """Drain and return everything delivered since the last call."""
+        packets, self.inbox = self.inbox, []
+        return packets
+
+
+class WiredLAN:
+    """A reliable switched LAN with unicast and multicast delivery."""
+
+    def __init__(self, bandwidth_bps: float = WIRED_BANDWIDTH_BPS) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bps = bandwidth_bps
+        self._hosts: Dict[str, WiredHost] = {}
+        self._groups: Dict[str, Set[str]] = {}
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.busy_time_s = 0.0
+
+    # -- topology -------------------------------------------------------------
+
+    def add_host(self, name: str,
+                 on_receive: Optional[Callable[[bytes], None]] = None) -> WiredHost:
+        if name in self._hosts:
+            raise ValueError(f"host {name!r} already exists")
+        host = WiredHost(name=name, on_receive=on_receive)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> WiredHost:
+        return self._hosts[name]
+
+    @property
+    def hosts(self) -> List[WiredHost]:
+        return list(self._hosts.values())
+
+    def join_group(self, group: str, host_name: str) -> None:
+        """Subscribe ``host_name`` to multicast group ``group``."""
+        if host_name not in self._hosts:
+            raise KeyError(f"unknown host {host_name!r}")
+        self._groups.setdefault(group, set()).add(host_name)
+
+    def leave_group(self, group: str, host_name: str) -> None:
+        self._groups.get(group, set()).discard(host_name)
+
+    def group_members(self, group: str) -> List[str]:
+        return sorted(self._groups.get(group, set()))
+
+    # -- transmission ---------------------------------------------------------
+
+    def _account(self, nbytes: int) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += nbytes
+        self.busy_time_s += nbytes * 8.0 / self.bandwidth_bps
+
+    def unicast(self, destination: str, data: bytes) -> None:
+        """Deliver ``data`` reliably to a single host."""
+        self._account(len(data))
+        self._hosts[destination].deliver(data)
+
+    def multicast(self, group: str, data: bytes,
+                  exclude: Optional[str] = None) -> List[str]:
+        """Deliver ``data`` to every member of ``group`` except ``exclude``."""
+        self._account(len(data))
+        delivered = []
+        for member in sorted(self._groups.get(group, set())):
+            if member == exclude:
+                continue
+            self._hosts[member].deliver(data)
+            delivered.append(member)
+        return delivered
+
+    def broadcast(self, data: bytes, exclude: Optional[str] = None) -> List[str]:
+        """Deliver ``data`` to every host on the LAN except ``exclude``."""
+        self._account(len(data))
+        delivered = []
+        for name, host in sorted(self._hosts.items()):
+            if name == exclude:
+                continue
+            host.deliver(data)
+            delivered.append(name)
+        return delivered

@@ -1,0 +1,64 @@
+"""Pavilion: the collaborative-computing substrate RAPIDware extends.
+
+Provides the pieces of the paper's Figure 1 — a leadership (floor-control)
+protocol, per-participant browser interfaces, a simulated web resource
+store, and :class:`~repro.pavilion.session.CollaborativeSession`, which runs
+collaborative browsing over the reliable multicast group for wired members
+and through a RAPIDware proxy + simulated WLAN for wireless members.
+"""
+
+from .browser import (
+    MESSAGE_CONTENT,
+    MESSAGE_URL,
+    BrowseMessage,
+    BrowserInterface,
+    BrowserProtocolError,
+    PageView,
+)
+from .leadership import (
+    DENY,
+    GRANT,
+    LEADER_CHANGED,
+    RELEASE,
+    REQUEST,
+    LeadershipError,
+    LeadershipEvent,
+    LeadershipProtocol,
+)
+from .resources import (
+    CONTENT_AUDIO,
+    CONTENT_HTML,
+    CONTENT_IMAGE,
+    Resource,
+    ResourceNotFound,
+    ResourceStore,
+    build_demo_site,
+)
+from .session import CollaborativeSession, Participant, SessionError
+
+__all__ = [
+    "LeadershipProtocol",
+    "LeadershipEvent",
+    "LeadershipError",
+    "REQUEST",
+    "GRANT",
+    "DENY",
+    "RELEASE",
+    "LEADER_CHANGED",
+    "BrowserInterface",
+    "BrowseMessage",
+    "BrowserProtocolError",
+    "PageView",
+    "MESSAGE_URL",
+    "MESSAGE_CONTENT",
+    "ResourceStore",
+    "Resource",
+    "ResourceNotFound",
+    "build_demo_site",
+    "CONTENT_HTML",
+    "CONTENT_IMAGE",
+    "CONTENT_AUDIO",
+    "CollaborativeSession",
+    "Participant",
+    "SessionError",
+]

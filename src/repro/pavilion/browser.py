@@ -1,0 +1,148 @@
+"""Browser interfaces and the content distribution protocol messages.
+
+In Pavilion "a browser interface component monitors the activities of the
+leader's web browser and multicasts URL requests to corresponding interface
+components on receiving systems; the requested resources themselves are
+multicast by the leader's HTTP proxy as they are retrieved".  This module
+models the browser interface component and the two message types it
+exchanges (URL announcements and content deliveries), serialised so they can
+travel through proxy filter chains like any other packet stream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+MESSAGE_URL = "url"
+MESSAGE_CONTENT = "content"
+
+
+class BrowserProtocolError(ValueError):
+    """Raised when a browsing message cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class BrowseMessage:
+    """One message of the collaborative-browsing protocol."""
+
+    message_type: str
+    sender: str
+    url: str
+    sequence: int
+    content_type: str = ""
+    body: bytes = b""
+
+    def pack(self) -> bytes:
+        """Serialise: a JSON header line followed by the raw body."""
+        header = json.dumps({
+            "type": self.message_type, "sender": self.sender, "url": self.url,
+            "sequence": self.sequence, "content_type": self.content_type,
+            "body_length": len(self.body),
+        }).encode("utf-8")
+        return header + b"\n" + self.body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "BrowseMessage":
+        newline = data.find(b"\n")
+        if newline < 0:
+            raise BrowserProtocolError("missing header terminator")
+        try:
+            header = json.loads(data[:newline].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BrowserProtocolError(f"malformed browse header: {exc}") from exc
+        body = data[newline + 1:]
+        if len(body) != int(header.get("body_length", len(body))):
+            raise BrowserProtocolError("body length mismatch")
+        return cls(message_type=str(header["type"]), sender=str(header["sender"]),
+                   url=str(header["url"]), sequence=int(header["sequence"]),
+                   content_type=str(header.get("content_type", "")), body=body)
+
+
+@dataclass
+class PageView:
+    """A page as seen by one participant's browser."""
+
+    url: str
+    content_type: str
+    body: bytes
+    received_from: str
+    sequence: int
+
+
+class BrowserInterface:
+    """The per-participant browser interface component.
+
+    The leader's interface announces URL loads; every interface (including
+    the leader's) records the content deliveries it receives, building the
+    participant's page history — the moral equivalent of rendering the page
+    in Netscape or Internet Explorer.
+    """
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self.history: List[PageView] = []
+        self.announced_urls: List[str] = []
+        self.urls_seen: List[str] = []
+        self._next_sequence = 0
+        self.protocol_errors = 0
+
+    # -- leader side -------------------------------------------------------------
+
+    def announce_url(self, url: str) -> BrowseMessage:
+        """The local user loaded ``url``: build the announcement message."""
+        message = BrowseMessage(message_type=MESSAGE_URL, sender=self.owner,
+                                url=url, sequence=self._next_sequence)
+        self._next_sequence += 1
+        self.announced_urls.append(url)
+        return message
+
+    def content_message(self, url: str, content_type: str,
+                        body: bytes) -> BrowseMessage:
+        """Build the content-delivery message for a fetched resource."""
+        message = BrowseMessage(message_type=MESSAGE_CONTENT, sender=self.owner,
+                                url=url, sequence=self._next_sequence,
+                                content_type=content_type, body=body)
+        self._next_sequence += 1
+        return message
+
+    # -- receiver side -------------------------------------------------------------
+
+    def receive(self, data: bytes) -> Optional[BrowseMessage]:
+        """Handle one raw protocol message (as delivered by the transport)."""
+        try:
+            message = BrowseMessage.unpack(data)
+        except BrowserProtocolError:
+            self.protocol_errors += 1
+            return None
+        if message.message_type == MESSAGE_URL:
+            self.urls_seen.append(message.url)
+        elif message.message_type == MESSAGE_CONTENT:
+            self.history.append(PageView(url=message.url,
+                                         content_type=message.content_type,
+                                         body=message.body,
+                                         received_from=message.sender,
+                                         sequence=message.sequence))
+        return message
+
+    # -- queries ---------------------------------------------------------------------
+
+    def pages(self) -> List[str]:
+        """URLs of the pages this participant has received, in order."""
+        return [view.url for view in self.history]
+
+    def page(self, url: str) -> PageView:
+        for view in reversed(self.history):
+            if view.url == url:
+                return view
+        raise KeyError(f"{self.owner} never received {url!r}")
+
+    def bytes_received(self) -> int:
+        return sum(len(view.body) for view in self.history)
+
+    def summary(self) -> Dict[str, int]:
+        return {"pages": len(self.history),
+                "urls_seen": len(self.urls_seen),
+                "bytes": self.bytes_received(),
+                "errors": self.protocol_errors}

@@ -1,0 +1,187 @@
+"""Pavilion's leadership (session floor control) protocol.
+
+In Pavilion "a leadership protocol for session floor control" decides which
+participant's browser drives the collaborative session: the leader's URL
+loads are multicast to everyone else.  Figure 1 shows the message exchange —
+a participant sends a *request*, the current leader sends a *grant*, and the
+requester becomes the new leader.
+
+This module implements that token-style protocol with an explicit request
+queue, grant/deny decisions, leader-departure recovery, and a full event
+history so tests and examples can assert on the exact sequence of handoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+REQUEST = "request"
+GRANT = "grant"
+DENY = "deny"
+RELEASE = "release"
+LEADER_CHANGED = "leader-changed"
+
+
+class LeadershipError(RuntimeError):
+    """Raised for invalid protocol operations (unknown member, etc.)."""
+
+
+@dataclass(frozen=True)
+class LeadershipEvent:
+    """One protocol event, recorded for the session history."""
+
+    event_type: str
+    member: str
+    leader: Optional[str]
+    time_s: float = 0.0
+
+
+@dataclass
+class _Member:
+    name: str
+    joined_at: float = 0.0
+    grants_received: int = 0
+    requests_made: int = 0
+
+
+class LeadershipProtocol:
+    """Floor control for one collaborative session.
+
+    The first member to join becomes the leader.  Later members request the
+    floor; the leader (through this object, which in a deployment lives on
+    the leader's host) grants it, making the requester the new leader.
+    Requests queue in FIFO order; a departing leader hands the floor to the
+    head of the queue, or to the longest-joined member when no requests are
+    pending.
+    """
+
+    def __init__(self, auto_grant: bool = False) -> None:
+        self._members: dict = {}
+        self._leader: Optional[str] = None
+        self._requests: List[str] = []
+        self.auto_grant = auto_grant
+        self.history: List[LeadershipEvent] = []
+
+    # -- membership -------------------------------------------------------------
+
+    def join(self, member: str, now_s: float = 0.0) -> bool:
+        """Add a member; returns True when the member became the leader."""
+        if member in self._members:
+            raise LeadershipError(f"member {member!r} already joined")
+        self._members[member] = _Member(name=member, joined_at=now_s)
+        if self._leader is None:
+            self._set_leader(member, now_s)
+            return True
+        return False
+
+    def leave(self, member: str, now_s: float = 0.0) -> Optional[str]:
+        """Remove a member; returns the new leader if leadership moved."""
+        if member not in self._members:
+            raise LeadershipError(f"member {member!r} is not in the session")
+        del self._members[member]
+        self._requests = [name for name in self._requests if name != member]
+        if member != self._leader:
+            return None
+        # The leader left: promote the first requester, else the oldest member.
+        if self._requests:
+            successor = self._requests.pop(0)
+        elif self._members:
+            successor = min(self._members.values(),
+                            key=lambda m: (m.joined_at, m.name)).name
+        else:
+            self._leader = None
+            return None
+        self._set_leader(successor, now_s)
+        return successor
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    @property
+    def leader(self) -> Optional[str]:
+        return self._leader
+
+    def is_leader(self, member: str) -> bool:
+        return member == self._leader
+
+    # -- floor control -------------------------------------------------------------
+
+    def request(self, member: str, now_s: float = 0.0) -> bool:
+        """Request the floor.  Returns True if leadership was granted at once.
+
+        With ``auto_grant`` the request is granted immediately (as in a
+        free-for-all browsing session); otherwise it queues until the current
+        leader calls :meth:`grant`.
+        """
+        if member not in self._members:
+            raise LeadershipError(f"member {member!r} is not in the session")
+        if member == self._leader:
+            return True
+        self._members[member].requests_made += 1
+        self.history.append(LeadershipEvent(REQUEST, member, self._leader, now_s))
+        if self.auto_grant:
+            self._set_leader(member, now_s)
+            return True
+        if member not in self._requests:
+            self._requests.append(member)
+        return False
+
+    def grant(self, granting_leader: str, member: Optional[str] = None,
+              now_s: float = 0.0) -> str:
+        """The current leader grants the floor.
+
+        ``member`` defaults to the head of the request queue.  Returns the
+        new leader's name.
+        """
+        if granting_leader != self._leader:
+            raise LeadershipError(
+                f"{granting_leader!r} cannot grant: the leader is {self._leader!r}")
+        if member is None:
+            if not self._requests:
+                raise LeadershipError("no pending floor requests to grant")
+            member = self._requests.pop(0)
+        else:
+            if member not in self._members:
+                raise LeadershipError(f"member {member!r} is not in the session")
+            if member in self._requests:
+                self._requests.remove(member)
+        self.history.append(LeadershipEvent(GRANT, member, self._leader, now_s))
+        self._set_leader(member, now_s)
+        return member
+
+    def deny(self, denying_leader: str, member: str, now_s: float = 0.0) -> None:
+        """The current leader refuses a pending request."""
+        if denying_leader != self._leader:
+            raise LeadershipError(
+                f"{denying_leader!r} cannot deny: the leader is {self._leader!r}")
+        if member in self._requests:
+            self._requests.remove(member)
+        self.history.append(LeadershipEvent(DENY, member, self._leader, now_s))
+
+    def release(self, member: str, now_s: float = 0.0) -> Optional[str]:
+        """The leader voluntarily gives up the floor."""
+        if member != self._leader:
+            raise LeadershipError(f"{member!r} is not the leader")
+        self.history.append(LeadershipEvent(RELEASE, member, self._leader, now_s))
+        if self._requests:
+            successor = self._requests.pop(0)
+            self._set_leader(successor, now_s)
+            return successor
+        return self._leader
+
+    def pending_requests(self) -> List[str]:
+        return list(self._requests)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _set_leader(self, member: str, now_s: float) -> None:
+        self._leader = member
+        self._members[member].grants_received += 1
+        self.history.append(LeadershipEvent(LEADER_CHANGED, member, member, now_s))
+
+    def leader_changes(self) -> List[str]:
+        """The sequence of leaders over the session's lifetime."""
+        return [event.member for event in self.history
+                if event.event_type == LEADER_CHANGED]

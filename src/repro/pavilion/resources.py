@@ -1,0 +1,106 @@
+"""A simulated web: the resources a Pavilion session browses.
+
+Pavilion's default mode is collaborative web browsing: the leader's HTTP
+proxy fetches resources and multicasts them to every participant.  Without a
+network, this module provides the content — a deterministic, seeded
+collection of HTML pages and embedded objects with realistic size
+distributions, plus a tiny fetch API with latency accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+CONTENT_HTML = "text/html"
+CONTENT_IMAGE = "image/png"
+CONTENT_AUDIO = "audio/wav"
+
+
+class ResourceNotFound(KeyError):
+    """Raised when a URL is not present in the store."""
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One fetchable resource."""
+
+    url: str
+    content_type: str
+    body: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+class ResourceStore:
+    """An in-memory collection of resources addressed by URL."""
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, Resource] = {}
+        self.fetch_count = 0
+        self.bytes_served = 0
+
+    def put(self, url: str, body: bytes,
+            content_type: str = CONTENT_HTML) -> Resource:
+        """Add (or replace) a resource."""
+        resource = Resource(url=url, content_type=content_type, body=bytes(body))
+        self._resources[url] = resource
+        return resource
+
+    def fetch(self, url: str) -> Resource:
+        """Fetch a resource; raises :class:`ResourceNotFound` for unknown URLs."""
+        if url not in self._resources:
+            raise ResourceNotFound(url)
+        resource = self._resources[url]
+        self.fetch_count += 1
+        self.bytes_served += resource.size
+        return resource
+
+    def has(self, url: str) -> bool:
+        return url in self._resources
+
+    def urls(self) -> List[str]:
+        return sorted(self._resources)
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+
+def _page_body(rng: random.Random, url: str, links: List[str],
+               paragraph_count: int) -> bytes:
+    paragraphs = []
+    for index in range(paragraph_count):
+        words = ["word%d" % rng.randrange(1000) for _ in range(rng.randrange(40, 120))]
+        paragraphs.append("<p>%s</p>" % " ".join(words))
+    link_markup = "".join(f'<a href="{target}">{target}</a>' for target in links)
+    html = (f"<html><head><title>{url}</title></head><body>"
+            f"<h1>{url}</h1>{''.join(paragraphs)}{link_markup}</body></html>")
+    return html.encode("utf-8")
+
+
+def build_demo_site(page_count: int = 20, images_per_page: int = 2,
+                    seed: int = 42, host: str = "http://collab.example") -> ResourceStore:
+    """Build a deterministic pseudo-website for collaborative browsing runs.
+
+    Pages link to each other (so a browsing session can follow links) and
+    embed a couple of binary "images" each, giving the proxies a mix of
+    compressible text and incompressible binary content to transcode.
+    """
+    if page_count < 1:
+        raise ValueError("page_count must be >= 1")
+    rng = random.Random(seed)
+    store = ResourceStore()
+    page_urls = [f"{host}/page{index}.html" for index in range(page_count)]
+    for index, url in enumerate(page_urls):
+        link_targets = rng.sample(page_urls, k=min(3, page_count))
+        store.put(url, _page_body(rng, url, link_targets,
+                                  paragraph_count=rng.randrange(3, 10)))
+        for image_index in range(images_per_page):
+            image_url = f"{host}/page{index}_img{image_index}.png"
+            image_body = bytes(rng.randrange(256)
+                               for _ in range(rng.randrange(2_000, 20_000)))
+            store.put(image_url, image_body, content_type=CONTENT_IMAGE)
+    return store

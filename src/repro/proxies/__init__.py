@@ -1,0 +1,33 @@
+"""Composed proxies: the paper's worked examples assembled from the library.
+
+* :mod:`~repro.proxies.fec_audio_proxy` — the Section 5 / Figure 6 FEC audio
+  proxy and the Figure 7 experiment driver;
+* :mod:`~repro.proxies.transcoding_proxy` — device-specific transcoding
+  proxies and the boundary-aware video proxy.
+"""
+
+from .fec_audio_proxy import (
+    FecAudioExperimentResult,
+    FecAudioProxy,
+    FecAudioProxyConfig,
+    WirelessAudioReceiver,
+    run_fec_audio_experiment,
+)
+from .transcoding_proxy import (
+    DeviceDescriptor,
+    TranscodingProxy,
+    VideoProxy,
+    transcoder_chain_for,
+)
+
+__all__ = [
+    "FecAudioProxy",
+    "FecAudioProxyConfig",
+    "FecAudioExperimentResult",
+    "WirelessAudioReceiver",
+    "run_fec_audio_experiment",
+    "DeviceDescriptor",
+    "TranscodingProxy",
+    "VideoProxy",
+    "transcoder_chain_for",
+]

@@ -1,0 +1,295 @@
+"""The FEC audio proxy — the paper's Section 5 example, end to end.
+
+Figure 6 of the paper shows the components of the FEC audio proxy:
+
+* downstream (toward the mobile hosts): a ``WiredReceiver`` takes multicast
+  audio packets from the wired LAN, an ``FEC Encoder`` groups them and adds
+  parity, and a ``WirelessSender`` multicasts data + parity on the WLAN;
+* upstream (from the mobile hosts): a ``WirelessReceiver`` takes packets off
+  the WLAN, an ``FEC Decoder`` reconstructs lost packets, and a
+  ``WiredSender`` forwards them to the wired participants.
+
+In the RAPIDware port those boxes become EndPoints and PacketFilters managed
+by a ControlThread, so the FEC filters can be inserted and removed while the
+stream is live.  This module assembles both directions from the building
+blocks in :mod:`repro.core`, :mod:`repro.filters` and :mod:`repro.net`, and
+provides :func:`run_fec_audio_experiment`, the driver that reproduces the
+Figure 7 measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import CallableSink, ControlThread, IterableSource, Proxy
+from ..fec import FecPacket, FecPacketError
+from ..filters import FecDecoderFilter, FecEncoderFilter, PAPER_FEC_K, PAPER_FEC_N
+from ..media import (
+    AudioPacketizer,
+    AudioSource,
+    Depacketizer,
+    MediaPacket,
+    MediaPacketError,
+    ToneSource,
+)
+from ..net import DeliveryReport, DistanceLoss, LossModel, WirelessLAN
+
+
+@dataclass
+class FecAudioProxyConfig:
+    """Configuration of the downstream (wired -> wireless) FEC audio proxy."""
+
+    k: int = PAPER_FEC_K
+    n: int = PAPER_FEC_N
+    fec_enabled: bool = True
+    packet_duration_ms: int = 20
+    stream_name: str = "audio-downstream"
+
+
+class FecAudioProxy:
+    """A RAPIDware proxy carrying one audio stream onto a wireless LAN.
+
+    The proxy is built as a null proxy (wired receiver EndPoint -> wireless
+    sender EndPoint); :meth:`enable_fec` and :meth:`disable_fec` insert and
+    remove the FEC encoder filter *while the stream is running*, which is
+    exactly the demand-driven behaviour of the paper's Section 3 scenario.
+    """
+
+    def __init__(self, wired_packets: List[MediaPacket], wlan: WirelessLAN,
+                 config: Optional[FecAudioProxyConfig] = None,
+                 name: str = "fec-audio-proxy") -> None:
+        self.config = config or FecAudioProxyConfig()
+        self.wlan = wlan
+        self.proxy = Proxy(name)
+        self._encoder_filter: Optional[FecEncoderFilter] = None
+
+        # Wired receiver: the already-packetised audio stream from the wired
+        # LAN.  Each MediaPacket is framed so packet filters can be composed.
+        self._source = IterableSource(
+            [packet.pack() for packet in wired_packets],
+            name="wired-receiver", frame_output=True)
+        # Wireless sender: every packet leaving the chain is multicast on the
+        # wireless LAN.
+        self._sink = CallableSink(self.wlan.send, name="wireless-sender",
+                                  expect_frames=True)
+        self.control: ControlThread = self.proxy.add_stream(
+            self._source, self._sink, name=self.config.stream_name,
+            auto_start=False)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "FecAudioProxy":
+        """Start the stream; the FEC encoder is composed in first if enabled.
+
+        Enabling FEC before start uses static composition (no unprotected
+        window); calling :meth:`enable_fec` later inserts the filter into the
+        live stream instead.
+        """
+        if self.config.fec_enabled:
+            self.enable_fec()
+        self.control.start()
+        return self
+
+    def wait_for_completion(self, timeout: Optional[float] = None) -> bool:
+        return self.control.wait_for_completion(timeout=timeout)
+
+    def shutdown(self) -> None:
+        self.proxy.shutdown()
+
+    # -- demand-driven FEC -------------------------------------------------------
+
+    @property
+    def fec_active(self) -> bool:
+        return self._encoder_filter is not None
+
+    def enable_fec(self, k: Optional[int] = None, n: Optional[int] = None) -> None:
+        """Insert the FEC encoder into the running stream (idempotent)."""
+        if self._encoder_filter is not None:
+            return
+        encoder = FecEncoderFilter(k=k or self.config.k, n=n or self.config.n,
+                                   name="fec-encoder")
+        self.control.add(encoder, position=0)
+        self._encoder_filter = encoder
+
+    def disable_fec(self) -> None:
+        """Remove the FEC encoder from the running stream (idempotent)."""
+        if self._encoder_filter is None:
+            return
+        self.control.remove(self._encoder_filter)
+        self._encoder_filter = None
+
+    @property
+    def encoder_stats(self):
+        if self._encoder_filter is None:
+            return None
+        return self._encoder_filter.encoder_stats
+
+
+class WirelessAudioReceiver:
+    """The mobile-host side: FEC decoding and playout accounting.
+
+    The receiver consumes the raw packets its WLAN receiver captured,
+    separates FEC data/parity from plain packets, reconstructs what it can,
+    and tracks which original sequence numbers were received directly versus
+    available after reconstruction — the two series plotted in Figure 7.
+    """
+
+    def __init__(self, name: str = "mobile-host") -> None:
+        self.name = name
+        self.depacketizer = Depacketizer()
+        self.decoder = FecDecoderFilter(name=f"{name}-fec-decoder")
+        self._raw_sequences: set = set()
+        self._reconstructed_sequences: set = set()
+        self.undecodable_packets = 0
+
+    def process(self, raw_packets: List[bytes]) -> None:
+        """Feed the packets captured off the WLAN (in arrival order)."""
+        for raw in raw_packets:
+            self._classify_raw(raw)
+            for payload in self.decoder.transform_packet(raw) or []:
+                self._accept_media(payload, reconstructed=True)
+        # Flush groups that never completed (end of experiment).
+
+    def finish(self) -> None:
+        """Flush FEC state at the end of the stream."""
+        for payload in self.decoder.finalize_packets() or []:
+            self._accept_media(payload, reconstructed=True)
+
+    def _classify_raw(self, raw: bytes) -> None:
+        """Record the sequence numbers of *directly received* media packets."""
+        try:
+            fec_packet = FecPacket.unpack(raw)
+        except FecPacketError:
+            # Not FEC-wrapped: a plain media packet.
+            self._accept_media(raw, reconstructed=False)
+            return
+        if fec_packet.is_uncoded:
+            self._record_raw_media(fec_packet.payload)
+        elif fec_packet.is_data:
+            from ..fec import unpad_block
+            try:
+                self._record_raw_media(unpad_block(fec_packet.payload))
+            except FecPacketError:
+                self.undecodable_packets += 1
+
+    def _record_raw_media(self, payload: bytes) -> None:
+        try:
+            media = MediaPacket.unpack(payload)
+        except MediaPacketError:
+            self.undecodable_packets += 1
+            return
+        self._raw_sequences.add(media.sequence)
+
+    def _accept_media(self, payload: bytes, reconstructed: bool) -> None:
+        try:
+            media = MediaPacket.unpack(payload)
+        except MediaPacketError:
+            self.undecodable_packets += 1
+            return
+        self._reconstructed_sequences.add(media.sequence)
+        if not reconstructed:
+            self._raw_sequences.add(media.sequence)
+        self.depacketizer.add(media)
+
+    # -- results ---------------------------------------------------------------
+
+    def delivery_report(self, total_packets: int) -> DeliveryReport:
+        """Raw vs reconstructed delivery accounting (Figure 7's two series)."""
+        return DeliveryReport(total_packets=total_packets,
+                              received=set(self._raw_sequences),
+                              reconstructed=set(self._reconstructed_sequences))
+
+    def reconstructed_pcm(self, total_packets: int) -> bytes:
+        """The playout buffer contents (lost packets filled with silence)."""
+        return self.depacketizer.reassemble(total_packets)
+
+
+@dataclass
+class FecAudioExperimentResult:
+    """Everything measured by one run of the Figure 7 experiment."""
+
+    total_packets: int
+    k: int
+    n: int
+    distance_m: float
+    reports: Dict[str, DeliveryReport] = field(default_factory=dict)
+    packets_on_air: int = 0
+    bytes_on_air: int = 0
+    airtime_s: float = 0.0
+
+    def average_received_percent(self) -> float:
+        if not self.reports:
+            return 100.0
+        return sum(r.received_percent for r in self.reports.values()) / len(self.reports)
+
+    def average_reconstructed_percent(self) -> float:
+        if not self.reports:
+            return 100.0
+        return sum(r.reconstructed_percent
+                   for r in self.reports.values()) / len(self.reports)
+
+
+def run_fec_audio_experiment(
+        audio_source: Optional[AudioSource] = None,
+        duration_s: float = 10.0,
+        distance_m: float = 25.0,
+        receiver_count: int = 3,
+        k: int = PAPER_FEC_K,
+        n: int = PAPER_FEC_N,
+        fec_enabled: bool = True,
+        packet_duration_ms: int = 20,
+        loss_model_factory=None,
+        seed: int = 2001,
+        completion_timeout_s: float = 120.0) -> FecAudioExperimentResult:
+    """Run the paper's FEC audio experiment on the simulated testbed.
+
+    The defaults mirror the paper's setup: a PCM audio stream (8 kHz, two
+    8-bit channels), an FEC(6,4) configuration, three wireless laptops, and
+    a receiver position 25 m from the access point.
+
+    ``loss_model_factory`` may be a callable ``(receiver_index) -> LossModel``
+    to override the distance-based default (used by the benchmark sweeps).
+    """
+    if receiver_count < 1:
+        raise ValueError("receiver_count must be >= 1")
+
+    source = audio_source or ToneSource(duration=duration_s)
+    packets = AudioPacketizer(source,
+                              packet_duration_ms=packet_duration_ms).packet_list()
+    total_packets = len(packets)
+
+    wlan = WirelessLAN(seed=seed)
+    receivers: Dict[str, WirelessAudioReceiver] = {}
+    for index in range(receiver_count):
+        name = f"laptop-{index}"
+        if loss_model_factory is not None:
+            model: LossModel = loss_model_factory(index)
+            wlan.add_receiver(name, loss_model=model)
+        else:
+            wlan.add_receiver(name, distance_m=distance_m,
+                              seed=seed * 1009 + index)
+        receivers[name] = WirelessAudioReceiver(name)
+
+    config = FecAudioProxyConfig(k=k, n=n, fec_enabled=fec_enabled,
+                                 packet_duration_ms=packet_duration_ms)
+    proxy = FecAudioProxy(packets, wlan, config=config)
+    proxy.start()
+    completed = proxy.wait_for_completion(timeout=completion_timeout_s)
+    proxy.shutdown()
+    if not completed:
+        raise RuntimeError("the FEC audio proxy did not finish in time")
+
+    result = FecAudioExperimentResult(
+        total_packets=total_packets, k=k, n=n, distance_m=distance_m,
+        packets_on_air=wlan.access_point.packets_sent,
+        bytes_on_air=wlan.access_point.bytes_sent,
+        airtime_s=wlan.access_point.busy_time_s)
+
+    for name, receiver in receivers.items():
+        captured = wlan.access_point.receiver(name).take()
+        audio_receiver = receivers[name]
+        audio_receiver.process(captured)
+        audio_receiver.finish()
+        result.reports[name] = audio_receiver.delivery_report(total_packets)
+    return result

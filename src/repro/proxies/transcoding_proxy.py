@@ -1,0 +1,163 @@
+"""Transcoding proxies for heterogeneous receivers.
+
+Pavilion offloads transcoding onto proxies so that "resource-limited mobile
+hosts" (the wireless palmtop of Figure 2) receive a reduced-bandwidth copy
+of the stream while workstation participants receive the original.  The
+:class:`TranscodingProxy` below composes the transcoder filters from
+:mod:`repro.filters.transcoders` according to a device descriptor, and the
+:class:`VideoProxy` assembles the video pipeline (B-frame dropping plus
+optional boundary-aligned FEC) used by the frame-boundary experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core import CallableSink, ControlThread, Filter, IterableSource, Proxy
+from ..core.boundary import i_frame_boundary
+from ..filters import (
+    AudioDownsampleFilter,
+    AudioMonoFilter,
+    FecEncoderFilter,
+    VideoBFrameDropFilter,
+    VideoFrameThinningFilter,
+    ZlibCompressFilter,
+)
+from ..media import MediaPacket, VideoSource
+
+
+@dataclass(frozen=True)
+class DeviceDescriptor:
+    """Capabilities of a receiving device, as RAPIDware would describe it.
+
+    The fields are deliberately coarse — they select which transcoders a
+    proxy composes, mirroring the per-device "conversion drivers" discussed
+    in the paper's related-work comparison.
+    """
+
+    name: str = "workstation"
+    max_audio_channels: int = 2
+    max_audio_sample_rate: int = 8000
+    supports_video_b_frames: bool = True
+    max_video_fps: int = 30
+    wants_compression: bool = False
+
+    @classmethod
+    def workstation(cls) -> "DeviceDescriptor":
+        """A wired workstation: receives the stream unmodified."""
+        return cls()
+
+    @classmethod
+    def laptop(cls) -> "DeviceDescriptor":
+        """A wireless laptop: full media, but compressed control content."""
+        return cls(name="laptop", wants_compression=True)
+
+    @classmethod
+    def palmtop(cls) -> "DeviceDescriptor":
+        """A handheld: mono audio at half rate, thinned video, compression."""
+        return cls(name="palmtop", max_audio_channels=1,
+                   max_audio_sample_rate=4000, supports_video_b_frames=False,
+                   max_video_fps=10, wants_compression=True)
+
+
+def transcoder_chain_for(device: DeviceDescriptor,
+                         source_sample_rate: int = 8000,
+                         source_channels: int = 2,
+                         source_fps: int = 30) -> List[Filter]:
+    """Build the ordered list of transcoder filters a device requires."""
+    chain: List[Filter] = []
+    if device.max_audio_channels < source_channels:
+        chain.append(AudioMonoFilter(name=f"{device.name}-mono"))
+    if device.max_audio_sample_rate < source_sample_rate:
+        factor = max(1, round(source_sample_rate / device.max_audio_sample_rate))
+        channels = min(source_channels, device.max_audio_channels)
+        chain.append(AudioDownsampleFilter(factor=factor, channels=channels,
+                                           name=f"{device.name}-downsample"))
+    if not device.supports_video_b_frames:
+        chain.append(VideoBFrameDropFilter(name=f"{device.name}-bdrop"))
+    if device.max_video_fps < source_fps:
+        keep_every = max(1, round(source_fps / device.max_video_fps))
+        chain.append(VideoFrameThinningFilter(keep_every=keep_every,
+                                              name=f"{device.name}-thin"))
+    if device.wants_compression:
+        chain.append(ZlibCompressFilter(name=f"{device.name}-zlib"))
+    return chain
+
+
+class TranscodingProxy:
+    """A proxy that tailors one media stream to one device class."""
+
+    def __init__(self, packets: List[MediaPacket], device: DeviceDescriptor,
+                 deliver: Callable[[bytes], None],
+                 source_sample_rate: int = 8000, source_channels: int = 2,
+                 source_fps: int = 30, name: Optional[str] = None) -> None:
+        self.device = device
+        self.proxy = Proxy(name or f"transcoding-proxy-{device.name}")
+        self._source = IterableSource([p.pack() for p in packets],
+                                      name="media-in", frame_output=True)
+        self._sink = CallableSink(deliver, name="media-out", expect_frames=True)
+        self.control: ControlThread = self.proxy.add_stream(
+            self._source, self._sink, name="media", auto_start=False)
+        self.filters = transcoder_chain_for(device,
+                                            source_sample_rate=source_sample_rate,
+                                            source_channels=source_channels,
+                                            source_fps=source_fps)
+        for filter_obj in self.filters:
+            self.control.add(filter_obj)
+
+    def start(self) -> "TranscodingProxy":
+        self.control.start()
+        return self
+
+    def wait_for_completion(self, timeout: Optional[float] = None) -> bool:
+        return self.control.wait_for_completion(timeout=timeout)
+
+    def shutdown(self) -> None:
+        self.proxy.shutdown()
+
+
+class VideoProxy:
+    """A proxy for GOP video streams with boundary-aligned FEC insertion.
+
+    The paper requires video FEC to start "at a frame boundary"; this proxy
+    exposes :meth:`insert_fec_at_gop_boundary`, which uses the ControlThread
+    boundary hold so the FEC encoder's first input packet is an I frame.
+    """
+
+    def __init__(self, video: VideoSource, deliver: Callable[[bytes], None],
+                 pacing_s: float = 0.0, name: str = "video-proxy") -> None:
+        self.video = video
+        self.proxy = Proxy(name)
+        self._source = IterableSource(
+            [frame.to_packet().pack() for frame in video.frames()],
+            name="video-in", frame_output=True, pacing_s=pacing_s)
+        self._sink = CallableSink(deliver, name="video-out", expect_frames=True)
+        self.control: ControlThread = self.proxy.add_stream(
+            self._source, self._sink, name="video", auto_start=False)
+        self.fec_filter: Optional[FecEncoderFilter] = None
+
+    def start(self) -> "VideoProxy":
+        self.control.start()
+        return self
+
+    def insert_fec_at_gop_boundary(self, k: int = 4, n: int = 6,
+                                   timeout: float = 10.0) -> FecEncoderFilter:
+        """Insert an FEC encoder so that its first packet is an I frame."""
+        encoder = FecEncoderFilter(k=k, n=n, name="video-fec")
+        self.control.add(encoder, position=0, boundary=i_frame_boundary,
+                         timeout=timeout)
+        self.fec_filter = encoder
+        return encoder
+
+    def drop_b_frames(self) -> VideoBFrameDropFilter:
+        """Insert a B-frame-dropping transcoder at the head of the chain."""
+        dropper = VideoBFrameDropFilter(name="video-bdrop")
+        self.control.add(dropper, position=0)
+        return dropper
+
+    def wait_for_completion(self, timeout: Optional[float] = None) -> bool:
+        return self.control.wait_for_completion(timeout=timeout)
+
+    def shutdown(self) -> None:
+        self.proxy.shutdown()

@@ -1,0 +1,71 @@
+"""RAPIDware adaptive middleware: observer and responder raplets.
+
+Observers monitor the running system (link quality, channel utilisation,
+user mobility, session membership); responders react by recomposing the
+proxy's filter chain through its ControlThread — the paper's demand-driven
+adaptation, with the FEC-on-loss scenario of Section 3 packaged as
+:func:`~repro.rapidware.session.run_adaptive_walk_experiment`.
+"""
+
+from .events import (
+    EVENT_BANDWIDTH,
+    EVENT_DEVICE_JOINED,
+    EVENT_DEVICE_LEFT,
+    EVENT_FILTER_INSERTED,
+    EVENT_FILTER_REMOVED,
+    EVENT_HANDOFF,
+    EVENT_LOSS_RATE,
+    EVENT_PREFERENCE_CHANGED,
+    SEVERITY_CRITICAL,
+    SEVERITY_DEGRADED,
+    SEVERITY_INFO,
+    Event,
+    EventBus,
+)
+from .observers import (
+    BandwidthObserver,
+    LossRateObserver,
+    MembershipObserver,
+    MigrationObserver,
+)
+from .policy import AdaptationLimits, FecPolicy, UserPreferences
+from .raplets import ObserverRaplet, Raplet, ResponderRaplet
+from .responders import FecResponder, TranscoderResponder
+from .session import (
+    AdaptiveAudioSession,
+    AdaptiveWalkResult,
+    WalkStepRecord,
+    run_adaptive_walk_experiment,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EVENT_LOSS_RATE",
+    "EVENT_BANDWIDTH",
+    "EVENT_HANDOFF",
+    "EVENT_DEVICE_JOINED",
+    "EVENT_DEVICE_LEFT",
+    "EVENT_PREFERENCE_CHANGED",
+    "EVENT_FILTER_INSERTED",
+    "EVENT_FILTER_REMOVED",
+    "SEVERITY_INFO",
+    "SEVERITY_DEGRADED",
+    "SEVERITY_CRITICAL",
+    "Raplet",
+    "ObserverRaplet",
+    "ResponderRaplet",
+    "LossRateObserver",
+    "BandwidthObserver",
+    "MigrationObserver",
+    "MembershipObserver",
+    "FecResponder",
+    "TranscoderResponder",
+    "FecPolicy",
+    "AdaptationLimits",
+    "UserPreferences",
+    "AdaptiveAudioSession",
+    "AdaptiveWalkResult",
+    "WalkStepRecord",
+    "run_adaptive_walk_experiment",
+]

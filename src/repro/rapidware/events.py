@@ -1,0 +1,105 @@
+"""The RAPIDware event model.
+
+RAPIDware's adaptive components ("raplets") come in two kinds: *observers*
+"collectively monitor the state of the system" and, when they detect a
+relevant event, ask a *responder* to act.  Events therefore need a common
+vocabulary and a delivery mechanism; this module provides both.
+
+Example events named by the paper: "changes in the quality of a network
+connection, disparities among collaborating devices, and changes in
+user/application preferences or policies".
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Event types used by the built-in observers and responders.
+EVENT_LOSS_RATE = "loss-rate"            # quality of a network connection
+EVENT_BANDWIDTH = "bandwidth"            # channel utilisation / throughput
+EVENT_HANDOFF = "handoff"                # user migrated to a different cell
+EVENT_DEVICE_JOINED = "device-joined"    # a (possibly limited) device joined
+EVENT_DEVICE_LEFT = "device-left"
+EVENT_PREFERENCE_CHANGED = "preference-changed"
+EVENT_FILTER_INSERTED = "filter-inserted"   # responders announce actions
+EVENT_FILTER_REMOVED = "filter-removed"
+
+#: Severity levels attached to observations.
+SEVERITY_INFO = "info"
+SEVERITY_DEGRADED = "degraded"
+SEVERITY_CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observation or notification flowing between raplets."""
+
+    event_type: str
+    source: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    severity: str = SEVERITY_INFO
+    time_s: float = 0.0
+
+    def value(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into the event's data dictionary."""
+        return self.data.get(key, default)
+
+
+EventHandler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe bus connecting observers and responders.
+
+    Delivery is synchronous and in subscription order, which keeps the
+    adaptive control loop deterministic (important for reproducible
+    experiments).  Handlers that raise are counted but do not affect other
+    handlers.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[EventHandler]] = {}
+        self._any_handlers: List[EventHandler] = []
+        self._lock = threading.RLock()
+        self.events_published = 0
+        self.handler_errors = 0
+        self.history: List[Event] = []
+
+    def subscribe(self, event_type: Optional[str], handler: EventHandler) -> None:
+        """Subscribe to one event type, or to every event when type is None."""
+        with self._lock:
+            if event_type is None:
+                self._any_handlers.append(handler)
+            else:
+                self._handlers.setdefault(event_type, []).append(handler)
+
+    def unsubscribe(self, event_type: Optional[str], handler: EventHandler) -> None:
+        with self._lock:
+            handlers = (self._any_handlers if event_type is None
+                        else self._handlers.get(event_type, []))
+            if handler in handlers:
+                handlers.remove(handler)
+
+    def publish(self, event: Event) -> int:
+        """Deliver ``event``; returns the number of handlers that ran cleanly."""
+        with self._lock:
+            targets = list(self._handlers.get(event.event_type, []))
+            targets.extend(self._any_handlers)
+            self.events_published += 1
+            self.history.append(event)
+        delivered = 0
+        for handler in targets:
+            try:
+                handler(event)
+            except Exception:  # noqa: BLE001 - raplet faults must not spread
+                self.handler_errors += 1
+                continue
+            delivered += 1
+        return delivered
+
+    def events_of_type(self, event_type: str) -> List[Event]:
+        """Every published event of the given type (for tests/reports)."""
+        with self._lock:
+            return [e for e in self.history if e.event_type == event_type]

@@ -1,0 +1,118 @@
+"""Adaptation policies: when to act, and how strongly.
+
+The paper leaves the decision logic to "predefined user preferences and
+device/network descriptors"; this module makes those decisions explicit and
+testable:
+
+* :class:`FecPolicy` — loss-rate thresholds (with hysteresis) that decide
+  when the FEC filter is inserted/removed and which (n, k) to use for a
+  given loss level;
+* :class:`AdaptationLimits` — rate-limiting of adaptations so the system
+  does not thrash when an observation hovers around a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FecPolicy:
+    """Thresholds and code choices for demand-driven FEC.
+
+    ``insert_threshold`` and ``remove_threshold`` form a hysteresis band:
+    FEC is inserted when the observed loss rate rises above the former and
+    removed only when it falls below the latter.  ``ladder`` maps loss rates
+    to (k, n) configurations — higher loss warrants more redundancy.
+    """
+
+    insert_threshold: float = 0.01
+    remove_threshold: float = 0.002
+    ladder: Tuple[Tuple[float, int, int], ...] = (
+        (0.00, 4, 5),   # < 5% loss: 25% redundancy
+        (0.05, 4, 6),   # 5-15% loss: the paper's FEC(6,4)
+        (0.15, 4, 8),   # >= 15% loss: 100% redundancy
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.remove_threshold <= self.insert_threshold <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 <= remove <= insert <= 1")
+        if not self.ladder:
+            raise ValueError("the FEC ladder must have at least one rung")
+        previous = -1.0
+        for loss, k, n in self.ladder:
+            if loss <= previous:
+                raise ValueError("ladder rungs must have increasing loss levels")
+            if k < 1 or n < k:
+                raise ValueError(f"invalid (k={k}, n={n}) in ladder")
+            previous = loss
+
+    def should_insert(self, loss_rate: float, fec_active: bool) -> bool:
+        """True when FEC should be active for the observed loss rate."""
+        if fec_active:
+            return loss_rate > self.remove_threshold
+        return loss_rate > self.insert_threshold
+
+    def should_remove(self, loss_rate: float, fec_active: bool) -> bool:
+        return fec_active and loss_rate <= self.remove_threshold
+
+    def code_for(self, loss_rate: float) -> Tuple[int, int]:
+        """The (k, n) configuration appropriate for ``loss_rate``."""
+        chosen = self.ladder[0][1:]
+        for level, k, n in self.ladder:
+            if loss_rate >= level:
+                chosen = (k, n)
+        return chosen
+
+
+@dataclass
+class AdaptationLimits:
+    """Rate limits applied to adaptation actions.
+
+    ``min_interval_s`` is the minimum simulated time between two actions on
+    the same stream; ``max_actions`` (optional) caps the total number of
+    reconfigurations (useful to bound experiments).
+    """
+
+    min_interval_s: float = 2.0
+    max_actions: Optional[int] = None
+    _last_action_time: Optional[float] = field(default=None, repr=False)
+    _actions_taken: int = field(default=0, repr=False)
+
+    def permits(self, now_s: float) -> bool:
+        """True when an adaptation is currently allowed."""
+        if self.max_actions is not None and self._actions_taken >= self.max_actions:
+            return False
+        if self._last_action_time is None:
+            return True
+        return (now_s - self._last_action_time) >= self.min_interval_s
+
+    def record_action(self, now_s: float) -> None:
+        self._last_action_time = now_s
+        self._actions_taken += 1
+
+    @property
+    def actions_taken(self) -> int:
+        return self._actions_taken
+
+
+@dataclass(frozen=True)
+class UserPreferences:
+    """Per-user adaptation preferences (the paper's 'user preferences').
+
+    ``audio_priority`` expresses whether the user prefers protecting audio
+    continuity (insert FEC aggressively) or conserving bandwidth (prefer
+    transcoding down before adding redundancy).
+    """
+
+    audio_priority: str = "quality"   # "quality" | "bandwidth"
+    allow_fec: bool = True
+    allow_transcoding: bool = True
+    max_redundancy_overhead: float = 1.0   # (n - k) / k
+
+    def permitted_codes(self, policy: FecPolicy) -> List[Tuple[int, int]]:
+        """The ladder rungs whose overhead the user accepts."""
+        return [(k, n) for _loss, k, n in policy.ladder
+                if (n - k) / k <= self.max_redundancy_overhead]

@@ -1,0 +1,120 @@
+"""Raplet base classes — RAPIDware's adaptive components.
+
+"The middleware layer uses two main types of raplets, observers and
+responders, to accommodate heterogeneity and adapt to variations in
+conditions.  The observers collectively monitor the state of the system.
+When an observer detects a relevant event, the observer either instantiates
+a new responder or requests an extant responder to take appropriate action."
+
+Observers here are *sampled*: the adaptive session (or a test) calls
+``observe(now_s)`` on a schedule, the observer measures whatever it watches
+and publishes events onto the bus.  Responders subscribe to event types and
+carry out reconfigurations.  Keeping the control loop explicitly clocked
+(instead of free-running threads) makes adaptation experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .events import Event, EventBus
+
+
+class Raplet:
+    """Common base: a named adaptive component attached to an event bus."""
+
+    kind = "raplet"
+
+    def __init__(self, name: str, bus: EventBus) -> None:
+        self.name = name
+        self.bus = bus
+        self.enabled = True
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def describe(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "enabled": self.enabled}
+
+
+class ObserverRaplet(Raplet):
+    """Base class for observers.
+
+    Subclasses implement :meth:`measure`, returning the events (possibly
+    none) describing what they currently observe; :meth:`observe` publishes
+    them.
+    """
+
+    kind = "observer"
+
+    def __init__(self, name: str, bus: EventBus) -> None:
+        super().__init__(name, bus)
+        self.observations = 0
+        self.events_emitted = 0
+
+    def measure(self, now_s: float) -> List[Event]:
+        """Take one measurement; return the events it gives rise to."""
+        raise NotImplementedError
+
+    def observe(self, now_s: float = 0.0) -> List[Event]:
+        """Measure and publish; returns the events that were published."""
+        if not self.enabled:
+            return []
+        self.observations += 1
+        events = self.measure(now_s)
+        for event in events:
+            self.bus.publish(event)
+            self.events_emitted += 1
+        return events
+
+
+class ResponderRaplet(Raplet):
+    """Base class for responders.
+
+    Subclasses list the event types they care about in ``subscriptions`` and
+    implement :meth:`respond`.  Registration with the bus happens in the
+    constructor, matching the paper's "extant responder" usage; observers may
+    also construct responders on demand and register them later.
+    """
+
+    kind = "responder"
+
+    #: Event types this responder reacts to.
+    subscriptions: "tuple[str, ...]" = ()
+
+    def __init__(self, name: str, bus: EventBus,
+                 subscribe: bool = True) -> None:
+        super().__init__(name, bus)
+        self.actions_taken = 0
+        self.events_seen = 0
+        if subscribe:
+            self.register()
+
+    def register(self) -> None:
+        """Subscribe this responder to its event types."""
+        for event_type in self.subscriptions:
+            self.bus.subscribe(event_type, self._on_event)
+
+    def unregister(self) -> None:
+        for event_type in self.subscriptions:
+            self.bus.unsubscribe(event_type, self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if not self.enabled:
+            return
+        self.events_seen += 1
+        if self.respond(event):
+            self.actions_taken += 1
+
+    def respond(self, event: Event) -> bool:
+        """Handle one event; return True when an adaptation was performed."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["actions_taken"] = self.actions_taken
+        info["events_seen"] = self.events_seen
+        return info

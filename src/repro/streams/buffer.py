@@ -1,0 +1,231 @@
+"""Bounded, condition-signalled byte buffer.
+
+The paper buffers data "at the DIS side", exactly as Java's
+``PipedInputStream`` does.  ``StreamBuffer`` factors that buffer out so it
+can be tested in isolation and reused by the network simulation.  It is a
+thread-safe bounded byte FIFO with:
+
+* blocking ``write`` (back-pressure when the buffer is full),
+* blocking ``read`` (waits for data, or for end-of-stream),
+* an end-of-stream marker (``close_for_writing``) so readers can
+  distinguish "no data yet" from "no data ever again",
+* ``wait_until_empty`` used by the pause protocol to drain in-flight data
+  before a stream is disconnected.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .exceptions import BrokenStreamError, StreamClosedError, StreamTimeoutError
+
+DEFAULT_CAPACITY = 64 * 1024
+
+
+class StreamBuffer:
+    """A bounded byte FIFO shared by one writer side and one reader side.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of bytes buffered before writers block.  ``None``
+        means unbounded (useful for tests and for the network simulator).
+    name:
+        Optional label used in error messages.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY, name: str = "") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self._capacity = capacity
+        self._name = name or "StreamBuffer"
+        self._data = bytearray()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._empty = threading.Condition(self._lock)
+        self._eof = False
+        self._broken = False
+        self._bytes_in = 0
+        self._bytes_out = 0
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def bytes_written(self) -> int:
+        """Total number of bytes ever written into the buffer."""
+        return self._bytes_in
+
+    @property
+    def bytes_read(self) -> int:
+        """Total number of bytes ever read out of the buffer."""
+        return self._bytes_out
+
+    def available(self) -> int:
+        """Number of bytes currently buffered (the paper's ``available()``)."""
+        with self._lock:
+            return len(self._data)
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not self._data
+
+    def at_eof(self) -> bool:
+        """True when the writer closed the buffer and all data was consumed."""
+        with self._lock:
+            return self._eof and not self._data
+
+    @property
+    def closed_for_writing(self) -> bool:
+        with self._lock:
+            return self._eof
+
+    # ----------------------------------------------------------------- write
+
+    def write(self, data: bytes, timeout: Optional[float] = None) -> int:
+        """Append ``data``, blocking while the buffer is full.
+
+        Returns the number of bytes written (always ``len(data)`` unless the
+        data is empty).  Raises :class:`StreamClosedError` if the buffer was
+        closed for writing, :class:`BrokenStreamError` if the reader side
+        was torn down, and :class:`StreamTimeoutError` on timeout.
+        """
+        if not data:
+            return 0
+        view = memoryview(bytes(data))
+        written = 0
+        with self._lock:
+            while written < len(view):
+                if self._broken:
+                    raise BrokenStreamError(f"{self._name}: reader side is gone")
+                if self._eof:
+                    raise StreamClosedError(f"{self._name}: buffer closed for writing")
+                if self._capacity is None:
+                    room = len(view) - written
+                else:
+                    room = self._capacity - len(self._data)
+                if room <= 0:
+                    if not self._not_full.wait(timeout):
+                        raise StreamTimeoutError(
+                            f"{self._name}: timed out waiting for buffer space"
+                        )
+                    continue
+                chunk = view[written:written + room]
+                self._data.extend(chunk)
+                written += len(chunk)
+                self._bytes_in += len(chunk)
+                self._not_empty.notify_all()
+        return written
+
+    def close_for_writing(self) -> None:
+        """Mark end-of-stream.  Readers drain remaining data, then see EOF."""
+        with self._lock:
+            self._eof = True
+            self._not_empty.notify_all()
+            self._empty.notify_all()
+
+    def mark_broken(self) -> None:
+        """Mark the buffer as broken: blocked writers and readers are woken
+        and raise :class:`BrokenStreamError` / see EOF respectively."""
+        with self._lock:
+            self._broken = True
+            self._eof = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            self._empty.notify_all()
+
+    # ------------------------------------------------------------------ read
+
+    def read(self, max_bytes: int = 65536, timeout: Optional[float] = None) -> bytes:
+        """Read up to ``max_bytes``, blocking until data is available.
+
+        Returns ``b""`` once the buffer is closed for writing and fully
+        drained (end of stream).  Raises :class:`StreamTimeoutError` when no
+        data arrives within ``timeout`` seconds.
+        """
+        if max_bytes <= 0:
+            return b""
+        with self._lock:
+            while not self._data:
+                if self._eof:
+                    return b""
+                if not self._not_empty.wait(timeout):
+                    raise StreamTimeoutError(f"{self._name}: read timed out")
+            chunk = bytes(self._data[:max_bytes])
+            del self._data[:max_bytes]
+            self._bytes_out += len(chunk)
+            self._not_full.notify_all()
+            if not self._data:
+                self._empty.notify_all()
+            return chunk
+
+    def read_exactly(self, nbytes: int, timeout: Optional[float] = None) -> bytes:
+        """Read exactly ``nbytes``; returns a short result only at EOF."""
+        parts = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = self.read(remaining, timeout=timeout)
+            if not chunk:
+                break
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+    def peek(self, max_bytes: int = 65536) -> bytes:
+        """Return buffered data without consuming it (never blocks)."""
+        with self._lock:
+            return bytes(self._data[:max_bytes])
+
+    def clear(self) -> int:
+        """Discard all buffered data, returning the number of bytes dropped."""
+        with self._lock:
+            dropped = len(self._data)
+            del self._data[:]
+            self._not_full.notify_all()
+            self._empty.notify_all()
+            return dropped
+
+    # ----------------------------------------------------------------- drain
+
+    def wait_until_empty(self, timeout: Optional[float] = None) -> bool:
+        """Block until the buffer is empty (the pause protocol's drain step).
+
+        Returns ``True`` if the buffer drained, ``False`` on timeout.
+        """
+        deadline = None if timeout is None else _monotonic() + timeout
+        with self._lock:
+            while self._data:
+                if self._eof and self._broken:
+                    return False
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - _monotonic()
+                    if remaining <= 0:
+                        return False
+                if not self._empty.wait(remaining):
+                    return False
+            return True
+
+    def __len__(self) -> int:  # pragma: no cover - convenience
+        return self.available()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StreamBuffer {self._name!r} size={self.available()} "
+            f"capacity={self._capacity} eof={self._eof}>"
+        )
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

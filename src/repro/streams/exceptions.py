@@ -1,0 +1,51 @@
+"""Exception hierarchy for detachable streams.
+
+The original paper surfaces most error conditions as ``java.io.IOException``.
+This reproduction uses a small, explicit hierarchy instead so that callers
+can distinguish the conditions that matter for composition logic (already
+connected, not connected, closed, timed out) without string matching.
+"""
+
+from __future__ import annotations
+
+
+class StreamError(Exception):
+    """Base class for every error raised by the detachable stream layer."""
+
+
+class AlreadyConnectedError(StreamError):
+    """Raised when ``connect``/``reconnect`` targets a stream that is already
+    part of a live connection.
+
+    Mirrors the ``IOException("Already connected!")`` thrown by the paper's
+    ``reconnect()`` implementation.
+    """
+
+
+class NotConnectedError(StreamError):
+    """Raised when data is written to, or read from, a stream half that has
+    no partner and is not in the paused ("switching") state."""
+
+
+class StreamClosedError(StreamError):
+    """Raised when an operation is attempted on a stream that has been
+    closed for good (as opposed to merely paused)."""
+
+
+class StreamTimeoutError(StreamError):
+    """Raised when a blocking stream operation exceeds its timeout.
+
+    Filters use short read timeouts to poll their stop flag, so this
+    exception is part of the normal control flow of a filter thread.
+    """
+
+
+class BrokenStreamError(StreamError):
+    """Raised when the other half of a connection disappeared while an
+    operation was in flight (e.g. the reader side was closed while a writer
+    was blocked on a full buffer)."""
+
+
+class FramingError(StreamError):
+    """Raised when the packet framing layer encounters a malformed or
+    oversized frame header."""

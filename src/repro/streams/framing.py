@@ -1,0 +1,186 @@
+"""Packet framing over detachable byte streams.
+
+Detachable streams carry raw bytes (they are modelled on Java I/O streams).
+Many proxy filters, however, operate on *packets* — audio packets, FEC
+groups, multicast datagrams.  This module provides a simple length-prefixed
+framing layer so packet-oriented filters can be composed over the same
+detachable-stream plumbing:
+
+* each frame is ``MAGIC (1 byte) | length (4 bytes, big-endian) | payload``;
+* the magic byte catches de-synchronisation (e.g. a filter that corrupted
+  the byte stream) early rather than silently mis-parsing lengths;
+* :class:`FrameWriter` / :class:`FrameReader` wrap a DOS / DIS respectively;
+* :func:`encode_frame` / :class:`FrameDecoder` are the stateless /
+  incremental building blocks used by the network simulator and the tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional
+
+from .detachable import DetachableInputStream, DetachableOutputStream
+from .exceptions import FramingError, StreamTimeoutError
+
+#: Single sync byte prepended to every frame.
+FRAME_MAGIC = 0xC5
+
+#: Frames larger than this are rejected — catches corrupted length fields.
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">BI")
+HEADER_SIZE = _HEADER.size
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Encode a payload into a single framed byte string."""
+    if payload is None:
+        raise ValueError("payload must be bytes, not None")
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds MAX_FRAME_SIZE")
+    return _HEADER.pack(FRAME_MAGIC, len(payload)) + bytes(payload)
+
+
+def encode_frames(payloads: "List[bytes]") -> bytes:
+    """Encode several payloads back-to-back into one byte string."""
+    return b"".join(encode_frame(p) for p in payloads)
+
+
+class FrameDecoder:
+    """Incremental frame decoder.
+
+    Feed arbitrary byte chunks with :meth:`feed`; complete payloads come out
+    of :meth:`packets` (or are returned directly by ``feed``).  The decoder
+    tolerates frames split across chunk boundaries, which is exactly what
+    happens when a byte-oriented filter sits between two packet filters.
+    """
+
+    def __init__(self) -> None:
+        self._pending = bytearray()
+        self._ready: List[bytes] = []
+        self.frames_decoded = 0
+        self.bytes_consumed = 0
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Add ``chunk`` and return the list of payloads completed by it."""
+        if chunk:
+            self._pending.extend(chunk)
+            self.bytes_consumed += len(chunk)
+        out: List[bytes] = []
+        while True:
+            payload = self._try_extract()
+            if payload is None:
+                break
+            out.append(payload)
+        self._ready.extend(out)
+        return out
+
+    def _try_extract(self) -> Optional[bytes]:
+        if len(self._pending) < HEADER_SIZE:
+            return None
+        magic, length = _HEADER.unpack_from(self._pending, 0)
+        if magic != FRAME_MAGIC:
+            raise FramingError(
+                f"bad frame magic 0x{magic:02x} (stream out of sync)")
+        if length > MAX_FRAME_SIZE:
+            raise FramingError(f"frame length {length} exceeds MAX_FRAME_SIZE")
+        if len(self._pending) < HEADER_SIZE + length:
+            return None
+        payload = bytes(self._pending[HEADER_SIZE:HEADER_SIZE + length])
+        del self._pending[:HEADER_SIZE + length]
+        self.frames_decoded += 1
+        return payload
+
+    def packets(self) -> List[bytes]:
+        """Return and clear all decoded-but-unclaimed payloads."""
+        out, self._ready = self._ready, []
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._pending)
+
+    def has_partial_frame(self) -> bool:
+        return bool(self._pending)
+
+
+class FrameWriter:
+    """Write framed packets onto a :class:`DetachableOutputStream`."""
+
+    def __init__(self, dos: DetachableOutputStream) -> None:
+        self._dos = dos
+        self.packets_written = 0
+
+    @property
+    def stream(self) -> DetachableOutputStream:
+        return self._dos
+
+    def write_packet(self, payload: bytes, timeout: Optional[float] = None) -> None:
+        """Frame ``payload`` and write it to the underlying stream."""
+        self._dos.write(encode_frame(payload), timeout=timeout)
+        self.packets_written += 1
+
+    def write_packets(self, payloads: "List[bytes]",
+                      timeout: Optional[float] = None) -> None:
+        for payload in payloads:
+            self.write_packet(payload, timeout=timeout)
+
+    def flush(self) -> None:
+        self._dos.flush()
+
+    def close(self) -> None:
+        self._dos.close()
+
+
+class FrameReader:
+    """Read framed packets from a :class:`DetachableInputStream`.
+
+    ``read_packet`` blocks until a complete frame is available, raises
+    :class:`StreamTimeoutError` when ``timeout`` elapses first, and returns
+    ``None`` at end-of-stream.  A truncated trailing frame at end-of-stream
+    raises :class:`FramingError` because it means data was lost mid-frame.
+    """
+
+    def __init__(self, dis: DetachableInputStream) -> None:
+        self._dis = dis
+        self._decoder = FrameDecoder()
+        self._queue: List[bytes] = []
+        self.packets_read = 0
+
+    @property
+    def stream(self) -> DetachableInputStream:
+        return self._dis
+
+    def read_packet(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Return the next payload, ``None`` at end-of-stream."""
+        while not self._queue:
+            try:
+                chunk = self._dis.read(65536, timeout=timeout)
+            except StreamTimeoutError:
+                raise
+            if chunk == b"":
+                if self._decoder.has_partial_frame():
+                    raise FramingError(
+                        "end of stream inside a frame "
+                        f"({self._decoder.pending_bytes} bytes pending)")
+                return None
+            self._queue.extend(self._decoder.feed(chunk))
+        self.packets_read += 1
+        return self._queue.pop(0)
+
+    def read_all(self, timeout: Optional[float] = None) -> List[bytes]:
+        """Drain the stream to end-of-stream and return every payload."""
+        out: List[bytes] = []
+        while True:
+            packet = self.read_packet(timeout=timeout)
+            if packet is None:
+                return out
+            out.append(packet)
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            packet = self.read_packet()
+            if packet is None:
+                return
+            yield packet

@@ -1,0 +1,172 @@
+"""Tests for boundary predicates, chain snapshots, and failure injection."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    ChainSnapshot,
+    CollectorSink,
+    ControlThread,
+    Filter,
+    IterableSource,
+    any_packet_boundary,
+    frame_type_boundary,
+    gop_boundary,
+    i_frame_boundary,
+    null_proxy,
+    sequence_multiple_boundary,
+)
+from repro.core.stats import FilterStats
+from repro.filters import PassthroughFilter
+from repro.media import FRAME_B, FRAME_I, FRAME_P, VideoSource, packetize_pcm, ToneSource
+
+
+def video_packets():
+    return [frame.to_packet().pack() for frame in VideoSource(duration=0.5).frames()]
+
+
+class TestBoundaryPredicates:
+    def test_any_packet_boundary_always_true(self):
+        assert any_packet_boundary(b"whatever")
+        assert any_packet_boundary(b"")
+
+    def test_i_frame_boundary_matches_only_i_frames(self):
+        packets = video_packets()
+        from repro.media import MediaPacket
+
+        for packet in packets:
+            media = MediaPacket.unpack(packet)
+            assert i_frame_boundary(packet) == (media.marker == FRAME_I)
+
+    def test_gop_boundary_is_alias_of_i_frame(self):
+        assert gop_boundary is i_frame_boundary
+
+    def test_i_frame_boundary_false_for_garbage(self):
+        assert not i_frame_boundary(b"not a media packet")
+
+    def test_frame_type_boundary_selects_types(self):
+        packets = video_packets()
+        predicate = frame_type_boundary(FRAME_P, FRAME_B)
+        from repro.media import MediaPacket
+
+        for packet in packets:
+            media = MediaPacket.unpack(packet)
+            assert predicate(packet) == (media.marker in (FRAME_P, FRAME_B))
+
+    def test_frame_type_boundary_default_allows_all_frames(self):
+        predicate = frame_type_boundary()
+        assert predicate(video_packets()[0])
+
+    def test_sequence_multiple_boundary(self):
+        packets = [p.pack() for p in
+                   packetize_pcm(ToneSource(duration=0.3).pcm_bytes())]
+        predicate = sequence_multiple_boundary(4)
+        from repro.media import MediaPacket
+
+        for packet in packets:
+            media = MediaPacket.unpack(packet)
+            assert predicate(packet) == (media.sequence % 4 == 0)
+
+    def test_sequence_multiple_boundary_validation(self):
+        with pytest.raises(ValueError):
+            sequence_multiple_boundary(0)
+        predicate = sequence_multiple_boundary(2)
+        assert not predicate(b"not media")
+
+
+class TestStats:
+    def test_filter_stats_snapshot(self):
+        stats = FilterStats()
+        stats.record_input(100, packets=1)
+        stats.record_output(50, packets=2)
+        stats.record_error()
+        snap = stats.snapshot()
+        assert snap["bytes_in"] == 100
+        assert snap["packets_out"] == 2
+        assert snap["errors"] == 1
+
+    def test_chain_snapshot_round_trip(self):
+        snapshot = ChainSnapshot(
+            stream_name="s", filter_names=["a"], filter_types=["passthrough"],
+            filter_stats=[{"bytes_in": 1}], source_stats={"bytes_out": 2},
+            sink_stats={"bytes_in": 3}, running=True)
+        restored = ChainSnapshot.from_dict(snapshot.to_dict())
+        assert restored == snapshot
+
+    def test_live_snapshot_reflects_traffic(self):
+        source = IterableSource([b"x" * 100] * 10)
+        sink = CollectorSink()
+        control = null_proxy(source, sink)
+        control.wait_for_completion(timeout=5.0)
+        snapshot = control.snapshot()
+        assert snapshot.source_stats["bytes_out"] == 1000
+        assert snapshot.sink_stats["bytes_in"] == 1000
+        control.shutdown()
+
+
+class ExplodeAfterN(Filter):
+    """A filter that fails after processing a fixed number of chunks."""
+
+    type_name = "explode-after-n"
+
+    def __init__(self, explode_after: int, name=None):
+        super().__init__(name=name)
+        self.explode_after = explode_after
+        self._seen = 0
+
+    def transform(self, chunk):
+        self._seen += 1
+        if self._seen > self.explode_after:
+            raise RuntimeError("injected filter failure")
+        return chunk
+
+
+class TestFailureInjection:
+    def test_filter_crash_propagates_eof_not_hang(self):
+        """A crashing filter must end the stream cleanly, never hang it."""
+        source = IterableSource([b"data"] * 100, pacing_s=0.001)
+        sink = CollectorSink()
+        control = ControlThread(source, sink, auto_start=False)
+        bomb = ExplodeAfterN(explode_after=5, name="bomb")
+        control.add(bomb)
+        control.start()
+        assert control.wait_for_completion(timeout=10.0)
+        control.shutdown()
+        assert isinstance(bomb.error, RuntimeError)
+        assert bomb.stats.snapshot()["errors"] == 1
+        # Some data was delivered before the failure, none after.
+        assert 0 < len(sink.data()) <= 100 * 4
+
+    def test_crashed_filter_can_be_replaced_on_the_fly(self):
+        """After a filter dies, the chain can be repaired by removing it."""
+        source = IterableSource([b"data"] * 2000, pacing_s=0.001)
+        sink = CollectorSink()
+        control = ControlThread(source, sink, auto_start=False)
+        bomb = ExplodeAfterN(explode_after=3, name="bomb")
+        control.add(bomb)
+        control.start()
+        time.sleep(0.1)   # let it crash
+        assert bomb.finished
+        # Removing the dead filter re-splices source -> sink; the stream was
+        # already terminated downstream of the bomb, but removal must not
+        # raise or deadlock and the chain ends up bomb-free.
+        control.remove("bomb")
+        assert control.filter_names() == []
+        control.shutdown()
+
+    def test_healthy_chain_survives_sibling_stream_failure(self):
+        """One stream's failure must not affect another stream on the proxy."""
+        from repro.core import Proxy
+
+        proxy = Proxy("multi")
+        healthy_sink = CollectorSink()
+        proxy.add_stream(IterableSource([b"ok"] * 50), healthy_sink, name="good")
+        failing_sink = CollectorSink()
+        failing = proxy.add_stream(IterableSource([b"bad"] * 50, pacing_s=0.001),
+                                   failing_sink, name="bad", auto_start=False)
+        failing.add(ExplodeAfterN(explode_after=1, name="bomb"))
+        failing.start()
+        assert proxy.stream("good").wait_for_completion(timeout=5.0)
+        assert healthy_sink.data() == b"ok" * 50
+        proxy.shutdown()

@@ -1,0 +1,211 @@
+"""Unit tests for EndPoints and the Proxy container."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    CallableSink,
+    CallableSource,
+    CollectorSink,
+    CompositionError,
+    IterableSource,
+    NullSink,
+    Proxy,
+    SocketSink,
+    SocketSource,
+    null_proxy,
+)
+from repro.filters import UppercaseFilter
+
+
+class TestIterableSource:
+    def test_produces_all_items_then_eof(self):
+        source = IterableSource([b"a", b"b", b"c"])
+        sink = CollectorSink()
+        control = null_proxy(source, sink)
+        assert control.wait_for_completion(timeout=5.0)
+        assert sink.data() == b"abc"
+        assert source.items_produced == 3
+        control.shutdown()
+
+    def test_empty_chunks_are_skipped(self):
+        source = IterableSource([b"a", b"", b"b"])
+        sink = CollectorSink()
+        control = null_proxy(source, sink)
+        control.wait_for_completion(timeout=5.0)
+        assert sink.data() == b"ab"
+        control.shutdown()
+
+    def test_frame_output_mode(self):
+        source = IterableSource([b"p1", b"p2"], frame_output=True)
+        sink = CollectorSink(expect_frames=True)
+        control = null_proxy(source, sink)
+        control.wait_for_completion(timeout=5.0)
+        assert sink.items() == [b"p1", b"p2"]
+        control.shutdown()
+
+    def test_negative_pacing_rejected(self):
+        with pytest.raises(ValueError):
+            IterableSource([b"x"], pacing_s=-1)
+
+
+class TestCallableEndpoints:
+    def test_callable_source_until_none(self):
+        remaining = [b"one", b"two", b"three"]
+
+        def pull():
+            return remaining.pop(0) if remaining else None
+
+        source = CallableSource(pull)
+        sink = CollectorSink()
+        control = null_proxy(source, sink)
+        control.wait_for_completion(timeout=5.0)
+        assert sink.data() == b"onetwothree"
+        control.shutdown()
+
+    def test_callable_sink_receives_chunks(self):
+        received = []
+        source = IterableSource([b"x", b"y"])
+        sink = CallableSink(received.append)
+        control = null_proxy(source, sink)
+        control.wait_for_completion(timeout=5.0)
+        assert b"".join(received) == b"xy"
+        control.shutdown()
+
+    def test_callable_sink_with_frames(self):
+        received = []
+        source = IterableSource([b"p1", b"p2", b"p3"], frame_output=True)
+        sink = CallableSink(received.append, expect_frames=True)
+        control = null_proxy(source, sink)
+        control.wait_for_completion(timeout=5.0)
+        assert received == [b"p1", b"p2", b"p3"]
+        control.shutdown()
+
+    def test_null_sink_discards(self):
+        source = IterableSource([b"data"] * 10, frame_output=True)
+        sink = NullSink(expect_frames=True)
+        control = null_proxy(source, sink)
+        control.wait_for_completion(timeout=5.0)
+        assert sink.items_consumed == 10
+        assert sink.stats.snapshot()["packets_in"] == 10
+        control.shutdown()
+
+    def test_source_error_closes_stream(self):
+        def bad_pull():
+            raise ValueError("source exploded")
+
+        source = CallableSource(bad_pull)
+        sink = CollectorSink()
+        control = null_proxy(source, sink)
+        assert control.wait_for_completion(timeout=5.0)
+        assert isinstance(source.error, ValueError)
+        assert sink.data() == b""
+        control.shutdown()
+
+
+class TestSocketEndpoints:
+    def test_proxy_between_real_sockets(self):
+        """Run a proxied byte stream across real loopback TCP sockets."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+
+        received = bytearray()
+        done = threading.Event()
+
+        def destination_server():
+            conn, _ = listener.accept()
+            while True:
+                data = conn.recv(4096)
+                if not data:
+                    break
+                received.extend(data)
+            conn.close()
+            done.set()
+
+        server_thread = threading.Thread(target=destination_server, daemon=True)
+        server_thread.start()
+
+        # "Application" socket pair: the app writes into one end; the proxy
+        # reads the other end and forwards to the destination server.
+        app_writer, proxy_reader = socket.socketpair()
+        destination = socket.create_connection(("127.0.0.1", port))
+
+        source = SocketSource(proxy_reader)
+        sink = SocketSink(destination)
+        control = null_proxy(source, sink)
+        control.add(UppercaseFilter())
+
+        app_writer.sendall(b"hello over sockets")
+        time.sleep(0.2)
+        app_writer.close()
+
+        assert done.wait(timeout=5.0)
+        control.shutdown()
+        listener.close()
+        assert bytes(received) == b"HELLO OVER SOCKETS"
+
+
+class TestProxy:
+    def test_add_and_lookup_streams(self):
+        proxy = Proxy("p1")
+        control = proxy.add_stream(IterableSource([b"x"]), CollectorSink(),
+                                   name="audio")
+        assert proxy.stream("audio") is control
+        assert proxy.stream_names() == ["audio"]
+        proxy.shutdown()
+
+    def test_auto_named_streams(self):
+        proxy = Proxy()
+        proxy.add_stream(IterableSource([b"x"]), CollectorSink())
+        proxy.add_stream(IterableSource([b"y"]), CollectorSink())
+        assert proxy.stream_names() == ["stream-0", "stream-1"]
+        proxy.shutdown()
+
+    def test_duplicate_stream_name_rejected(self):
+        proxy = Proxy()
+        proxy.add_stream(IterableSource([b"x"]), CollectorSink(), name="s")
+        with pytest.raises(CompositionError):
+            proxy.add_stream(IterableSource([b"y"]), CollectorSink(), name="s")
+        proxy.shutdown()
+
+    def test_unknown_stream_raises(self):
+        proxy = Proxy()
+        with pytest.raises(CompositionError):
+            proxy.stream("nope")
+        proxy.shutdown()
+
+    def test_remove_stream_shuts_it_down(self):
+        proxy = Proxy()
+        control = proxy.add_stream(IterableSource([b"x"] * 100), CollectorSink(),
+                                   name="s")
+        proxy.remove_stream("s")
+        assert "s" not in proxy.stream_names()
+        assert not control.running
+
+    def test_describe_and_snapshot(self):
+        proxy = Proxy("described")
+        proxy.add_stream(IterableSource([b"x"]), CollectorSink(), name="s")
+        time.sleep(0.1)
+        description = proxy.describe()
+        assert "s" in description
+        snapshot = proxy.snapshot()
+        assert snapshot["s"]["stream_name"] == "s"
+        proxy.shutdown()
+
+    def test_context_manager_shuts_down(self):
+        with Proxy("ctx") as proxy:
+            control = proxy.add_stream(IterableSource([b"x"] * 50),
+                                       CollectorSink(), name="s")
+        assert not control.running
+
+    def test_add_stream_after_shutdown_rejected(self):
+        proxy = Proxy()
+        proxy.shutdown()
+        with pytest.raises(CompositionError):
+            proxy.add_stream(IterableSource([b"x"]), CollectorSink())

@@ -1,0 +1,270 @@
+"""Unit tests for the filter registry, command handler and control manager."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    CollectorSink,
+    CommandHandler,
+    ControlManager,
+    ControlProtocolError,
+    ControlServer,
+    FilterRegistry,
+    FilterSpec,
+    IterableSource,
+    Proxy,
+    ProxyControlClient,
+    RegistryError,
+    default_registry,
+)
+from repro.core.commands import decode_message, encode_message
+from repro.filters import PassthroughFilter, UppercaseFilter
+
+
+UPLOAD_SOURCE = '''
+class ReverseFilter(Filter):
+    """Uploaded filter that reverses each chunk."""
+
+    type_name = "uploaded-reverse"
+
+    def transform(self, chunk):
+        return chunk[::-1]
+'''
+
+
+def make_proxy(chunk_count=200, pacing_s=0.002, name="p"):
+    proxy = Proxy(name)
+    source = IterableSource([f"c{i};".encode() for i in range(chunk_count)],
+                            pacing_s=pacing_s)
+    sink = CollectorSink()
+    proxy.add_stream(source, sink, name="main")
+    return proxy, sink
+
+
+class TestFilterSpec:
+    def test_round_trip_json(self):
+        spec = FilterSpec("uppercase", args={"name": "u"}, name="u")
+        assert FilterSpec.from_json(spec.to_json()) == spec
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(RegistryError):
+            FilterSpec.from_dict({"args": {}})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(RegistryError):
+            FilterSpec.from_json("{not json")
+
+
+class TestFilterRegistry:
+    def test_register_and_create(self):
+        registry = FilterRegistry()
+        registry.register(UppercaseFilter)
+        created = registry.create(FilterSpec("uppercase", name="inst"))
+        assert isinstance(created, UppercaseFilter)
+        assert created.name == "inst"
+
+    def test_register_non_filter_rejected(self):
+        registry = FilterRegistry()
+        with pytest.raises(RegistryError):
+            registry.register(dict)
+
+    def test_register_generic_type_name_rejected(self):
+        from repro.core import Filter
+
+        class Anonymous(Filter):
+            pass  # inherits type_name "filter"
+
+        registry = FilterRegistry()
+        with pytest.raises(RegistryError):
+            registry.register(Anonymous)
+
+    def test_unknown_type_rejected(self):
+        registry = FilterRegistry()
+        with pytest.raises(RegistryError):
+            registry.get("nope")
+        with pytest.raises(RegistryError):
+            registry.create(FilterSpec("nope"))
+
+    def test_bad_constructor_args_rejected(self):
+        registry = FilterRegistry()
+        registry.register(UppercaseFilter)
+        with pytest.raises(RegistryError):
+            registry.create(FilterSpec("uppercase", args={"bogus_arg": 1}))
+
+    def test_types_listing_and_unregister(self):
+        registry = FilterRegistry()
+        registry.register(UppercaseFilter)
+        registry.register(PassthroughFilter)
+        assert registry.types() == ["passthrough", "uppercase"]
+        registry.unregister("uppercase")
+        assert not registry.has("uppercase")
+
+    def test_default_registry_has_builtin_filters(self):
+        registry = default_registry()
+        assert "fec-encoder" in registry.types()
+        assert "fec-decoder" in registry.types()
+        assert "uppercase" in registry.types()
+
+    def test_upload_source_registers_new_type(self):
+        registry = FilterRegistry()
+        registered = registry.upload_source("thirdparty", UPLOAD_SOURCE)
+        assert registered == ["uploaded-reverse"]
+        created = registry.create(FilterSpec("uploaded-reverse"))
+        assert created.transform(b"abc") == b"cba"
+        assert registry.uploaded_modules() == ["thirdparty"]
+
+    def test_upload_disabled(self):
+        registry = FilterRegistry(allow_uploads=False)
+        with pytest.raises(RegistryError):
+            registry.upload_source("x", UPLOAD_SOURCE)
+
+    def test_upload_with_syntax_error_rejected(self):
+        registry = FilterRegistry()
+        with pytest.raises(RegistryError):
+            registry.upload_source("bad", "def broken(:\n  pass")
+
+    def test_upload_without_filter_classes_rejected(self):
+        registry = FilterRegistry()
+        with pytest.raises(RegistryError):
+            registry.upload_source("empty", "x = 42")
+
+    def test_upload_invalid_module_name_rejected(self):
+        registry = FilterRegistry()
+        with pytest.raises(RegistryError):
+            registry.upload_source("not a module!", UPLOAD_SOURCE)
+
+
+class TestCommandHandler:
+    def test_ping(self):
+        proxy, _ = make_proxy()
+        handler = CommandHandler(proxy)
+        assert handler.handle({"command": "ping"})["reply"] == "pong"
+        proxy.shutdown()
+
+    def test_list_streams_and_describe(self):
+        proxy, _ = make_proxy()
+        handler = CommandHandler(proxy)
+        assert handler.handle({"command": "list_streams"})["streams"] == ["main"]
+        snapshot = handler.handle({"command": "describe", "stream": "main"})
+        assert snapshot["ok"]
+        assert snapshot["snapshot"]["stream_name"] == "main"
+        proxy.shutdown()
+
+    def test_insert_and_remove_filter(self):
+        proxy, sink = make_proxy()
+        handler = CommandHandler(proxy)
+        response = handler.handle({
+            "command": "insert_filter", "stream": "main",
+            "spec": {"type": "uppercase", "name": "up"},
+        })
+        assert response["ok"] and response["filters"] == ["up"]
+        response = handler.handle({
+            "command": "remove_filter", "stream": "main", "filter": "up"})
+        assert response["ok"] and response["filters"] == []
+        proxy.shutdown()
+
+    def test_unknown_command_and_errors_are_reported(self):
+        proxy, _ = make_proxy()
+        handler = CommandHandler(proxy)
+        assert not handler.handle({"command": "explode"})["ok"]
+        assert not handler.handle({"command": "remove_filter", "stream": "main",
+                                   "filter": "ghost"})["ok"]
+        assert not handler.handle({"command": "insert_filter", "stream": "main"})["ok"]
+        proxy.shutdown()
+
+    def test_stream_field_optional_with_single_stream(self):
+        proxy, _ = make_proxy()
+        handler = CommandHandler(proxy)
+        response = handler.handle({"command": "stats"})
+        assert response["ok"]
+        proxy.shutdown()
+
+    def test_upload_then_insert_uploaded_filter(self):
+        proxy, sink = make_proxy(chunk_count=400)
+        registry = FilterRegistry()
+        handler = CommandHandler(proxy, registry=registry)
+        response = handler.handle({"command": "upload_filters",
+                                   "module": "ext", "source": UPLOAD_SOURCE})
+        assert response["ok"] and "uploaded-reverse" in response["registered"]
+        response = handler.handle({
+            "command": "insert_filter", "stream": "main",
+            "spec": {"type": "uploaded-reverse"}})
+        assert response["ok"]
+        proxy.shutdown()
+
+    def test_handle_line_round_trip(self):
+        proxy, _ = make_proxy()
+        handler = CommandHandler(proxy)
+        reply = handler.handle_line(encode_message({"command": "ping"}).strip())
+        assert decode_message(reply)["reply"] == "pong"
+        bad = handler.handle_line(b"this is not json")
+        assert decode_message(bad)["ok"] is False
+        proxy.shutdown()
+
+
+class TestControlServerAndManager:
+    def test_tcp_round_trip(self):
+        proxy, _ = make_proxy(chunk_count=500, pacing_s=0.001)
+        with ControlServer(proxy) as server:
+            client = ProxyControlClient(server.address)
+            assert client.ping()
+            assert client.streams() == ["main"]
+            assert "uppercase" in client.filter_types()
+            name = client.insert_filter(FilterSpec("uppercase", name="up"),
+                                        stream="main")
+            assert name == "up"
+            snapshot = client.snapshot("main")
+            assert snapshot.filter_names == ["up"]
+            client.remove_filter("up", stream="main")
+            assert client.snapshot("main").filter_names == []
+            client.close()
+        proxy.shutdown()
+
+    def test_tcp_error_propagates_as_exception(self):
+        proxy, _ = make_proxy()
+        with ControlServer(proxy) as server:
+            client = ProxyControlClient(server.address)
+            with pytest.raises(ControlProtocolError):
+                client.remove_filter("missing", stream="main")
+            client.close()
+        proxy.shutdown()
+
+    def test_in_process_client(self):
+        proxy, _ = make_proxy()
+        client = ProxyControlClient(proxy)
+        assert client.ping()
+        assert client.streams() == ["main"]
+        proxy.shutdown()
+
+    def test_control_manager_multiple_proxies(self):
+        proxy_a, _ = make_proxy(name="alpha")
+        proxy_b, _ = make_proxy(name="beta")
+        manager = ControlManager()
+        manager.register_proxy("alpha", proxy_a)
+        manager.register_proxy("beta", proxy_b)
+        assert manager.proxy_names() == ["alpha", "beta"]
+        assert manager.ping_all() == {"alpha": True, "beta": True}
+        manager.insert_filter("alpha", FilterSpec("uppercase", name="up"),
+                              stream="main")
+        rendering = manager.render_state()
+        assert "proxy alpha" in rendering
+        assert "up" in rendering
+        assert "[source] -> [sink]" in rendering  # beta is still a null proxy
+        manager.close()
+        proxy_a.shutdown()
+        proxy_b.shutdown()
+
+    def test_control_manager_upload(self):
+        proxy, _ = make_proxy(name="uploader")
+        manager = ControlManager()
+        manager.register_proxy("uploader", proxy, registry=FilterRegistry())
+        registered = manager.upload_filters("uploader", "ext", UPLOAD_SOURCE)
+        assert registered == ["uploaded-reverse"]
+        manager.close()
+        proxy.shutdown()
+
+    def test_unknown_proxy_rejected(self):
+        manager = ControlManager()
+        with pytest.raises(ControlProtocolError):
+            manager.client("ghost")

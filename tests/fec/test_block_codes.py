@@ -1,0 +1,154 @@
+"""Unit tests for the (n, k) block erasure encoder/decoder."""
+
+import itertools
+
+import pytest
+
+from repro.fec import BlockErasureCode, FecCodingError, decode_blocks, encode_blocks
+
+
+def make_blocks(k, size=32, seed=7):
+    """Deterministic pseudo-random source blocks."""
+    import random
+
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(k)]
+
+
+class TestEncoding:
+    def test_systematic_prefix(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4)
+        encoded = code.encode(blocks)
+        assert len(encoded) == 6
+        assert encoded[:4] == blocks
+
+    def test_parity_blocks_same_length(self):
+        code = BlockErasureCode(4, 6)
+        encoded = code.encode(make_blocks(4, size=100))
+        assert all(len(block) == 100 for block in encoded)
+
+    def test_encode_parity_returns_only_parity(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4)
+        assert code.encode_parity(blocks) == code.encode(blocks)[4:]
+
+    def test_wrong_block_count_raises(self):
+        code = BlockErasureCode(4, 6)
+        with pytest.raises(FecCodingError):
+            code.encode(make_blocks(3))
+
+    def test_mismatched_block_lengths_raise(self):
+        code = BlockErasureCode(2, 4)
+        with pytest.raises(FecCodingError):
+            code.encode([b"short", b"much longer block"])
+
+    def test_empty_blocks_rejected(self):
+        code = BlockErasureCode(2, 3)
+        with pytest.raises(FecCodingError):
+            code.encode([b"", b""])
+
+    def test_k_equals_n_produces_no_parity(self):
+        code = BlockErasureCode(3, 3)
+        blocks = make_blocks(3)
+        assert code.encode(blocks) == blocks
+
+    def test_properties(self):
+        code = BlockErasureCode(4, 6)
+        assert code.parity_count == 2
+        assert code.overhead == pytest.approx(0.5)
+        assert code.rate == pytest.approx(4 / 6)
+
+
+class TestDecoding:
+    def test_decode_with_no_loss(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4)
+        encoded = code.encode(blocks)
+        received = {i: encoded[i] for i in range(4)}
+        assert code.decode(received) == blocks
+
+    def test_decode_all_single_losses(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4)
+        encoded = code.encode(blocks)
+        for lost in range(4):
+            received = {i: encoded[i] for i in range(6) if i != lost}
+            assert code.decode(received) == blocks
+
+    def test_decode_every_k_subset(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4, size=48)
+        encoded = code.encode(blocks)
+        for subset in itertools.combinations(range(6), 4):
+            received = {i: encoded[i] for i in subset}
+            assert code.decode(received) == blocks
+
+    def test_decode_with_extra_blocks(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4)
+        encoded = code.encode(blocks)
+        received = {i: encoded[i] for i in range(6)}  # all 6
+        assert code.decode(received) == blocks
+
+    def test_too_few_blocks_raises(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4)
+        encoded = code.encode(blocks)
+        with pytest.raises(FecCodingError):
+            code.decode({0: encoded[0], 5: encoded[5]})
+
+    def test_invalid_index_raises(self):
+        code = BlockErasureCode(2, 3)
+        blocks = make_blocks(2)
+        encoded = code.encode(blocks)
+        with pytest.raises(FecCodingError):
+            code.decode({0: encoded[0], 7: encoded[1]})
+
+    def test_mismatched_received_lengths_raise(self):
+        code = BlockErasureCode(2, 4)
+        blocks = make_blocks(2)
+        encoded = code.encode(blocks)
+        with pytest.raises(FecCodingError):
+            code.decode({0: encoded[0], 2: encoded[2][:-1]})
+
+    def test_can_decode_predicate(self):
+        code = BlockErasureCode(4, 6)
+        assert code.can_decode([0, 1, 4, 5])
+        assert not code.can_decode([0, 1, 4])
+        assert not code.can_decode([0, 0, 1, 1])  # duplicates don't count
+
+    def test_single_source_block_code(self):
+        code = BlockErasureCode(1, 3)
+        blocks = [b"only block"]
+        encoded = code.encode(blocks)
+        for i in range(3):
+            assert code.decode({i: encoded[i]}) == blocks
+
+
+class TestPaperConfiguration:
+    """The paper's FEC(6,4) code: any single or double loss is repairable."""
+
+    def test_fec_6_4_repairs_any_two_losses(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4, size=256)
+        encoded = code.encode(blocks)
+        for lost in itertools.combinations(range(6), 2):
+            received = {i: encoded[i] for i in range(6) if i not in lost}
+            assert code.decode(received) == blocks
+
+    def test_fec_6_4_cannot_repair_three_losses(self):
+        code = BlockErasureCode(4, 6)
+        blocks = make_blocks(4)
+        encoded = code.encode(blocks)
+        received = {i: encoded[i] for i in range(3)}
+        with pytest.raises(FecCodingError):
+            code.decode(received)
+
+
+class TestConvenienceFunctions:
+    def test_encode_decode_helpers(self):
+        blocks = make_blocks(3, size=16)
+        encoded = encode_blocks(blocks, 3, 5)
+        received = {0: encoded[0], 3: encoded[3], 4: encoded[4]}
+        assert decode_blocks(received, 3, 5) == blocks

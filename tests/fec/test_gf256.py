@@ -1,0 +1,125 @@
+"""Unit tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.fec import (
+    EXP_TABLE,
+    FIELD_SIZE,
+    LOG_TABLE,
+    gf_add,
+    gf_div,
+    gf_dot_bytes,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    gf_sub,
+)
+
+
+class TestTables:
+    def test_exp_table_covers_field(self):
+        # alpha^0 .. alpha^254 enumerate every nonzero element exactly once.
+        assert sorted(EXP_TABLE[:FIELD_SIZE - 1]) == list(range(1, FIELD_SIZE))
+
+    def test_log_exp_are_inverse(self):
+        for value in range(1, FIELD_SIZE):
+            assert EXP_TABLE[LOG_TABLE[value]] == value
+
+
+class TestScalarArithmetic:
+    def test_addition_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+        assert gf_sub(0b1010, 0b0110) == 0b1100
+
+    def test_addition_self_inverse(self):
+        for a in range(256):
+            assert gf_add(a, a) == 0
+
+    def test_multiplication_by_zero_and_one(self):
+        for a in range(256):
+            assert gf_mul(a, 0) == 0
+            assert gf_mul(0, a) == 0
+            assert gf_mul(a, 1) == a
+
+    def test_multiplication_commutative(self):
+        for a in (3, 17, 99, 200, 255):
+            for b in (5, 80, 128, 254):
+                assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_multiplication_associative(self):
+        for a, b, c in [(2, 3, 4), (7, 99, 200), (255, 254, 253)]:
+            assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    def test_distributive_law(self):
+        for a, b, c in [(5, 6, 7), (100, 200, 50), (255, 1, 128)]:
+            assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    def test_division_inverts_multiplication(self):
+        for a in (1, 2, 77, 255):
+            for b in (1, 3, 100, 254):
+                assert gf_div(gf_mul(a, b), b) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_pow_matches_repeated_multiplication(self):
+        for base in (2, 3, 29):
+            acc = 1
+            for exponent in range(10):
+                assert gf_pow(base, exponent) == acc
+                acc = gf_mul(acc, base)
+
+    def test_pow_zero_exponent_is_one(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(123, 0) == 1
+
+    def test_pow_of_zero_is_zero(self):
+        assert gf_pow(0, 5) == 0
+
+
+class TestVectorised:
+    def test_mul_bytes_matches_scalar(self):
+        data = np.arange(256, dtype=np.uint8)
+        for coefficient in (0, 1, 2, 37, 255):
+            vectorised = gf_mul_bytes(coefficient, data)
+            scalar = np.array([gf_mul(coefficient, int(b)) for b in data], dtype=np.uint8)
+            assert np.array_equal(vectorised, scalar)
+
+    def test_mul_bytes_zero_coefficient(self):
+        data = np.frombuffer(b"hello", dtype=np.uint8)
+        assert not gf_mul_bytes(0, data).any()
+
+    def test_mul_bytes_returns_copy_for_identity(self):
+        data = np.frombuffer(b"abc", dtype=np.uint8)
+        out = gf_mul_bytes(1, data)
+        assert np.array_equal(out, data)
+        assert out is not data
+
+    def test_dot_bytes_matches_manual_combination(self):
+        blocks = [np.frombuffer(b"\x01\x02\x03", dtype=np.uint8),
+                  np.frombuffer(b"\x10\x20\x30", dtype=np.uint8)]
+        coefficients = [3, 7]
+        result = gf_dot_bytes(coefficients, blocks)
+        expected = [gf_add(gf_mul(3, a), gf_mul(7, b))
+                    for a, b in zip(b"\x01\x02\x03", b"\x10\x20\x30")]
+        assert list(result) == expected
+
+    def test_dot_bytes_length_mismatch_raises(self):
+        blocks = [np.zeros(3, dtype=np.uint8)]
+        with pytest.raises(ValueError):
+            gf_dot_bytes([1, 2], blocks)
+
+    def test_dot_bytes_empty_raises(self):
+        with pytest.raises(ValueError):
+            gf_dot_bytes([], [])

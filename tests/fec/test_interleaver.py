@@ -1,0 +1,143 @@
+"""Unit tests for the packet interleaver/deinterleaver."""
+
+import pytest
+
+from repro.fec import (
+    BlockInterleaver,
+    Deinterleaver,
+    FecGroupDecoder,
+    FecGroupEncoder,
+    FecPacket,
+)
+from repro.net import GilbertElliottLoss
+
+
+def packets_for_groups(group_count, k=2, n=3):
+    """Encode ``group_count`` groups and return the flat packet list."""
+    encoder = FecGroupEncoder(k=k, n=n)
+    packets = []
+    for g in range(group_count):
+        for i in range(k):
+            packets.extend(encoder.add(f"g{g}p{i}".encode()))
+    return packets
+
+
+class TestBlockInterleaver:
+    def test_emits_nothing_until_block_full(self):
+        interleaver = BlockInterleaver(depth=2, row_length=3)
+        packets = packets_for_groups(2)
+        out = []
+        for packet in packets[:-1]:
+            out.extend(interleaver.add(packet))
+        assert out == []
+        out.extend(interleaver.add(packets[-1]))
+        assert len(out) == 6
+
+    def test_column_order_within_block(self):
+        interleaver = BlockInterleaver(depth=2, row_length=3)
+        packets = packets_for_groups(2)
+        out = []
+        for packet in packets:
+            out.extend(interleaver.add(packet))
+        # Row-major input [a0 a1 a2 | b0 b1 b2] -> column order a0 b0 a1 b1 a2 b2.
+        expected_groups = [packets[0].group_id, packets[3].group_id] * 3
+        assert [p.group_id for p in out] == expected_groups
+
+    def test_flush_emits_partial_block(self):
+        interleaver = BlockInterleaver(depth=3, row_length=3)
+        packets = packets_for_groups(1)
+        for packet in packets:
+            assert interleaver.add(packet) == []
+        assert interleaver.buffered == 3
+        flushed = interleaver.flush()
+        assert len(flushed) == 3
+        assert interleaver.buffered == 0
+
+    def test_counts_and_delay(self):
+        interleaver = BlockInterleaver(depth=4, row_length=6)
+        assert interleaver.added_delay_packets == 24
+        for packet in packets_for_groups(8):
+            interleaver.add(packet)
+        interleaver.flush()
+        assert interleaver.packets_in == interleaver.packets_out == 24
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(depth=0, row_length=3)
+        with pytest.raises(ValueError):
+            BlockInterleaver(depth=2, row_length=0)
+
+
+class TestDeinterleaver:
+    def test_round_trip_restores_group_order(self):
+        packets = packets_for_groups(4)
+        interleaver = BlockInterleaver(depth=4, row_length=3)
+        on_the_wire = []
+        for packet in packets:
+            on_the_wire.extend(interleaver.add(packet))
+        on_the_wire.extend(interleaver.flush())
+
+        # A window at least as deep as the interleaver restores exact order.
+        deinterleaver = Deinterleaver(window_groups=4)
+        restored = []
+        for packet in on_the_wire:
+            restored.extend(deinterleaver.add(packet))
+        restored.extend(deinterleaver.flush())
+        assert [(p.group_id, p.index) for p in restored] == \
+            [(p.group_id, p.index) for p in packets]
+
+    def test_small_window_still_delivers_every_packet(self):
+        packets = packets_for_groups(6)
+        interleaver = BlockInterleaver(depth=3, row_length=3)
+        on_the_wire = []
+        for packet in packets:
+            on_the_wire.extend(interleaver.add(packet))
+        on_the_wire.extend(interleaver.flush())
+        deinterleaver = Deinterleaver(window_groups=1)
+        restored = []
+        for packet in on_the_wire:
+            restored.extend(deinterleaver.add(packet))
+        restored.extend(deinterleaver.flush())
+        assert sorted((p.group_id, p.index) for p in restored) == \
+            sorted((p.group_id, p.index) for p in packets)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Deinterleaver(window_groups=0)
+
+
+class TestInterleavingUnderBurstLoss:
+    def test_interleaving_improves_burst_tolerance(self):
+        """Under bursty (Gilbert–Elliott) loss, interleaved FEC recovers more
+        payloads than non-interleaved FEC with the same code."""
+        k, n, groups = 4, 6, 300
+
+        def run(interleave: bool, seed: int = 99) -> int:
+            encoder = FecGroupEncoder(k=k, n=n)
+            decoder = FecGroupDecoder(max_tracked_groups=4096)
+            channel = GilbertElliottLoss(p_good_to_bad=0.02, p_bad_to_good=0.25,
+                                         good_loss=0.0, bad_loss=0.9, seed=seed)
+            interleaver = BlockInterleaver(depth=8, row_length=n)
+            wire = []
+            for g in range(groups):
+                for i in range(k):
+                    for packet in encoder.add(f"g{g}p{i}".encode()):
+                        if interleave:
+                            wire.extend(interleaver.add(packet))
+                        else:
+                            wire.append(packet)
+            if interleave:
+                wire.extend(interleaver.flush())
+            delivered = 0
+            for packet in wire:
+                if channel.packet_lost():
+                    continue
+                delivered += len(decoder.add(packet))
+            delivered += len(decoder.flush())
+            return delivered
+
+        plain = run(False)
+        interleaved = run(True)
+        total = groups * k
+        assert interleaved > plain
+        assert interleaved / total > 0.97

@@ -1,0 +1,165 @@
+"""Unit tests for GF(256) matrices and the Vandermonde code construction."""
+
+import itertools
+
+import pytest
+
+from repro.fec import (
+    GFMatrix,
+    SingularMatrixError,
+    decoding_matrix,
+    parity_rows,
+    systematic_generator_matrix,
+    validate_parameters,
+    vandermonde_matrix,
+)
+from repro.fec.matrix import solve
+
+
+class TestGFMatrix:
+    def test_identity_construction(self):
+        eye = GFMatrix.identity(3)
+        assert eye.rows() == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        assert eye.is_identity()
+
+    def test_shape_and_indexing(self):
+        m = GFMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m[1, 2] == 6
+        m[1, 2] = 9
+        assert m[1, 2] == 9
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2], [3]])
+
+    def test_out_of_range_elements_rejected(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[256]])
+        m = GFMatrix([[0]])
+        with pytest.raises(ValueError):
+            m[0, 0] = -1
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            GFMatrix([])
+        with pytest.raises(ValueError):
+            GFMatrix([[]])
+
+    def test_multiply_by_identity(self):
+        m = GFMatrix([[7, 9], [13, 200]])
+        assert m.multiply(GFMatrix.identity(2)) == m
+        assert GFMatrix.identity(2).multiply(m) == m
+
+    def test_multiply_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2]]).multiply(GFMatrix([[1, 2]]))
+
+    def test_inverse_round_trip(self):
+        m = GFMatrix([[1, 2, 3], [4, 5, 6], [7, 8, 10]])
+        assert m.multiply(m.inverse()).is_identity()
+        assert m.inverse().multiply(m).is_identity()
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            GFMatrix([[1, 2], [1, 2]]).inverse()
+
+    def test_non_square_inverse_rejected(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2, 3], [4, 5, 6]]).inverse()
+
+    def test_multiply_vector(self):
+        eye = GFMatrix.identity(3)
+        assert eye.multiply_vector([9, 8, 7]) == [9, 8, 7]
+
+    def test_multiply_vector_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GFMatrix.identity(2).multiply_vector([1, 2, 3])
+
+    def test_solve_linear_system(self):
+        m = GFMatrix([[1, 2], [3, 4]])
+        x = [17, 99]
+        rhs = m.multiply_vector(x)
+        assert solve(m, rhs) == x
+
+    def test_submatrix_selects_rows(self):
+        m = GFMatrix([[1, 1], [2, 2], [3, 3]])
+        assert m.submatrix([2, 0]).rows() == [[3, 3], [1, 1]]
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize("k,n", [(0, 4), (-1, 2), (5, 4), (4, 256)])
+    def test_invalid_parameters_rejected(self, k, n):
+        with pytest.raises(ValueError):
+            validate_parameters(k, n)
+
+    @pytest.mark.parametrize("k,n", [(1, 1), (4, 6), (16, 24), (1, 255)])
+    def test_valid_parameters_accepted(self, k, n):
+        validate_parameters(k, n)
+
+
+class TestVandermondeConstruction:
+    def test_raw_matrix_shape(self):
+        v = vandermonde_matrix(4, 6)
+        assert v.shape == (6, 4)
+
+    def test_first_column_all_ones(self):
+        v = vandermonde_matrix(3, 7)
+        assert all(v[i, 0] == 1 for i in range(7))
+
+    def test_systematic_top_is_identity(self):
+        for k, n in [(1, 3), (4, 6), (8, 12)]:
+            g = systematic_generator_matrix(k, n)
+            assert g.submatrix(range(k)).is_identity()
+
+    def test_generator_shape(self):
+        g = systematic_generator_matrix(4, 6)
+        assert g.shape == (6, 4)
+
+    def test_parity_rows_count(self):
+        assert len(parity_rows(4, 6)) == 2
+        assert len(parity_rows(5, 5)) == 0
+
+    def test_every_k_subset_invertible_small_code(self):
+        """The defining property: any k rows of G must be invertible."""
+        k, n = 4, 6
+        g = systematic_generator_matrix(k, n)
+        for rows in itertools.combinations(range(n), k):
+            g.submatrix(rows).inverse()  # must not raise
+
+    def test_every_k_subset_invertible_wider_code(self):
+        k, n = 3, 8
+        g = systematic_generator_matrix(k, n)
+        for rows in itertools.combinations(range(n), k):
+            g.submatrix(rows).inverse()
+
+    def test_generator_cached(self):
+        assert systematic_generator_matrix(4, 6) is systematic_generator_matrix(4, 6)
+
+
+class TestDecodingMatrix:
+    def test_all_data_rows_gives_identity(self):
+        d = decoding_matrix(4, 6, [0, 1, 2, 3])
+        assert d.is_identity()
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            decoding_matrix(4, 6, [0, 1, 2])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            decoding_matrix(4, 6, [0, 1, 2, 2])
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            decoding_matrix(4, 6, [0, 1, 2, 6])
+
+    def test_decoding_recovers_vector(self):
+        k, n = 4, 6
+        g = systematic_generator_matrix(k, n)
+        source = [10, 20, 30, 40]
+        encoded = g.multiply_vector(source)
+        received_indices = [0, 2, 4, 5]  # lost packets 1 and 3
+        d = decoding_matrix(k, n, received_indices)
+        recovered = d.multiply_vector([encoded[i] for i in received_indices])
+        assert recovered == source

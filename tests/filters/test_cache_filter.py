@@ -1,0 +1,112 @@
+"""Unit tests for the content cache and the browse-cache filter."""
+
+import pytest
+
+from repro.filters import BrowseCacheFilter, LruContentCache
+from repro.pavilion import BrowserInterface
+
+
+def content_packet(url, body, sender="leader"):
+    return BrowserInterface(sender).content_message(url, "text/html", body).pack()
+
+
+class TestLruContentCache:
+    def test_put_get_round_trip(self):
+        cache = LruContentCache(capacity_bytes=1000)
+        cache.put("u1", b"body-1")
+        assert cache.get("u1") == b"body-1"
+        assert cache.contains("u1")
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self):
+        cache = LruContentCache()
+        assert cache.get("missing") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.0
+
+    def test_lru_eviction_order(self):
+        cache = LruContentCache(capacity_bytes=30)
+        cache.put("a", b"x" * 10)
+        cache.put("b", b"y" * 10)
+        cache.put("c", b"z" * 10)
+        cache.get("a")                      # refresh a: b becomes LRU
+        cache.put("d", b"w" * 10)           # evicts b
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert cache.contains("c") and cache.contains("d")
+        assert cache.stats.evictions == 1
+
+    def test_size_accounting_and_replacement(self):
+        cache = LruContentCache(capacity_bytes=100)
+        cache.put("a", b"x" * 40)
+        cache.put("a", b"y" * 10)           # replacement shrinks usage
+        assert cache.size_bytes == 10
+        assert len(cache) == 1
+
+    def test_oversized_object_not_stored(self):
+        cache = LruContentCache(capacity_bytes=10)
+        cache.put("huge", b"x" * 100)
+        assert not cache.contains("huge")
+        assert cache.size_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LruContentCache(capacity_bytes=0)
+
+    def test_urls_in_recency_order(self):
+        cache = LruContentCache()
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")
+        assert cache.urls() == ["b", "a"]
+
+
+class TestBrowseCacheFilter:
+    def test_caches_content_messages_and_forwards_unchanged(self):
+        cache_filter = BrowseCacheFilter()
+        packet = content_packet("http://x/a", b"<html>a</html>")
+        assert cache_filter.transform_packet(packet) == packet
+        assert cache_filter.content_messages_seen == 1
+        assert cache_filter.serve("http://x/a") == b"<html>a</html>"
+
+    def test_url_announcements_not_cached(self):
+        cache_filter = BrowseCacheFilter()
+        announcement = BrowserInterface("leader").announce_url("http://x/a").pack()
+        cache_filter.transform_packet(announcement)
+        assert cache_filter.serve("http://x/a") is None
+
+    def test_non_browse_packets_pass_through(self):
+        cache_filter = BrowseCacheFilter()
+        assert cache_filter.transform_packet(b"opaque bytes") == b"opaque bytes"
+        assert cache_filter.non_browse_packets == 1
+
+    def test_describe_reports_cache_state(self):
+        cache_filter = BrowseCacheFilter()
+        cache_filter.transform_packet(content_packet("http://x/a", b"abc"))
+        info = cache_filter.describe()
+        assert info["cache"]["entries"] == 1
+        assert info["cache"]["bytes"] == 3
+
+    def test_in_chain_caching_on_live_stream(self):
+        """Run the filter inside a proxy chain: the cache fills as pages flow."""
+        from repro.core import CollectorSink, ControlThread, IterableSource
+
+        pages = {f"http://site/p{i}": f"<html>page {i}</html>".encode() * 5
+                 for i in range(6)}
+        packets = [content_packet(url, body) for url, body in pages.items()]
+        cache_filter = BrowseCacheFilter(name="cache")
+        source = IterableSource(list(packets), frame_output=True)
+        sink = CollectorSink(expect_frames=True)
+        control = ControlThread(source, sink, auto_start=False)
+        control.add(cache_filter)
+        control.start()
+        assert control.wait_for_completion(timeout=30.0)
+        control.shutdown()
+        assert sink.items() == packets
+        for url, body in pages.items():
+            assert cache_filter.serve(url) == body
+
+    def test_registered_in_default_registry(self):
+        from repro.core import default_registry
+
+        assert "browse-cache" in default_registry().types()

@@ -1,0 +1,163 @@
+"""Unit tests for audio sources and the WAV container."""
+
+import io
+
+import pytest
+
+from repro.media import (
+    AudioFormat,
+    NoiseSource,
+    PAPER_AUDIO_FORMAT,
+    SpeechLikeSource,
+    ToneSource,
+    WavFormatError,
+    pcm_similarity,
+    read_wav,
+    wav_bytes,
+    write_wav,
+)
+
+
+class TestAudioFormat:
+    def test_paper_format_data_rate(self):
+        # 8000 samples/s * 2 channels * 1 byte = 16000 bytes/s.
+        assert PAPER_AUDIO_FORMAT.bytes_per_second == 16000
+        assert PAPER_AUDIO_FORMAT.frame_size == 2
+
+    def test_duration_and_bytes_round_trip(self):
+        fmt = AudioFormat()
+        assert fmt.bytes_for(1.0) == 16000
+        assert fmt.duration_of(16000) == pytest.approx(1.0)
+
+    def test_sixteen_bit_format(self):
+        fmt = AudioFormat(sample_rate=44100, channels=2, sample_width=2)
+        assert fmt.bytes_per_second == 44100 * 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sample_rate": 0}, {"channels": 0}, {"sample_width": 3},
+    ])
+    def test_invalid_formats_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AudioFormat(**kwargs)
+
+
+class TestAudioSources:
+    def test_tone_source_length_matches_duration(self):
+        source = ToneSource(duration=0.5)
+        pcm = source.pcm_bytes()
+        assert len(pcm) == PAPER_AUDIO_FORMAT.bytes_for(0.5)
+
+    def test_tone_source_deterministic(self):
+        assert ToneSource(duration=0.1).pcm_bytes() == ToneSource(duration=0.1).pcm_bytes()
+
+    def test_read_is_position_independent(self):
+        source = ToneSource(duration=0.5)
+        full = source.pcm_bytes()
+        fragment = source.read(100, 50)
+        frame_size = source.format.frame_size
+        assert fragment == full[100 * frame_size:150 * frame_size]
+
+    def test_read_past_end_returns_empty(self):
+        source = ToneSource(duration=0.1)
+        assert source.read(source.total_frames + 1, 10) == b""
+
+    def test_read_clamps_at_end(self):
+        source = ToneSource(duration=0.1)
+        data = source.read(source.total_frames - 5, 100)
+        assert len(data) == 5 * source.format.frame_size
+
+    def test_chunks_cover_whole_stream(self):
+        source = ToneSource(duration=0.25)
+        chunks = list(source.chunks(chunk_frames=160))
+        assert b"".join(chunks) == source.pcm_bytes()
+
+    def test_chunks_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(ToneSource(duration=0.1).chunks(0))
+
+    def test_noise_source_seeded(self):
+        a = NoiseSource(seed=5, duration=0.1).pcm_bytes()
+        b = NoiseSource(seed=5, duration=0.1).pcm_bytes()
+        c = NoiseSource(seed=6, duration=0.1).pcm_bytes()
+        assert a == b
+        assert a != c
+
+    def test_speech_like_source_renders(self):
+        source = SpeechLikeSource(duration=0.2)
+        assert len(source.pcm_bytes()) == PAPER_AUDIO_FORMAT.bytes_for(0.2)
+
+    def test_sixteen_bit_quantisation(self):
+        source = ToneSource(duration=0.05,
+                            audio_format=AudioFormat(sample_width=2))
+        pcm = source.pcm_bytes()
+        assert len(pcm) == source.format.bytes_for(0.05)
+
+    def test_invalid_durations_and_amplitudes(self):
+        with pytest.raises(ValueError):
+            ToneSource(duration=0)
+        with pytest.raises(ValueError):
+            ToneSource(amplitude=0)
+        with pytest.raises(ValueError):
+            NoiseSource(amplitude=1.5)
+
+
+class TestPcmSimilarity:
+    def test_identical_streams_score_one(self):
+        pcm = ToneSource(duration=0.1).pcm_bytes()
+        assert pcm_similarity(pcm, pcm) == pytest.approx(1.0)
+
+    def test_empty_original_scores_one(self):
+        assert pcm_similarity(b"", b"anything") == 1.0
+
+    def test_missing_tail_lowers_score(self):
+        pcm = ToneSource(duration=0.1).pcm_bytes()
+        score = pcm_similarity(pcm, pcm[:len(pcm) // 2])
+        assert 0.4 < score < 0.75
+
+    def test_corrupted_bytes_lower_score(self):
+        pcm = ToneSource(duration=0.1).pcm_bytes()
+        corrupted = bytes(b ^ 0xFF for b in pcm)
+        assert pcm_similarity(pcm, corrupted) < 0.1
+
+
+class TestWav:
+    def test_round_trip_8bit(self):
+        pcm = ToneSource(duration=0.1).pcm_bytes()
+        blob = wav_bytes(pcm, PAPER_AUDIO_FORMAT)
+        parsed = read_wav(blob)
+        assert parsed.data == pcm
+        assert parsed.format == PAPER_AUDIO_FORMAT
+        assert parsed.duration == pytest.approx(0.1)
+
+    def test_round_trip_16bit(self):
+        fmt = AudioFormat(sample_rate=16000, channels=1, sample_width=2)
+        pcm = ToneSource(duration=0.05, audio_format=fmt).pcm_bytes()
+        parsed = read_wav(wav_bytes(pcm, fmt))
+        assert parsed.format == fmt
+        assert parsed.data == pcm
+
+    def test_write_to_file_and_stream(self, tmp_path):
+        pcm = ToneSource(duration=0.05).pcm_bytes()
+        path = str(tmp_path / "tone.wav")
+        write_wav(path, pcm, PAPER_AUDIO_FORMAT)
+        assert read_wav(path).data == pcm
+        stream = io.BytesIO()
+        write_wav(stream, pcm, PAPER_AUDIO_FORMAT)
+        stream.seek(0)
+        assert read_wav(stream).data == pcm
+
+    def test_not_a_wav_rejected(self):
+        with pytest.raises(WavFormatError):
+            read_wav(b"definitely not a wav file")
+
+    def test_truncated_chunk_rejected(self):
+        pcm = ToneSource(duration=0.05).pcm_bytes()
+        blob = wav_bytes(pcm, PAPER_AUDIO_FORMAT)
+        with pytest.raises(WavFormatError):
+            read_wav(blob[:30])
+
+    def test_missing_data_chunk_rejected(self):
+        blob = wav_bytes(b"", PAPER_AUDIO_FORMAT)
+        # strip the data chunk (last 8 bytes of header + 0 bytes payload)
+        with pytest.raises(WavFormatError):
+            read_wav(blob[:12])

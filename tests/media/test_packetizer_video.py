@@ -1,0 +1,206 @@
+"""Unit tests for media packetisation and the GOP video source."""
+
+import pytest
+
+from repro.media import (
+    AudioPacketizer,
+    Depacketizer,
+    FRAME_B,
+    FRAME_I,
+    FRAME_P,
+    GopPattern,
+    MediaPacket,
+    MediaPacketError,
+    ToneSource,
+    TYPE_AUDIO,
+    TYPE_VIDEO,
+    VideoFrame,
+    VideoSource,
+    drop_b_frames,
+    is_gop_boundary,
+    packetize_pcm,
+    sequence_numbers,
+    stream_bitrate,
+)
+
+
+class TestMediaPacket:
+    def test_pack_unpack_round_trip(self):
+        packet = MediaPacket(sequence=7, timestamp_ms=140, payload=b"pcm",
+                             media_type=TYPE_AUDIO, marker=3)
+        assert MediaPacket.unpack(packet.pack()) == packet
+
+    def test_bad_magic_rejected(self):
+        packed = MediaPacket(sequence=0, timestamp_ms=0, payload=b"x").pack()
+        with pytest.raises(MediaPacketError):
+            MediaPacket.unpack(b"\x00" + packed[1:])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MediaPacketError):
+            MediaPacket.unpack(b"\xad\x01")
+
+    def test_out_of_range_sequence_rejected(self):
+        with pytest.raises(MediaPacketError):
+            MediaPacket(sequence=2 ** 33, timestamp_ms=0, payload=b"").pack()
+
+
+class TestAudioPacketizer:
+    def test_paper_format_packet_size(self):
+        # 20 ms at 8 kHz stereo 8-bit = 160 frames * 2 bytes = 320 bytes.
+        packetizer = AudioPacketizer(ToneSource(duration=1.0))
+        assert packetizer.bytes_per_packet == 320
+
+    def test_packet_count_matches_duration(self):
+        packetizer = AudioPacketizer(ToneSource(duration=1.0),
+                                     packet_duration_ms=20)
+        packets = packetizer.packet_list()
+        assert len(packets) == 50
+        assert sequence_numbers(packets) == list(range(50))
+
+    def test_timestamps_increase_by_packet_duration(self):
+        packets = AudioPacketizer(ToneSource(duration=0.2),
+                                  packet_duration_ms=20).packet_list()
+        assert [p.timestamp_ms for p in packets[:4]] == [0, 20, 40, 60]
+
+    def test_payloads_reassemble_to_original(self):
+        source = ToneSource(duration=0.3)
+        packets = AudioPacketizer(source).packet_list()
+        assert b"".join(p.payload for p in packets) == source.pcm_bytes()
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            AudioPacketizer(ToneSource(duration=0.1), packet_duration_ms=0)
+
+    def test_packetize_pcm_helper(self):
+        pcm = ToneSource(duration=0.2).pcm_bytes()
+        packets = packetize_pcm(pcm)
+        assert b"".join(p.payload for p in packets) == pcm
+
+
+class TestDepacketizer:
+    def _packets(self, count=10):
+        return AudioPacketizer(ToneSource(duration=count * 0.02)).packet_list()[:count]
+
+    def test_lossless_reassembly(self):
+        packets = self._packets(10)
+        depacketizer = Depacketizer()
+        for packet in packets:
+            depacketizer.add(packet)
+        assert depacketizer.received_count() == 10
+        assert depacketizer.delivery_ratio(10) == 1.0
+        assert depacketizer.reassemble(10) == b"".join(p.payload for p in packets)
+
+    def test_lost_packets_filled_with_silence(self):
+        packets = self._packets(10)
+        depacketizer = Depacketizer(filler_byte=0x00)
+        for packet in packets:
+            if packet.sequence != 4:
+                depacketizer.add(packet)
+        rebuilt = depacketizer.reassemble(10)
+        size = len(packets[0].payload)
+        assert rebuilt[4 * size:5 * size] == b"\x00" * size
+        assert depacketizer.missing_sequences(10) == [4]
+        assert depacketizer.delivery_ratio(10) == pytest.approx(0.9)
+
+    def test_duplicates_counted_and_ignored(self):
+        packets = self._packets(3)
+        depacketizer = Depacketizer()
+        depacketizer.add(packets[0])
+        depacketizer.add(packets[0])
+        assert depacketizer.duplicates == 1
+        assert depacketizer.received_count() == 1
+
+    def test_add_raw_handles_malformed(self):
+        depacketizer = Depacketizer()
+        assert depacketizer.add_raw(b"garbage") is None
+        assert depacketizer.malformed == 1
+        packet = self._packets(1)[0]
+        assert depacketizer.add_raw(packet.pack()) == packet
+
+    def test_reassemble_without_any_packets_raises(self):
+        with pytest.raises(MediaPacketError):
+            Depacketizer().reassemble(5)
+
+    def test_reassemble_with_explicit_packet_size(self):
+        depacketizer = Depacketizer(filler_byte=0xAA)
+        assert depacketizer.reassemble(2, packet_size=4) == b"\xaa" * 8
+
+
+class TestGopPattern:
+    def test_default_pattern_structure(self):
+        pattern = GopPattern()
+        types = [pattern.frame_type_at(i) for i in range(9)]
+        assert types[0] == FRAME_I
+        assert types.count(FRAME_P) == 2
+        assert types.count(FRAME_B) == 6
+
+    def test_sizes_ordered(self):
+        pattern = GopPattern()
+        assert (pattern.size_for(FRAME_I) > pattern.size_for(FRAME_P)
+                > pattern.size_for(FRAME_B))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"length": 0}, {"p_interval": 0}, {"frames_per_second": 0},
+        {"i_frame_size": 0},
+    ])
+    def test_invalid_patterns_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GopPattern(**kwargs)
+
+
+class TestVideoSource:
+    def test_frame_count_matches_duration(self):
+        video = VideoSource(duration=2.0)
+        assert video.total_frames == 60
+        assert len(video.frame_list()) == 60
+
+    def test_frames_deterministic(self):
+        a = VideoSource(duration=0.5, seed=3).frame(7)
+        b = VideoSource(duration=0.5, seed=3).frame(7)
+        assert a == b
+
+    def test_first_frame_of_each_gop_is_i(self):
+        video = VideoSource(duration=1.0)
+        for frame in video.frames():
+            if frame.index % video.pattern.length == 0:
+                assert frame.is_i_frame
+
+    def test_frame_sizes_match_pattern(self):
+        video = VideoSource(duration=0.5)
+        for frame in video.frames():
+            assert len(frame.payload) == video.pattern.size_for(frame.frame_type)
+
+    def test_out_of_range_frame_rejected(self):
+        video = VideoSource(duration=0.1)
+        with pytest.raises(IndexError):
+            video.frame(video.total_frames)
+
+    def test_packet_round_trip(self):
+        video = VideoSource(duration=0.3)
+        frame = video.frame(4)
+        packet = frame.to_packet()
+        assert packet.media_type == TYPE_VIDEO
+        assert VideoFrame.from_packet(packet) == frame
+
+    def test_gop_count_and_total_bytes(self):
+        video = VideoSource(duration=1.0)
+        assert video.gop_count() == 4  # ceil(30 / 9)
+        assert video.total_bytes() == sum(len(f.payload) for f in video.frames())
+
+    def test_is_gop_boundary_predicate(self):
+        video = VideoSource(duration=0.5)
+        packets = list(video.packets())
+        boundaries = [p.sequence for p in packets if is_gop_boundary(p)]
+        assert boundaries == [0, 9]
+
+    def test_drop_b_frames_reduces_bitrate(self):
+        video = VideoSource(duration=1.0)
+        frames = video.frame_list()
+        reduced = drop_b_frames(frames)
+        assert all(f.frame_type in (FRAME_I, FRAME_P) for f in reduced)
+        assert (stream_bitrate(reduced, 30)
+                < stream_bitrate(frames, 30))
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            VideoSource(duration=0)

@@ -1,0 +1,88 @@
+"""Unit tests for the ARQ (retransmission) baselines."""
+
+import pytest
+
+from repro.net import BernoulliLoss, FixedPatternLoss, NoLoss
+from repro.net.arq import (
+    compare_fec_with_arq,
+    fec_transmission_overhead,
+    simulate_multicast_arq,
+    simulate_unicast_arq,
+)
+
+
+class TestMulticastArq:
+    def test_lossless_channel_needs_one_round(self):
+        result = simulate_multicast_arq(100, [NoLoss(), NoLoss()])
+        assert result.transmissions == 100
+        assert result.retransmissions == 0
+        assert result.mean_rounds == 1.0
+        assert result.transmission_overhead == 1.0
+        assert result.delivery_ratio == 1.0
+
+    def test_deterministic_single_loss_costs_one_retransmission(self):
+        # Receiver loses exactly the first copy of every packet.
+        result = simulate_multicast_arq(
+            10, [FixedPatternLoss([True, False])])
+        assert result.retransmissions == 10
+        assert result.transmission_overhead == pytest.approx(2.0)
+        assert result.max_rounds == 2
+        assert result.delivery_ratio == 1.0
+
+    def test_overhead_grows_with_receiver_count(self):
+        few = simulate_multicast_arq(
+            2000, [BernoulliLoss(0.05, seed=i) for i in range(2)])
+        many = simulate_multicast_arq(
+            2000, [BernoulliLoss(0.05, seed=i) for i in range(10)])
+        assert many.transmission_overhead > few.transmission_overhead
+
+    def test_max_rounds_bounds_delivery(self):
+        result = simulate_multicast_arq(
+            50, [FixedPatternLoss([True])], max_rounds=3)
+        assert result.undelivered == 50
+        assert result.delivery_ratio == 0.0
+        assert result.max_rounds == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_multicast_arq(10, [])
+        with pytest.raises(ValueError):
+            simulate_multicast_arq(-1, [NoLoss()])
+        with pytest.raises(ValueError):
+            simulate_multicast_arq(10, [NoLoss()], max_rounds=0)
+
+
+class TestUnicastArq:
+    def test_cost_scales_with_receivers_even_without_loss(self):
+        result = simulate_unicast_arq(100, [NoLoss()] * 4)
+        assert result.transmissions == 400
+        assert result.transmission_overhead == pytest.approx(4.0)
+
+    def test_losses_add_retransmissions(self):
+        result = simulate_unicast_arq(100, [FixedPatternLoss([True, False])])
+        assert result.retransmissions == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_unicast_arq(10, [])
+
+
+class TestFecComparison:
+    def test_fec_overhead_is_n_over_k(self):
+        assert fec_transmission_overhead(4, 6) == pytest.approx(1.5)
+        assert fec_transmission_overhead(1, 1) == 1.0
+        with pytest.raises(ValueError):
+            fec_transmission_overhead(0, 4)
+        with pytest.raises(ValueError):
+            fec_transmission_overhead(4, 2)
+
+    def test_fec_beats_unicast_arq_and_needs_one_round(self):
+        comparison = compare_fec_with_arq(
+            packet_count=1000, receiver_count=5,
+            loss_model_factory=lambda i: BernoulliLoss(0.05, seed=i))
+        assert comparison["fec_overhead"] < comparison["unicast_arq_overhead"]
+        assert comparison["fec_rounds"] == 1.0
+        assert comparison["multicast_arq_mean_rounds"] > 1.0
+        # Multicast ARQ is bandwidth-frugal at low loss, but pays in rounds
+        # (latency) — the reason the paper uses FEC for interactive audio.
+        assert comparison["multicast_arq_max_rounds"] >= 2.0

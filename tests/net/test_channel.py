@@ -1,0 +1,163 @@
+"""Unit tests for the packet loss models."""
+
+import pytest
+
+from repro.net import (
+    BernoulliLoss,
+    CALIBRATION_DISTANCE_M,
+    CALIBRATION_LOSS,
+    DistanceLoss,
+    FixedPatternLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    loss_probability_at_distance,
+)
+
+
+def observed_loss_rate(model, packets=20000):
+    losses = sum(1 for _ in range(packets) if model.packet_lost())
+    return losses / packets
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        assert not any(model.packet_lost() for _ in range(1000))
+        assert model.expected_loss_rate() == 0.0
+
+
+class TestBernoulliLoss:
+    def test_zero_probability_never_drops(self):
+        assert observed_loss_rate(BernoulliLoss(0.0, seed=1)) == 0.0
+
+    def test_one_probability_always_drops(self):
+        assert observed_loss_rate(BernoulliLoss(1.0, seed=1), packets=100) == 1.0
+
+    def test_observed_rate_close_to_probability(self):
+        rate = observed_loss_rate(BernoulliLoss(0.05, seed=42))
+        assert rate == pytest.approx(0.05, abs=0.01)
+
+    def test_seeded_reproducibility(self):
+        a = [BernoulliLoss(0.3, seed=9).packet_lost() for _ in range(100)]
+        b = [BernoulliLoss(0.3, seed=9).packet_lost() for _ in range(100)]
+        assert a == b
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+
+
+class TestGilbertElliott:
+    def test_observed_rate_matches_expected(self):
+        model = GilbertElliottLoss(p_good_to_bad=0.01, p_bad_to_good=0.2,
+                                   good_loss=0.001, bad_loss=0.3, seed=7)
+        rate = observed_loss_rate(model, packets=50000)
+        assert rate == pytest.approx(model.expected_loss_rate(), abs=0.01)
+
+    def test_losses_are_bursty(self):
+        """Consecutive-loss runs should be longer than under Bernoulli."""
+        from repro.net import loss_run_lengths
+
+        ge = GilbertElliottLoss(p_good_to_bad=0.02, p_bad_to_good=0.1,
+                                good_loss=0.0, bad_loss=0.5, seed=3)
+        bernoulli = BernoulliLoss(ge.expected_loss_rate(), seed=3)
+        ge_trace = [ge.packet_lost() for _ in range(20000)]
+        be_trace = [bernoulli.packet_lost() for _ in range(20000)]
+        ge_runs = loss_run_lengths(ge_trace)
+        be_runs = loss_run_lengths(be_trace)
+        assert sum(ge_runs) / len(ge_runs) > sum(be_runs) / len(be_runs)
+
+    def test_reset_returns_to_good_state(self):
+        model = GilbertElliottLoss(p_good_to_bad=1.0, p_bad_to_good=0.0001,
+                                   good_loss=0.0, bad_loss=1.0, seed=1)
+        model.packet_lost()
+        assert model.in_bad_state
+        model.reset()
+        assert not model.in_bad_state
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=2.0)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=0.5, p_bad_to_good=0.0)
+
+    def test_expected_rate_with_unreachable_bad_state(self):
+        model = GilbertElliottLoss(p_good_to_bad=0.0, p_bad_to_good=0.0,
+                                   good_loss=0.01, bad_loss=0.9)
+        assert model.expected_loss_rate() == pytest.approx(0.01)
+
+
+class TestDistanceCurve:
+    def test_calibration_point(self):
+        assert loss_probability_at_distance(CALIBRATION_DISTANCE_M) == pytest.approx(
+            CALIBRATION_LOSS)
+
+    def test_monotonically_increasing(self):
+        distances = [0, 5, 10, 15, 20, 25, 30, 35, 40, 45]
+        probabilities = [loss_probability_at_distance(d) for d in distances]
+        assert probabilities == sorted(probabilities)
+
+    def test_near_access_point_is_nearly_lossless(self):
+        assert loss_probability_at_distance(5.0) < 0.001
+
+    def test_dramatic_increase_over_a_few_metres(self):
+        """The paper: loss changes dramatically over several meters."""
+        at_25 = loss_probability_at_distance(25.0)
+        at_35 = loss_probability_at_distance(35.0)
+        assert at_35 / at_25 > 3.0
+
+    def test_clamped_at_maximum(self):
+        assert loss_probability_at_distance(200.0) <= 0.95
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            loss_probability_at_distance(-1.0)
+
+
+class TestDistanceLoss:
+    def test_observed_rate_at_paper_distance(self):
+        model = DistanceLoss(25.0, seed=11)
+        rate = observed_loss_rate(model, packets=50000)
+        assert rate == pytest.approx(CALIBRATION_LOSS, abs=0.005)
+
+    def test_moving_changes_loss(self):
+        model = DistanceLoss(5.0, seed=2)
+        near = observed_loss_rate(model, packets=5000)
+        model.set_distance(40.0)
+        far = observed_loss_rate(model, packets=5000)
+        assert far > near + 0.05
+
+    def test_distance_property(self):
+        model = DistanceLoss(12.5)
+        assert model.distance_m == 12.5
+        assert model.expected_loss_rate() == pytest.approx(
+            loss_probability_at_distance(12.5))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceLoss(-3.0)
+
+
+class TestFixedPatternLoss:
+    def test_pattern_followed_exactly(self):
+        model = FixedPatternLoss([True, False, False])
+        assert [model.packet_lost() for _ in range(6)] == [
+            True, False, False, True, False, False]
+
+    def test_non_repeating_pattern(self):
+        model = FixedPatternLoss([True, True], repeat=False)
+        assert [model.packet_lost() for _ in range(4)] == [True, True, False, False]
+
+    def test_empty_pattern_never_drops(self):
+        model = FixedPatternLoss([])
+        assert not model.packet_lost()
+        assert model.expected_loss_rate() == 0.0
+
+    def test_expected_rate_and_reset(self):
+        model = FixedPatternLoss([True, False, False, False])
+        assert model.expected_loss_rate() == pytest.approx(0.25)
+        model.packet_lost()
+        model.reset()
+        assert model.packet_lost() is True

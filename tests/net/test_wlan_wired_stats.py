@@ -1,0 +1,267 @@
+"""Unit tests for the WLAN/wired simulations, multicast, stats and traces."""
+
+import pytest
+
+from repro.net import (
+    AccessPoint,
+    BernoulliLoss,
+    DeliveryReport,
+    FIG7_WINDOW_SIZE,
+    FixedPatternLoss,
+    LinearWalk,
+    MulticastGroup,
+    NoLoss,
+    PacketTrace,
+    WiredLAN,
+    WirelessLAN,
+    loss_run_lengths,
+    windowed_percentages,
+)
+
+
+class TestAccessPoint:
+    def test_add_and_lookup_receivers(self):
+        ap = AccessPoint()
+        ap.add_receiver("a", distance_m=10.0)
+        ap.add_receiver("b", loss_model=NoLoss())
+        assert {r.name for r in ap.receivers} == {"a", "b"}
+        assert ap.receiver("a").distance_m == 10.0
+
+    def test_duplicate_receiver_rejected(self):
+        ap = AccessPoint()
+        ap.add_receiver("a")
+        with pytest.raises(ValueError):
+            ap.add_receiver("a")
+
+    def test_multicast_delivers_to_all_lossless_receivers(self):
+        ap = AccessPoint()
+        ap.add_receiver("a", loss_model=NoLoss())
+        ap.add_receiver("b", loss_model=NoLoss())
+        record = ap.multicast(b"hello")
+        assert sorted(record.delivered_to) == ["a", "b"]
+        assert ap.receiver("a").take() == [b"hello"]
+        assert ap.receiver("b").pending() == 1
+
+    def test_per_receiver_independent_loss(self):
+        ap = AccessPoint()
+        ap.add_receiver("lossy", loss_model=FixedPatternLoss([True]))
+        ap.add_receiver("clean", loss_model=NoLoss())
+        record = ap.multicast(b"pkt")
+        assert record.lost_by == ["lossy"]
+        assert record.delivered_to == ["clean"]
+
+    def test_stats_track_losses(self):
+        ap = AccessPoint()
+        ap.add_receiver("r", loss_model=FixedPatternLoss([True, False]))
+        ap.multicast_many([b"a", b"b", b"c", b"d"])
+        stats = ap.receiver("r").stats
+        assert stats.packets_sent_to == 4
+        assert stats.packets_lost == 2
+        assert stats.delivery_ratio == pytest.approx(0.5)
+        assert stats.loss_ratio == pytest.approx(0.5)
+
+    def test_airtime_accounting(self):
+        ap = AccessPoint(bandwidth_bps=2_000_000, per_packet_overhead_s=0.0)
+        ap.add_receiver("r", loss_model=NoLoss())
+        ap.multicast(b"\x00" * 250)  # 2000 bits at 2 Mbps = 1 ms
+        assert ap.busy_time_s == pytest.approx(0.001)
+        assert ap.bytes_sent == 250
+        assert ap.utilisation(0.01) == pytest.approx(0.1)
+
+    def test_unicast(self):
+        ap = AccessPoint()
+        ap.add_receiver("only", loss_model=NoLoss())
+        assert ap.unicast("only", b"direct")
+        assert ap.receiver("only").take() == [b"direct"]
+
+    def test_receiver_callback(self):
+        got = []
+        wlan = WirelessLAN()
+        wlan.add_receiver("cb", loss_model=NoLoss(), on_receive=got.append)
+        wlan.send(b"payload")
+        assert got == [b"payload"]
+
+    def test_move_receiver_requires_distance_model(self):
+        ap = AccessPoint()
+        receiver = ap.add_receiver("fixed", loss_model=NoLoss())
+        with pytest.raises(TypeError):
+            receiver.move_to(30.0)
+        mobile = ap.add_receiver("mobile", distance_m=5.0)
+        mobile.move_to(35.0)
+        assert mobile.distance_m == 35.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPoint(bandwidth_bps=0)
+
+
+class TestLinearWalk:
+    def test_distance_interpolation(self):
+        walk = LinearWalk(start_distance_m=5.0, end_distance_m=45.0, duration_s=40.0)
+        assert walk.distance_at(0) == 5.0
+        assert walk.distance_at(20) == pytest.approx(25.0)
+        assert walk.distance_at(40) == 45.0
+        assert walk.distance_at(100) == 45.0
+        assert walk.distance_at(-5) == 5.0
+
+    def test_positions_sampling(self):
+        walk = LinearWalk(0.0, 10.0, 10.0)
+        samples = walk.positions(step_s=2.5)
+        assert len(samples) == 5
+        assert samples[0] == (0.0, 0.0)
+        assert samples[-1][1] == 10.0
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            LinearWalk().positions(0)
+
+
+class TestWiredLAN:
+    def test_unicast_and_broadcast(self):
+        lan = WiredLAN()
+        a = lan.add_host("a")
+        b = lan.add_host("b")
+        lan.unicast("b", b"direct")
+        assert b.take() == [b"direct"]
+        lan.broadcast(b"all", exclude="a")
+        assert a.inbox == []
+        assert b.take() == [b"all"]
+
+    def test_multicast_groups(self):
+        lan = WiredLAN()
+        lan.add_host("a")
+        lan.add_host("b")
+        lan.add_host("c")
+        lan.join_group("viewers", "a")
+        lan.join_group("viewers", "b")
+        delivered = lan.multicast("viewers", b"frame", exclude="a")
+        assert delivered == ["b"]
+        assert lan.group_members("viewers") == ["a", "b"]
+        lan.leave_group("viewers", "b")
+        assert lan.group_members("viewers") == ["a"]
+
+    def test_duplicate_host_rejected(self):
+        lan = WiredLAN()
+        lan.add_host("a")
+        with pytest.raises(ValueError):
+            lan.add_host("a")
+
+    def test_join_unknown_host_rejected(self):
+        lan = WiredLAN()
+        with pytest.raises(KeyError):
+            lan.join_group("g", "ghost")
+
+    def test_bandwidth_accounting(self):
+        lan = WiredLAN(bandwidth_bps=100_000_000)
+        lan.add_host("a")
+        lan.unicast("a", b"\x00" * 12500)  # 1 ms at 100 Mbps
+        assert lan.busy_time_s == pytest.approx(0.001)
+
+    def test_host_callback(self):
+        got = []
+        lan = WiredLAN()
+        lan.add_host("cb", on_receive=got.append)
+        lan.unicast("cb", b"x")
+        assert got == [b"x"]
+
+
+class TestMulticastGroup:
+    def test_send_to_all_but_sender(self):
+        group = MulticastGroup("g")
+        seen = {"a": [], "b": []}
+        group.subscribe("a", seen["a"].append)
+        group.subscribe("b", seen["b"].append)
+        assert group.send("msg", exclude="a") == 1
+        assert seen == {"a": [], "b": ["msg"]}
+
+    def test_faulty_subscriber_does_not_break_others(self):
+        group = MulticastGroup()
+        good = []
+
+        def bad(_message):
+            raise RuntimeError("subscriber crashed")
+
+        group.subscribe("bad", bad)
+        group.subscribe("good", good.append)
+        assert group.send("x") == 1
+        assert good == ["x"]
+        assert group.stats()["bad"]["errors"] == 1
+
+    def test_unsubscribe(self):
+        group = MulticastGroup()
+        got = []
+        group.subscribe("a", got.append)
+        group.unsubscribe("a")
+        group.send("x")
+        assert got == []
+        assert group.member_count() == 0
+
+
+class TestDeliveryReport:
+    def test_percentages(self):
+        report = DeliveryReport(total_packets=100,
+                                received=set(range(90)),
+                                reconstructed=set(range(98)))
+        assert report.received_percent == pytest.approx(90.0)
+        assert report.reconstructed_percent == pytest.approx(98.0)
+        assert report.repaired_count == 8
+
+    def test_out_of_range_sequences_ignored(self):
+        report = DeliveryReport(total_packets=10, received={0, 5, 99},
+                                reconstructed={0, 5, 99, 200})
+        assert report.received_percent == pytest.approx(20.0)
+        assert report.reconstructed_percent == pytest.approx(20.0)
+
+    def test_windowed_points(self):
+        report = DeliveryReport(total_packets=2 * FIG7_WINDOW_SIZE,
+                                received=set(range(FIG7_WINDOW_SIZE)),
+                                reconstructed=set(range(2 * FIG7_WINDOW_SIZE)))
+        points = report.windowed()
+        assert len(points) == 2
+        assert points[0].received_percent == pytest.approx(100.0)
+        assert points[1].received_percent == pytest.approx(0.0)
+        assert all(p.reconstructed_percent == pytest.approx(100.0) for p in points)
+
+    def test_windowed_invalid_size(self):
+        with pytest.raises(ValueError):
+            DeliveryReport(total_packets=10).windowed(window_size=0)
+
+    def test_empty_report(self):
+        report = DeliveryReport(total_packets=0)
+        assert report.received_percent == 100.0
+        assert report.summary()["reconstructed_percent"] == 100.0
+
+    def test_windowed_percentages_helper(self):
+        values = windowed_percentages([0, 1, 2, 3, 8], total_packets=10,
+                                      window_size=5)
+        assert values == [pytest.approx(80.0), pytest.approx(20.0)]
+
+    def test_loss_run_lengths(self):
+        assert loss_run_lengths([False, True, True, False, True]) == [2, 1]
+        assert loss_run_lengths([]) == []
+        assert loss_run_lengths([True, True]) == [2]
+
+
+class TestPacketTrace:
+    def test_record_and_query(self):
+        trace = PacketTrace()
+        trace.record("sent", 0, time_s=0.0)
+        trace.record("delivered", 0, time_s=0.001, receiver="a", size_bytes=100)
+        trace.record("lost", 1, time_s=0.002, receiver="a")
+        assert trace.count("sent") == 1
+        assert trace.count("lost", receiver="a") == 1
+        assert trace.sequences("delivered") == [0]
+        assert trace.receivers() == ["a"]
+        assert trace.summary() == {"sent": 1, "delivered": 1, "lost": 1}
+        assert len(trace) == 3
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrace().record("teleported", 0)
+
+    def test_csv_round_trip(self):
+        trace = PacketTrace("t")
+        trace.record("sent", 3, time_s=1.5, receiver="x", size_bytes=42)
+        trace.record("repaired", 3, time_s=1.6, receiver="x")
+        restored = PacketTrace.from_csv(trace.to_csv())
+        assert restored.events == trace.events

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the erasure-code substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fec import (
+    BlockErasureCode,
+    FecGroupDecoder,
+    FecGroupEncoder,
+    FecPacket,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    pad_block,
+    unpad_block,
+)
+
+field_elements = st.integers(min_value=0, max_value=255)
+nonzero_elements = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldProperties:
+    @given(field_elements, field_elements)
+    def test_addition_commutative(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(field_elements, field_elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(field_elements, field_elements, field_elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(field_elements, field_elements, field_elements)
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(nonzero_elements)
+    def test_inverse_property(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(field_elements, nonzero_elements)
+    def test_division_is_multiplication_by_inverse(self, a, b):
+        assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+
+class TestErasureCodeProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),      # k
+        st.integers(min_value=0, max_value=4),      # extra parity
+        st.integers(min_value=1, max_value=64),     # block size
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_k_of_n_blocks_reconstruct(self, k, parity, block_size, rng):
+        n = k + parity
+        code = BlockErasureCode(k, n)
+        blocks = [bytes(rng.randrange(256) for _ in range(block_size))
+                  for _ in range(k)]
+        encoded = code.encode(blocks)
+        received_indices = rng.sample(range(n), k)
+        received = {i: encoded[i] for i in received_indices}
+        assert code.decode(received) == blocks
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lossless_group_pipeline_preserves_payloads(self, payloads, k, parity):
+        encoder = FecGroupEncoder(k=k, n=k + parity)
+        decoder = FecGroupDecoder()
+        out = []
+        for payload in payloads:
+            for packet in encoder.add(payload):
+                out.extend(decoder.add(packet))
+        for packet in encoder.flush():
+            out.extend(decoder.add(packet))
+        out.extend(decoder.flush())
+        assert out == [bytes(p) for p in payloads]
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=100), min_size=4, max_size=20),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_loss_per_group_always_recovered(self, payloads, rng):
+        """With one parity packet, losing any single packet per group is safe."""
+        k, n = 4, 5
+        encoder = FecGroupEncoder(k=k, n=n)
+        decoder = FecGroupDecoder()
+        # Only complete groups participate (the tail is flushed uncoded).
+        usable = len(payloads) - (len(payloads) % k)
+        payloads = payloads[:usable]
+        out = []
+        group = []
+        for payload in payloads:
+            group.extend(encoder.add(payload))
+            if len(group) == n:
+                lost_index = rng.randrange(n)
+                for position, packet in enumerate(group):
+                    if position != lost_index:
+                        out.extend(decoder.add(packet))
+                group = []
+        out.extend(decoder.flush())
+        assert out == [bytes(p) for p in payloads]
+
+    @given(st.binary(min_size=0, max_size=300), st.integers(min_value=0, max_value=50))
+    def test_pad_unpad_round_trip(self, payload, slack):
+        block = pad_block(payload, len(payload) + 2 + slack)
+        assert len(block) == len(payload) + 2 + slack
+        assert unpad_block(block) == payload
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=1, max_value=255),
+           st.binary(max_size=200),
+           st.booleans())
+    def test_fec_packet_wire_round_trip(self, group_id, index, k, payload, parity_flag):
+        n = min(255, k + (1 if parity_flag else 0))
+        packet = FecPacket(group_id=group_id, index=index, k=k, n=n,
+                           payload=payload)
+        assert FecPacket.unpack(packet.pack()) == packet

@@ -1,0 +1,114 @@
+"""Property-based tests for the stream substrate and media layers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.media import Depacketizer, MediaPacket, packetize_pcm
+from repro.streams import FrameDecoder, StreamBuffer, encode_frames, make_pipe
+
+
+class TestStreamBufferProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=300), max_size=30))
+    def test_buffer_preserves_byte_sequence(self, chunks):
+        buffer = StreamBuffer(capacity=None)
+        for chunk in chunks:
+            buffer.write(chunk)
+        buffer.close_for_writing()
+        collected = bytearray()
+        while True:
+            data = buffer.read(97)
+            if not data:
+                break
+            collected.extend(data)
+        assert bytes(collected) == b"".join(chunks)
+
+    @given(st.lists(st.binary(min_size=1, max_size=100), min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=64))
+    def test_read_sizes_do_not_affect_content(self, chunks, read_size):
+        buffer = StreamBuffer(capacity=None)
+        for chunk in chunks:
+            buffer.write(chunk)
+        buffer.close_for_writing()
+        collected = bytearray()
+        while True:
+            data = buffer.read(read_size)
+            if not data:
+                break
+            collected.extend(data)
+        assert bytes(collected) == b"".join(chunks)
+
+
+class TestPipeProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=200), max_size=25))
+    @settings(deadline=None)
+    def test_pipe_round_trips_any_chunk_sequence(self, chunks):
+        dos, dis = make_pipe(capacity=None)
+        for chunk in chunks:
+            dos.write(chunk)
+        dos.close()
+        collected = bytearray()
+        while True:
+            data = dis.read(1024)
+            if not data:
+                break
+            collected.extend(data)
+        assert bytes(collected) == b"".join(chunks)
+
+    @given(st.lists(st.binary(min_size=1, max_size=100), min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=10))
+    @settings(deadline=None)
+    def test_pause_reconnect_between_writes_preserves_data(self, chunks, pause_every):
+        dos, dis = make_pipe(capacity=None)
+        collected = bytearray()
+        for index, chunk in enumerate(chunks):
+            dos.write(chunk)
+            if index % pause_every == 0:
+                # Drain before pausing (pause requires an empty buffer).
+                while dis.available():
+                    collected.extend(dis.read(4096))
+                dos.pause(drain_timeout=1.0)
+                dos.reconnect(dis)
+        dos.close()
+        while True:
+            data = dis.read(4096)
+            if not data:
+                break
+            collected.extend(data)
+        assert bytes(collected) == b"".join(chunks)
+
+
+class TestFramingProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=500), max_size=30),
+           st.integers(min_value=1, max_value=64))
+    def test_framing_survives_arbitrary_chunking(self, payloads, chunk_size):
+        stream = encode_frames(payloads)
+        decoder = FrameDecoder()
+        out = []
+        for offset in range(0, len(stream), chunk_size):
+            out.extend(decoder.feed(stream[offset:offset + chunk_size]))
+        assert out == [bytes(p) for p in payloads]
+        assert not decoder.has_partial_frame()
+
+
+class TestMediaProperties:
+    @given(st.binary(min_size=0, max_size=5000),
+           st.integers(min_value=5, max_value=100))
+    def test_packetize_then_reassemble_is_identity(self, pcm, duration_ms):
+        packets = packetize_pcm(pcm, packet_duration_ms=duration_ms)
+        depacketizer = Depacketizer()
+        for packet in packets:
+            depacketizer.add(packet)
+        if packets:
+            rebuilt = depacketizer.reassemble(len(packets),
+                                              packet_size=len(packets[0].payload))
+            assert rebuilt[:len(pcm)] == pcm
+        else:
+            assert pcm == b""
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=0xFFFF),
+           st.binary(max_size=400))
+    def test_media_packet_wire_round_trip(self, sequence, timestamp, marker, payload):
+        packet = MediaPacket(sequence=sequence, timestamp_ms=timestamp,
+                             payload=payload, marker=marker)
+        assert MediaPacket.unpack(packet.pack()) == packet

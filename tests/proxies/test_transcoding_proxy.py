@@ -1,0 +1,105 @@
+"""Unit tests for the transcoding and video proxies."""
+
+import pytest
+
+from repro.media import (
+    AudioPacketizer,
+    FRAME_B,
+    FRAME_I,
+    MediaPacket,
+    ToneSource,
+    VideoSource,
+)
+from repro.proxies import DeviceDescriptor, TranscodingProxy, VideoProxy, transcoder_chain_for
+from repro.fec import FecPacket, FecPacketError
+
+
+class TestDeviceDescriptors:
+    def test_workstation_needs_no_transcoding(self):
+        assert transcoder_chain_for(DeviceDescriptor.workstation()) == []
+
+    def test_palmtop_needs_full_chain(self):
+        chain = transcoder_chain_for(DeviceDescriptor.palmtop())
+        types = [f.type_name for f in chain]
+        assert "audio-mono" in types
+        assert "audio-downsample" in types
+        assert "video-bframe-drop" in types
+        assert "video-frame-thinning" in types
+        assert "zlib-compress" in types
+
+    def test_laptop_only_compresses(self):
+        chain = transcoder_chain_for(DeviceDescriptor.laptop())
+        assert [f.type_name for f in chain] == ["zlib-compress"]
+
+
+class TestTranscodingProxy:
+    def test_palmtop_stream_is_smaller(self):
+        packets = AudioPacketizer(ToneSource(duration=1.0)).packet_list()
+        original_bytes = sum(len(p.payload) for p in packets)
+
+        delivered = []
+        proxy = TranscodingProxy(packets, DeviceDescriptor.palmtop(),
+                                 delivered.append).start()
+        assert proxy.wait_for_completion(timeout=30.0)
+        proxy.shutdown()
+        assert delivered
+        assert sum(len(p) for p in delivered) < original_bytes
+
+    def test_workstation_stream_is_identical(self):
+        packets = AudioPacketizer(ToneSource(duration=0.5)).packet_list()
+        delivered = []
+        proxy = TranscodingProxy(packets, DeviceDescriptor.workstation(),
+                                 delivered.append).start()
+        assert proxy.wait_for_completion(timeout=30.0)
+        proxy.shutdown()
+        assert delivered == [p.pack() for p in packets]
+
+
+class TestVideoProxy:
+    def test_b_frame_dropping(self):
+        video = VideoSource(duration=1.0)
+        delivered = []
+        proxy = VideoProxy(video, delivered.append)
+        proxy.drop_b_frames()
+        proxy.start()
+        assert proxy.wait_for_completion(timeout=30.0)
+        proxy.shutdown()
+        markers = [MediaPacket.unpack(p).marker for p in delivered]
+        assert FRAME_B not in markers
+        assert FRAME_I in markers
+
+    def test_fec_insertion_at_gop_boundary(self):
+        """The paper's requirement: the FEC filter starts at a frame boundary.
+
+        We insert while the stream is flowing and then verify that the first
+        media packet the FEC encoder wrapped is an I frame (the start of a
+        GOP), not a mid-GOP frame.
+        """
+        video = VideoSource(duration=3.0)  # 90 frames, 10 GOPs
+        delivered = []
+        proxy = VideoProxy(video, delivered.append, pacing_s=0.003)
+        proxy.start()
+        import time
+        time.sleep(0.05)  # let some frames flow unprotected
+        proxy.insert_fec_at_gop_boundary(k=3, n=4)
+        assert proxy.wait_for_completion(timeout=60.0)
+        proxy.shutdown()
+
+        # Partition the delivered packets into plain media and FEC packets.
+        first_fec_media = None
+        for raw in delivered:
+            try:
+                fec = FecPacket.unpack(raw)
+            except FecPacketError:
+                continue
+            if fec.is_data:
+                from repro.fec import unpad_block
+                media = MediaPacket.unpack(unpad_block(fec.payload))
+                first_fec_media = media
+                break
+            if fec.is_uncoded:
+                first_fec_media = MediaPacket.unpack(fec.payload)
+                break
+        assert first_fec_media is not None, "FEC never engaged"
+        assert first_fec_media.marker == FRAME_I
+        assert proxy.fec_filter is not None

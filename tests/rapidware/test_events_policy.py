@@ -1,0 +1,195 @@
+"""Unit tests for the RAPIDware event bus, policies and raplet bases."""
+
+import pytest
+
+from repro.rapidware import (
+    AdaptationLimits,
+    Event,
+    EventBus,
+    EVENT_LOSS_RATE,
+    FecPolicy,
+    ObserverRaplet,
+    ResponderRaplet,
+    UserPreferences,
+)
+
+
+class TestEventBus:
+    def test_subscribe_and_publish(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(EVENT_LOSS_RATE, seen.append)
+        event = Event(event_type=EVENT_LOSS_RATE, source="test",
+                      data={"loss_rate": 0.1})
+        assert bus.publish(event) == 1
+        assert seen == [event]
+        assert bus.events_published == 1
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(None, seen.append)
+        bus.publish(Event(event_type="anything", source="x"))
+        bus.publish(Event(event_type="other", source="y"))
+        assert len(seen) == 2
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", seen.append)
+        bus.unsubscribe("t", seen.append)
+        bus.publish(Event(event_type="t", source="x"))
+        assert seen == []
+
+    def test_handler_errors_isolated(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(_event):
+            raise RuntimeError("handler bug")
+
+        bus.subscribe("t", bad)
+        bus.subscribe("t", seen.append)
+        assert bus.publish(Event(event_type="t", source="x")) == 1
+        assert bus.handler_errors == 1
+        assert len(seen) == 1
+
+    def test_history_and_filtering(self):
+        bus = EventBus()
+        bus.publish(Event(event_type="a", source="s"))
+        bus.publish(Event(event_type="b", source="s"))
+        bus.publish(Event(event_type="a", source="s"))
+        assert len(bus.events_of_type("a")) == 2
+
+    def test_event_value_accessor(self):
+        event = Event(event_type="t", source="s", data={"x": 5})
+        assert event.value("x") == 5
+        assert event.value("missing", 9) == 9
+
+
+class TestFecPolicy:
+    def test_hysteresis_band(self):
+        policy = FecPolicy(insert_threshold=0.02, remove_threshold=0.005)
+        assert not policy.should_insert(0.01, fec_active=False)
+        assert policy.should_insert(0.03, fec_active=False)
+        # Once active, FEC stays on inside the band.
+        assert policy.should_insert(0.01, fec_active=True)
+        assert not policy.should_remove(0.01, fec_active=True)
+        assert policy.should_remove(0.001, fec_active=True)
+        assert not policy.should_remove(0.001, fec_active=False)
+
+    def test_ladder_selection(self):
+        policy = FecPolicy()
+        assert policy.code_for(0.01) == (4, 5)
+        assert policy.code_for(0.08) == (4, 6)
+        assert policy.code_for(0.30) == (4, 8)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            FecPolicy(insert_threshold=0.001, remove_threshold=0.01)
+        with pytest.raises(ValueError):
+            FecPolicy(ladder=())
+        with pytest.raises(ValueError):
+            FecPolicy(ladder=((0.0, 4, 6), (0.0, 4, 8)))
+        with pytest.raises(ValueError):
+            FecPolicy(ladder=((0.0, 4, 2),))
+
+
+class TestAdaptationLimits:
+    def test_min_interval_enforced(self):
+        limits = AdaptationLimits(min_interval_s=5.0)
+        assert limits.permits(0.0)
+        limits.record_action(0.0)
+        assert not limits.permits(3.0)
+        assert limits.permits(5.0)
+
+    def test_max_actions_enforced(self):
+        limits = AdaptationLimits(min_interval_s=0.0, max_actions=2)
+        limits.record_action(0.0)
+        limits.record_action(1.0)
+        assert not limits.permits(2.0)
+        assert limits.actions_taken == 2
+
+
+class TestUserPreferences:
+    def test_permitted_codes_respect_overhead_cap(self):
+        prefs = UserPreferences(max_redundancy_overhead=0.5)
+        codes = prefs.permitted_codes(FecPolicy())
+        assert (4, 6) in codes
+        assert (4, 8) not in codes
+
+
+class TestRapletBases:
+    def test_observer_publishes_measurements(self):
+        bus = EventBus()
+
+        class CountingObserver(ObserverRaplet):
+            def measure(self, now_s):
+                return [Event(event_type="tick", source=self.name,
+                              time_s=now_s)]
+
+        observer = CountingObserver("counter", bus)
+        observer.observe(1.0)
+        observer.observe(2.0)
+        assert observer.observations == 2
+        assert observer.events_emitted == 2
+        assert len(bus.events_of_type("tick")) == 2
+
+    def test_disabled_observer_is_silent(self):
+        bus = EventBus()
+
+        class Noisy(ObserverRaplet):
+            def measure(self, now_s):
+                return [Event(event_type="tick", source=self.name)]
+
+        observer = Noisy("noisy", bus)
+        observer.disable()
+        assert observer.observe(0.0) == []
+        assert bus.events_published == 0
+
+    def test_responder_subscription_and_counting(self):
+        bus = EventBus()
+
+        class EchoResponder(ResponderRaplet):
+            subscriptions = ("tick",)
+
+            def respond(self, event):
+                return event.value("act", False)
+
+        responder = EchoResponder("echo", bus)
+        bus.publish(Event(event_type="tick", source="t", data={"act": True}))
+        bus.publish(Event(event_type="tick", source="t", data={"act": False}))
+        bus.publish(Event(event_type="other", source="t"))
+        assert responder.events_seen == 2
+        assert responder.actions_taken == 1
+        info = responder.describe()
+        assert info["kind"] == "responder"
+        assert info["actions_taken"] == 1
+
+    def test_disabled_responder_ignores_events(self):
+        bus = EventBus()
+
+        class AlwaysActs(ResponderRaplet):
+            subscriptions = ("tick",)
+
+            def respond(self, event):
+                return True
+
+        responder = AlwaysActs("acts", bus)
+        responder.disable()
+        bus.publish(Event(event_type="tick", source="t"))
+        assert responder.actions_taken == 0
+
+    def test_responder_unregister(self):
+        bus = EventBus()
+
+        class AlwaysActs(ResponderRaplet):
+            subscriptions = ("tick",)
+
+            def respond(self, event):
+                return True
+
+        responder = AlwaysActs("acts", bus)
+        responder.unregister()
+        bus.publish(Event(event_type="tick", source="t"))
+        assert responder.events_seen == 0

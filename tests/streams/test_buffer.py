@@ -1,0 +1,205 @@
+"""Unit tests for the bounded StreamBuffer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.streams import StreamBuffer, StreamClosedError, StreamTimeoutError
+from repro.streams.exceptions import BrokenStreamError
+
+
+class TestBasicReadWrite:
+    def test_write_then_read_round_trips(self):
+        buf = StreamBuffer()
+        buf.write(b"hello world")
+        assert buf.read(11) == b"hello world"
+
+    def test_read_respects_max_bytes(self):
+        buf = StreamBuffer()
+        buf.write(b"abcdef")
+        assert buf.read(2) == b"ab"
+        assert buf.read(2) == b"cd"
+        assert buf.read(10) == b"ef"
+
+    def test_available_tracks_buffered_bytes(self):
+        buf = StreamBuffer()
+        assert buf.available() == 0
+        buf.write(b"abcd")
+        assert buf.available() == 4
+        buf.read(1)
+        assert buf.available() == 3
+
+    def test_write_empty_bytes_is_noop(self):
+        buf = StreamBuffer()
+        assert buf.write(b"") == 0
+        assert buf.available() == 0
+
+    def test_read_zero_bytes_returns_empty(self):
+        buf = StreamBuffer()
+        buf.write(b"abc")
+        assert buf.read(0) == b""
+        assert buf.available() == 3
+
+    def test_peek_does_not_consume(self):
+        buf = StreamBuffer()
+        buf.write(b"abcdef")
+        assert buf.peek(3) == b"abc"
+        assert buf.available() == 6
+        assert buf.read(6) == b"abcdef"
+
+    def test_read_exactly_collects_across_writes(self):
+        buf = StreamBuffer()
+        buf.write(b"ab")
+        buf.write(b"cd")
+        assert buf.read_exactly(4) == b"abcd"
+
+    def test_counters_track_totals(self):
+        buf = StreamBuffer()
+        buf.write(b"abc")
+        buf.read(2)
+        assert buf.bytes_written == 3
+        assert buf.bytes_read == 2
+
+
+class TestBlockingBehaviour:
+    def test_read_times_out_when_empty(self):
+        buf = StreamBuffer()
+        with pytest.raises(StreamTimeoutError):
+            buf.read(10, timeout=0.05)
+
+    def test_write_times_out_when_full(self):
+        buf = StreamBuffer(capacity=4)
+        buf.write(b"abcd")
+        with pytest.raises(StreamTimeoutError):
+            buf.write(b"e", timeout=0.05)
+
+    def test_blocked_reader_wakes_on_write(self):
+        buf = StreamBuffer()
+        result = []
+
+        def reader():
+            result.append(buf.read(10, timeout=2.0))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        buf.write(b"ping")
+        thread.join(timeout=2.0)
+        assert result == [b"ping"]
+
+    def test_blocked_writer_wakes_on_read(self):
+        buf = StreamBuffer(capacity=4)
+        buf.write(b"abcd")
+        done = threading.Event()
+
+        def writer():
+            buf.write(b"efgh", timeout=2.0)
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        assert buf.read(4) == b"abcd"
+        assert done.wait(timeout=2.0)
+        thread.join(timeout=2.0)
+        assert buf.read(4) == b"efgh"
+
+    def test_capacity_enforced_for_large_writes(self):
+        buf = StreamBuffer(capacity=8)
+        collected = []
+
+        def reader():
+            while True:
+                chunk = buf.read(4, timeout=2.0)
+                if not chunk:
+                    return
+                collected.append(chunk)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        buf.write(b"x" * 100, timeout=2.0)
+        buf.close_for_writing()
+        thread.join(timeout=2.0)
+        assert b"".join(collected) == b"x" * 100
+
+
+class TestEndOfStream:
+    def test_read_returns_empty_after_close_and_drain(self):
+        buf = StreamBuffer()
+        buf.write(b"tail")
+        buf.close_for_writing()
+        assert buf.read(10) == b"tail"
+        assert buf.read(10) == b""
+        assert buf.at_eof()
+
+    def test_write_after_close_raises(self):
+        buf = StreamBuffer()
+        buf.close_for_writing()
+        with pytest.raises(StreamClosedError):
+            buf.write(b"nope")
+
+    def test_close_wakes_blocked_reader(self):
+        buf = StreamBuffer()
+        result = []
+
+        def reader():
+            result.append(buf.read(10, timeout=2.0))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        buf.close_for_writing()
+        thread.join(timeout=2.0)
+        assert result == [b""]
+
+    def test_mark_broken_raises_for_writers(self):
+        buf = StreamBuffer()
+        buf.mark_broken()
+        with pytest.raises(BrokenStreamError):
+            buf.write(b"data")
+
+
+class TestDrainWait:
+    def test_wait_until_empty_immediate_when_empty(self):
+        buf = StreamBuffer()
+        assert buf.wait_until_empty(timeout=0.1)
+
+    def test_wait_until_empty_times_out_with_data(self):
+        buf = StreamBuffer()
+        buf.write(b"stuck")
+        assert not buf.wait_until_empty(timeout=0.05)
+
+    def test_wait_until_empty_returns_after_reader_drains(self):
+        buf = StreamBuffer()
+        buf.write(b"abc")
+
+        def reader():
+            time.sleep(0.05)
+            buf.read(10)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert buf.wait_until_empty(timeout=2.0)
+        thread.join(timeout=2.0)
+
+    def test_clear_discards_and_reports_count(self):
+        buf = StreamBuffer()
+        buf.write(b"abcdef")
+        assert buf.clear() == 6
+        assert buf.available() == 0
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StreamBuffer(capacity=0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StreamBuffer(capacity=-5)
+
+    def test_unbounded_buffer_accepts_large_write(self):
+        buf = StreamBuffer(capacity=None)
+        buf.write(b"y" * 1_000_000)
+        assert buf.available() == 1_000_000
