@@ -17,7 +17,6 @@ from __future__ import annotations
 import threading
 import time
 
-import pytest
 
 from repro.core import CollectorSink, ControlThread, IterableSource
 from repro.filters import PassthroughFilter, UppercaseFilter

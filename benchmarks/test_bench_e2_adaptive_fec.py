@@ -10,7 +10,6 @@ policy (the ablation the paper's design implies).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.net import LinearWalk
 from repro.rapidware import FecPolicy, run_adaptive_walk_experiment

@@ -11,7 +11,6 @@ data packets at different receivers.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.media import ToneSource
 from repro.net import BernoulliLoss

@@ -14,7 +14,6 @@ choice can be seen in context:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.fec import FecGroupDecoder, FecGroupEncoder
 from repro.net import BernoulliLoss

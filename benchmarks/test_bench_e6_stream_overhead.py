@@ -14,7 +14,7 @@ import threading
 
 import pytest
 
-from repro.core import CollectorSink, ControlThread, IterableSource, NullSink
+from repro.core import ControlThread, IterableSource, NullSink
 from repro.filters import PassthroughFilter
 from repro.streams import make_pipe
 

@@ -14,9 +14,7 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
-from repro.core.boundary import i_frame_boundary
 from repro.fec import FecPacket, FecPacketError, unpad_block
 from repro.media import FRAME_I, FRAME_TYPE_NAMES, MediaPacket, VideoSource
 from repro.proxies import VideoProxy

@@ -1,0 +1,125 @@
+"""FEC backend throughput: vectorised numpy vs the pure-Python oracle.
+
+Measures raw (n, k) block encode/decode throughput in MB/s (megabytes of
+*source* data per second) for every registered production backend across the
+code configurations and block sizes the proxy pipeline actually sees.  The
+decode measurement is the worst case for the code: all ``n - k`` erasures
+land on data blocks, so every missing source row must be reconstructed from
+parity.
+
+Set ``REPRO_BENCH_QUICK=1`` (as ``benchmarks/run_all.py --quick`` does) to
+trim the sweep to a smoke-sized subset; the (24,16)/1024-byte cell that the
+speedup acceptance assertion checks is always included.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.fec import BlockErasureCode
+
+from benchutil import format_row, write_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: (k, n) configurations, written FEC(n, k) in the paper's notation.
+CODES = [(8, 12), (16, 24)] if QUICK else [(8, 12), (16, 24), (32, 48)]
+BLOCK_SIZES = [256, 1024] if QUICK else [256, 1024, 4096]
+BACKENDS = ["python", "numpy"]
+
+#: The cell the acceptance criterion is measured on: FEC(24, 16) x 1024 B.
+TARGET_CELL = (16, 24, 1024)
+TARGET_SPEEDUP = 20.0
+
+#: Minimum measured wall time per sample; fast backends repeat the operation
+#: until the clock has something to chew on.
+MIN_SAMPLE_S = 0.005 if QUICK else 0.05
+MAX_ITERS = 8 if QUICK else 512
+
+
+def _time_op(operation, max_iters: int) -> float:
+    """Seconds per call, repeating until MIN_SAMPLE_S has elapsed."""
+    operation()  # warm up (table caches, matrix caches)
+    iters = 0
+    start = time.perf_counter()
+    while True:
+        operation()
+        iters += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= MIN_SAMPLE_S or iters >= max_iters:
+            return elapsed / iters
+
+
+def measure_cell(k: int, n: int, block_size: int, backend: str) -> dict:
+    """Encode/decode MB/s for one (code, block size, backend) cell."""
+    code = BlockErasureCode(k, n, backend=backend)
+    rng = np.random.default_rng(k * 1_000_003 + block_size)
+    source = rng.integers(0, 256, size=(k, block_size), dtype=np.uint8)
+    encoded = code.encode_batch(source)
+    # Worst-case erasure pattern: every parity block is needed.
+    survivors = list(range(n - k, n))
+    received = np.ascontiguousarray(encoded[survivors])
+
+    decoded = code.decode_batch(survivors, received)
+    assert np.array_equal(decoded, source), "decode round trip failed"
+
+    max_iters = 1 if backend == "python" else MAX_ITERS
+    source_mb = k * block_size / 1e6
+    encode_s = _time_op(lambda: code.encode_batch(source), max_iters)
+    decode_s = _time_op(lambda: code.decode_batch(survivors, received), max_iters)
+    return {
+        "encode_mb_s": source_mb / encode_s,
+        "decode_mb_s": source_mb / decode_s,
+    }
+
+
+def test_fec_backend_throughput(benchmark):
+    def sweep():
+        return {
+            (k, n, size, backend): measure_cell(k, n, size, backend)
+            for (k, n) in CODES
+            for size in BLOCK_SIZES
+            for backend in BACKENDS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    widths = [10, 8, 9, 14, 14, 14, 14, 9, 9]
+    lines = [
+        "FEC backend throughput (MB/s of source data; decode is the "
+        "worst-case all-parity erasure pattern)",
+        "",
+        format_row(
+            ["code", "block", "", "python enc", "python dec",
+             "numpy enc", "numpy dec", "enc x", "dec x"],
+            widths,
+        ),
+    ]
+    for (k, n) in CODES:
+        for size in BLOCK_SIZES:
+            python = results[(k, n, size, "python")]
+            fast = results[(k, n, size, "numpy")]
+            enc_speedup = fast["encode_mb_s"] / python["encode_mb_s"]
+            dec_speedup = fast["decode_mb_s"] / python["decode_mb_s"]
+            lines.append(format_row(
+                [f"({n},{k})", size, "",
+                 f"{python['encode_mb_s']:.2f}", f"{python['decode_mb_s']:.2f}",
+                 f"{fast['encode_mb_s']:.1f}", f"{fast['decode_mb_s']:.1f}",
+                 f"{enc_speedup:.0f}x", f"{dec_speedup:.0f}x"],
+                widths,
+            ))
+    if QUICK:
+        lines += ["", "(REPRO_BENCH_QUICK=1: reduced sweep and sample times)"]
+    write_table("fec_backends", lines)
+
+    # Acceptance criterion: >= 20x encode speedup on FEC(24,16) x 1024 B.
+    k, n, size = TARGET_CELL
+    speedup = (results[(k, n, size, "numpy")]["encode_mb_s"]
+               / results[(k, n, size, "python")]["encode_mb_s"])
+    assert speedup >= TARGET_SPEEDUP, (
+        f"numpy encode speedup on FEC({n},{k}) x {size} B was only "
+        f"{speedup:.1f}x (target {TARGET_SPEEDUP}x)"
+    )

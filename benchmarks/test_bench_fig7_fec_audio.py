@@ -12,7 +12,6 @@ distance-calibrated loss model) and records the averages.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.media import ToneSource
 from repro.net import FIG7_WINDOW_SIZE

@@ -23,7 +23,6 @@ from ..streams import (
     FrameDecoder,
     NotConnectedError,
     StreamClosedError,
-    StreamTimeoutError,
     encode_frame,
 )
 from .filter import Filter

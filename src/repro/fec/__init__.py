@@ -7,6 +7,18 @@ the sources.  This package implements the field arithmetic, matrix algebra,
 code construction, per-packet wire format and group assembly from scratch.
 """
 
+from .backend import (
+    BACKEND_ENV_VAR,
+    GFBackend,
+    GFBackendError,
+    NumpyGFBackend,
+    PurePythonGFBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from .block_codes import (
     BlockErasureCode,
     FecCodingError,
@@ -56,6 +68,16 @@ from .vandermonde import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "GFBackend",
+    "GFBackendError",
+    "NumpyGFBackend",
+    "PurePythonGFBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
     "BlockErasureCode",
     "FecCodingError",
     "encode_blocks",
@@ -94,4 +116,6 @@ __all__ = [
     "FecGroupDecoder",
     "FecEncoderStats",
     "FecDecoderStats",
+    "BlockInterleaver",
+    "Deinterleaver",
 ]

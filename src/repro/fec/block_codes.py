@@ -7,19 +7,22 @@ the ``n`` encoded blocks reconstruct the sources.
 
 Variable-length packets are handled one level up (see
 :mod:`repro.fec.group`), which pads payloads to a common block size; this
-module deals purely in equal-length byte blocks.
+module deals purely in equal-length byte blocks.  The field algebra runs on
+a pluggable :mod:`repro.fec.backend` (vectorised numpy by default), and the
+``encode_batch``/``decode_batch`` methods expose the whole code word as a
+handful of array operations for the hot paths.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from .gf256 import gf_dot_bytes
+from .backend import GFBackend, resolve_backend
 from .matrix import GFMatrix
 from .vandermonde import (
-    decoding_matrix,
+    _decoding_matrix_cached,
     systematic_generator_matrix,
     validate_parameters,
 )
@@ -30,15 +33,16 @@ class FecCodingError(ValueError):
     duplicate indices, or too few blocks to reconstruct)."""
 
 
-def _as_arrays(blocks: Sequence[bytes]) -> List[np.ndarray]:
+def _as_batch(blocks: Sequence[bytes]) -> np.ndarray:
+    """Stack equal-length byte blocks into a (len(blocks), L) uint8 array."""
     length = len(blocks[0])
-    arrays = []
     for index, block in enumerate(blocks):
         if len(block) != length:
             raise FecCodingError(
-                f"block {index} has length {len(block)}, expected {length}")
-        arrays.append(np.frombuffer(bytes(block), dtype=np.uint8))
-    return arrays
+                f"block {index} has length {len(block)}, expected {length}"
+            )
+    joined = b"".join(bytes(block) for block in blocks)
+    return np.frombuffer(joined, dtype=np.uint8).reshape(len(blocks), length)
 
 
 class BlockErasureCode:
@@ -50,15 +54,22 @@ class BlockErasureCode:
         Number of source blocks per group.
     n:
         Total number of encoded blocks per group (``n - k`` parity blocks).
+    backend:
+        GF(256) engine to run the block algebra on — a backend name, a
+        :class:`~repro.fec.backend.GFBackend` instance, or ``None`` for the
+        process default (see :func:`repro.fec.backend.get_backend`).
 
     The paper's audio proxy uses ``BlockErasureCode(k=4, n=6)`` — written
     FEC(6, 4) in the paper — chosen small "so as to minimise jitter".
     """
 
-    def __init__(self, k: int, n: int) -> None:
+    def __init__(
+        self, k: int, n: int, backend: Union[str, GFBackend, None] = None
+    ) -> None:
         validate_parameters(k, n)
         self.k = k
         self.n = n
+        self.backend = resolve_backend(backend)
         self._generator: GFMatrix = systematic_generator_matrix(k, n)
         self._parity_rows = [self._generator.row(i) for i in range(k, n)]
 
@@ -94,18 +105,54 @@ class BlockErasureCode:
         """
         if len(source_blocks) != self.k:
             raise FecCodingError(
-                f"expected {self.k} source blocks, got {len(source_blocks)}")
+                f"expected {self.k} source blocks, got {len(source_blocks)}"
+            )
         if not source_blocks[0]:
             raise FecCodingError("blocks must be non-empty")
-        arrays = _as_arrays(source_blocks)
+        batch = _as_batch(source_blocks)
         encoded: List[bytes] = [bytes(block) for block in source_blocks]
-        for row in self._parity_rows:
-            encoded.append(gf_dot_bytes(row, arrays).tobytes())
+        if self._parity_rows:
+            parity = self.backend.apply_matrix(self._parity_rows, batch)
+            encoded.extend(parity[i].tobytes() for i in range(parity.shape[0]))
         return encoded
 
     def encode_parity(self, source_blocks: Sequence[bytes]) -> List[bytes]:
         """Return only the ``n - k`` parity blocks for the group."""
-        return self.encode(source_blocks)[self.k:]
+        return self.encode(source_blocks)[self.k :]
+
+    def encode_batch(self, source: np.ndarray) -> np.ndarray:
+        """Encode a (k, L) ``uint8`` batch into the full (n, L) code word.
+
+        Row i of the result is encoded block i: the first ``k`` rows are the
+        source rows verbatim, the rest are parity.  The whole code word is
+        produced by a single backend matrix-batch product.
+        """
+        source = np.asarray(source)
+        parity = self.encode_parity_batch(source)
+        encoded = np.empty((self.n, source.shape[1]), dtype=np.uint8)
+        encoded[: self.k] = source
+        encoded[self.k :] = parity
+        return encoded
+
+    def encode_parity_batch(self, source: np.ndarray) -> np.ndarray:
+        """The (n - k, L) parity rows for a (k, L) ``uint8`` source batch.
+
+        Like :meth:`encode_batch` but without materialising the verbatim
+        source rows — the hot path for callers that already hold the source
+        blocks (see :class:`repro.fec.group.FecGroupEncoder`).
+        """
+        source = np.asarray(source)
+        if source.dtype != np.uint8:
+            raise FecCodingError(f"source batch must be uint8, got {source.dtype}")
+        if source.ndim != 2 or source.shape[0] != self.k:
+            raise FecCodingError(
+                f"source batch must have shape ({self.k}, L), got {source.shape}"
+            )
+        if source.shape[1] == 0:
+            raise FecCodingError("blocks must be non-empty")
+        if not self._parity_rows:
+            return np.empty((0, source.shape[1]), dtype=np.uint8)
+        return self.backend.apply_matrix(self._parity_rows, source)
 
     # -------------------------------------------------------------- decoding
 
@@ -121,7 +168,8 @@ class BlockErasureCode:
         """
         if len(received) < self.k:
             raise FecCodingError(
-                f"need at least k={self.k} blocks to decode, got {len(received)}")
+                f"need at least k={self.k} blocks to decode, got {len(received)}"
+            )
         for index in received:
             if not 0 <= index < self.n:
                 raise FecCodingError(f"block index {index} outside [0, {self.n})")
@@ -133,24 +181,70 @@ class BlockErasureCode:
         if len(data_indices) == self.k:
             return [bytes(received[i]) for i in range(self.k)]
 
-        chosen = (data_indices + parity_indices)[:self.k]
+        chosen = (data_indices + parity_indices)[: self.k]
         chosen.sort()
-        blocks = [received[i] for i in chosen]
-        arrays = _as_arrays(blocks)
+        batch = _as_batch([received[i] for i in chosen])
 
-        decode_matrix = decoding_matrix(self.k, self.n, chosen)
         sources: List[Optional[bytes]] = [None] * self.k
         # Received source blocks are already correct; only reconstruct the
         # missing ones (each missing source is one row of the decode matrix).
         for i in chosen:
             if i < self.k:
                 sources[i] = bytes(received[i])
-        for source_index in range(self.k):
-            if sources[source_index] is not None:
-                continue
-            row = decode_matrix.row(source_index)
-            sources[source_index] = gf_dot_bytes(row, arrays).tobytes()
+        missing = [i for i in range(self.k) if sources[i] is None]
+        if missing:
+            decode_matrix = _decoding_matrix_cached(self.k, self.n, tuple(chosen))
+            rows = [decode_matrix.row(i) for i in missing]
+            recovered = self.backend.apply_matrix(rows, batch)
+            for slot, source_index in enumerate(missing):
+                sources[source_index] = recovered[slot].tobytes()
         return [block for block in sources if block is not None]
+
+    def decode_batch(self, indices: Sequence[int], blocks: np.ndarray) -> np.ndarray:
+        """Reconstruct the (k, L) source batch from any ``k`` encoded rows.
+
+        ``blocks`` is a (k, L) ``uint8`` array whose row j is the encoded
+        block with index ``indices[j]``.  Returns the source blocks in source
+        order; rows that arrived verbatim are copied, the rest come from one
+        backend product with the relevant decode-matrix rows.
+        """
+        blocks = np.asarray(blocks)
+        if blocks.dtype != np.uint8:
+            raise FecCodingError(f"block batch must be uint8, got {blocks.dtype}")
+        if blocks.ndim != 2 or blocks.shape[0] != self.k:
+            raise FecCodingError(
+                f"block batch must have shape ({self.k}, L), got {blocks.shape}"
+            )
+        order = [int(i) for i in indices]
+        if len(order) != self.k:
+            raise FecCodingError(
+                f"exactly k={self.k} indices are required, got {len(order)}"
+            )
+        if len(set(order)) != len(order):
+            raise FecCodingError("received indices must be distinct")
+        for index in order:
+            if not 0 <= index < self.n:
+                raise FecCodingError(f"block index {index} outside [0, {self.n})")
+
+        sources = np.empty((self.k, blocks.shape[1]), dtype=np.uint8)
+        present = {}
+        for slot, index in enumerate(order):
+            if index < self.k:
+                sources[index] = blocks[slot]
+                present[index] = slot
+        missing = [i for i in range(self.k) if i not in present]
+        if missing:
+            decode_matrix = _decoding_matrix_cached(
+                self.k, self.n, tuple(sorted(order))
+            )
+            # decoding_matrix expects its input rows in sorted-index order.
+            sort_order = np.argsort(order, kind="stable")
+            sorted_batch = np.ascontiguousarray(blocks[sort_order])
+            rows = [decode_matrix.row(i) for i in missing]
+            recovered = self.backend.apply_matrix(rows, sorted_batch)
+            for slot, source_index in enumerate(missing):
+                sources[source_index] = recovered[slot]
+        return sources
 
     def can_decode(self, received_indices: Sequence[int]) -> bool:
         """True when the given set of received indices suffices to decode."""
@@ -158,14 +252,27 @@ class BlockErasureCode:
         return len(unique) >= self.k
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"BlockErasureCode(k={self.k}, n={self.n})"
+        return (
+            f"BlockErasureCode(k={self.k}, n={self.n}, "
+            f"backend={self.backend.name!r})"
+        )
 
 
-def encode_blocks(source_blocks: Sequence[bytes], k: int, n: int) -> List[bytes]:
+def encode_blocks(
+    source_blocks: Sequence[bytes],
+    k: int,
+    n: int,
+    backend: Union[str, GFBackend, None] = None,
+) -> List[bytes]:
     """One-shot convenience wrapper around :meth:`BlockErasureCode.encode`."""
-    return BlockErasureCode(k, n).encode(source_blocks)
+    return BlockErasureCode(k, n, backend=backend).encode(source_blocks)
 
 
-def decode_blocks(received: Dict[int, bytes], k: int, n: int) -> List[bytes]:
+def decode_blocks(
+    received: Dict[int, bytes],
+    k: int,
+    n: int,
+    backend: Union[str, GFBackend, None] = None,
+) -> List[bytes]:
     """One-shot convenience wrapper around :meth:`BlockErasureCode.decode`."""
-    return BlockErasureCode(k, n).decode(received)
+    return BlockErasureCode(k, n, backend=backend).decode(received)

@@ -15,9 +15,10 @@ whatever data packets did arrive, so FEC can only improve delivery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Tuple, Union
 
-from .block_codes import BlockErasureCode, FecCodingError
+from .backend import GFBackend, resolve_backend
+from .block_codes import BlockErasureCode, FecCodingError, _as_batch
 from .packets import (
     FLAG_PARITY,
     FLAG_UNCODED,
@@ -53,13 +54,26 @@ class FecGroupEncoder:
         i.e. ``k=4, n=6``.
     start_group_id:
         First group identifier to use (useful when resuming a stream).
+    backend:
+        GF(256) engine name/instance, or ``None`` for the process default.
     """
 
-    def __init__(self, k: int, n: int, start_group_id: int = 0) -> None:
-        self._code = BlockErasureCode(k, n)
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        start_group_id: int = 0,
+        backend: Union[str, GFBackend, None] = None,
+    ) -> None:
+        self._code = BlockErasureCode(k, n, backend=backend)
         self._pending: List[bytes] = []
         self._next_group_id = start_group_id
         self.stats = FecEncoderStats()
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the GF(256) backend encoding this stream."""
+        return self._code.backend.name
 
     @property
     def k(self) -> int:
@@ -93,7 +107,10 @@ class FecGroupEncoder:
         payloads, self._pending = self._pending, []
         block_size = block_size_for(payloads)
         blocks = [pad_block(p, block_size) for p in payloads]
-        encoded = self._code.encode(blocks)
+        # One vectorised batch product yields every parity block; the data
+        # packets reuse the padded source blocks directly.
+        parity = self._code.encode_parity_batch(_as_batch(blocks))
+        encoded = blocks + [parity[i].tobytes() for i in range(parity.shape[0])]
         group_id = self._next_group_id
         self._next_group_id += 1
 
@@ -162,12 +179,30 @@ class FecGroupDecoder:
     packets for an already-delivered group are counted and dropped.
     """
 
-    def __init__(self, max_tracked_groups: int = 1024) -> None:
+    def __init__(
+        self,
+        max_tracked_groups: int = 1024,
+        backend: Union[str, GFBackend, None] = None,
+    ) -> None:
         if max_tracked_groups < 1:
             raise ValueError("max_tracked_groups must be >= 1")
         self._groups: Dict[int, _GroupState] = {}
         self._max_tracked = max_tracked_groups
+        self._backend = resolve_backend(backend)
+        self._codes: Dict[Tuple[int, int], BlockErasureCode] = {}
         self.stats = FecDecoderStats()
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the GF(256) backend decoding this stream."""
+        return self._backend.name
+
+    def _code_for(self, k: int, n: int) -> BlockErasureCode:
+        code = self._codes.get((k, n))
+        if code is None:
+            code = BlockErasureCode(k, n, backend=self._backend)
+            self._codes[(k, n)] = code
+        return code
 
     def add(self, packet: FecPacket) -> List[bytes]:
         """Process one received packet; returns recovered payloads (if any)."""
@@ -200,7 +235,7 @@ class FecGroupDecoder:
         return self._deliver(packet.group_id, state)
 
     def _deliver(self, group_id: int, state: _GroupState) -> List[bytes]:
-        code = BlockErasureCode(state.k, state.n)
+        code = self._code_for(state.k, state.n)
         blocks = code.decode(state.received)
         payloads = [unpad_block(block) for block in blocks]
         data_received = sum(1 for i in state.received if i < state.k)

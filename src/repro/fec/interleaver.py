@@ -15,7 +15,7 @@ and is used by the E5 benchmark's burst-loss ablation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .packets import FecPacket
 

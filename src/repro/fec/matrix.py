@@ -2,16 +2,19 @@
 
 Provides exactly the operations the erasure code needs: construction,
 multiplication, sub-matrix extraction, and Gauss–Jordan inversion.  Matrices
-are small (at most n x k with n, k <= 255), so clarity is preferred over
-micro-optimisation; the per-byte heavy lifting happens in
-:func:`repro.fec.gf256.gf_dot_bytes` instead.
+are small (at most n x k with n, k <= 255); products are delegated to the
+active :mod:`repro.fec.backend`, and the per-byte heavy lifting happens in
+the backend's ``apply_matrix`` packet-batch path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Union
 
-from .gf256 import gf_add, gf_div, gf_inv, gf_mul
+import numpy as np
+
+from .backend import GFBackend, resolve_backend
+from .gf256 import gf_add, gf_inv, gf_mul
 
 
 class SingularMatrixError(ValueError):
@@ -102,31 +105,30 @@ class GFMatrix:
         """Select the given rows (in the given order) into a new matrix."""
         return GFMatrix([self.row(i) for i in row_indices])
 
-    def multiply(self, other: "GFMatrix") -> "GFMatrix":
+    def multiply(
+        self,
+        other: "GFMatrix",
+        backend: Union[str, GFBackend, None] = None,
+    ) -> "GFMatrix":
         """Matrix product ``self @ other`` over GF(256)."""
         if self.ncols != other.nrows:
-            raise ValueError(
-                f"cannot multiply {self.shape} by {other.shape}")
-        result = GFMatrix.zeros(self.nrows, other.ncols)
-        for i in range(self.nrows):
-            for j in range(other.ncols):
-                acc = 0
-                for k in range(self.ncols):
-                    acc = gf_add(acc, gf_mul(self._rows[i][k], other._rows[k][j]))
-                result[i, j] = acc
-        return result
+            raise ValueError(f"cannot multiply {self.shape} by {other.shape}")
+        rows = resolve_backend(backend).matmul(self._rows, other._rows)
+        return GFMatrix(rows)
 
-    def multiply_vector(self, vector: Sequence[int]) -> List[int]:
+    def multiply_vector(
+        self,
+        vector: Sequence[int],
+        backend: Union[str, GFBackend, None] = None,
+    ) -> List[int]:
         """Matrix-vector product over GF(256)."""
         if len(vector) != self.ncols:
             raise ValueError("vector length must equal the number of columns")
-        out = []
-        for row in self._rows:
-            acc = 0
-            for coefficient, value in zip(row, vector):
-                acc = gf_add(acc, gf_mul(coefficient, value))
-            out.append(acc)
-        return out
+        return resolve_backend(backend).matvec(self._rows, vector)
+
+    def to_array(self) -> np.ndarray:
+        """The matrix as a fresh (nrows, ncols) ``uint8`` numpy array."""
+        return np.asarray(self._rows, dtype=np.uint8)
 
     def inverse(self) -> "GFMatrix":
         """Invert the matrix with Gauss–Jordan elimination over GF(256)."""

@@ -56,14 +56,20 @@ def _alpha_for_row(i: int) -> int:
     return gf_pow(2, i) if i > 0 else 1
 
 
-@lru_cache(maxsize=None)
 def systematic_generator_matrix(k: int, n: int) -> GFMatrix:
     """Return the systematic n x k generator matrix for an (n, k) code.
 
     The first k rows are the identity; the remaining n - k rows produce the
     parity packets.  Results are cached because proxies repeatedly encode
-    with the same (n, k).
+    with the same (n, k); the returned matrix is a private copy (GFMatrix is
+    mutable, and the memoised instance must stay pristine).
     """
+    return GFMatrix(_systematic_generator_matrix_cached(k, n).rows())
+
+
+@lru_cache(maxsize=None)
+def _systematic_generator_matrix_cached(k: int, n: int) -> GFMatrix:
+    """Memoised construction; read-only internal callers use this directly."""
     validate_parameters(k, n)
     vand = vandermonde_matrix(k, n)
     top = vand.submatrix(range(k))
@@ -76,7 +82,7 @@ def systematic_generator_matrix(k: int, n: int) -> GFMatrix:
 
 def parity_rows(k: int, n: int) -> List[List[int]]:
     """The n - k parity rows of the systematic generator matrix."""
-    generator = systematic_generator_matrix(k, n)
+    generator = _systematic_generator_matrix_cached(k, n)
     return [generator.row(i) for i in range(k, n)]
 
 
@@ -97,5 +103,19 @@ def decoding_matrix(k: int, n: int, received_indices: List[int]) -> GFMatrix:
     for index in received_indices:
         if not 0 <= index < n:
             raise ValueError(f"index {index} outside [0, {n})")
-    generator = systematic_generator_matrix(k, n)
+    cached = _decoding_matrix_cached(k, n, tuple(received_indices))
+    # Defensive copy: GFMatrix is mutable, and handing out the memoised
+    # instance would let a caller poison every future decode of the pattern.
+    return GFMatrix(cached.rows())
+
+
+@lru_cache(maxsize=4096)
+def _decoding_matrix_cached(k: int, n: int, received_indices: "tuple[int, ...]"
+                            ) -> GFMatrix:
+    """The Gauss–Jordan inversion is O(k^3) scalar field ops; streams decode
+    the same erasure patterns over and over, so the result is memoised.
+
+    Internal callers that only *read* the matrix may use this directly to
+    skip the defensive copy made by :func:`decoding_matrix`."""
+    generator = _systematic_generator_matrix_cached(k, n)
     return generator.submatrix(received_indices).inverse()

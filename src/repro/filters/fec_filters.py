@@ -50,11 +50,13 @@ class FecEncoderFilter(PacketFilter):
 
     def __init__(self, k: int = PAPER_FEC_K, n: int = PAPER_FEC_N,
                  name: Optional[str] = None,
-                 start_group_id: Optional[int] = None) -> None:
+                 start_group_id: Optional[int] = None,
+                 backend: Optional[str] = None) -> None:
         super().__init__(name=name)
         if start_group_id is None:
             start_group_id = _allocate_group_id_base()
-        self._encoder = FecGroupEncoder(k=k, n=n, start_group_id=start_group_id)
+        self._encoder = FecGroupEncoder(k=k, n=n, start_group_id=start_group_id,
+                                        backend=backend)
         self.k = k
         self.n = n
 
@@ -72,6 +74,7 @@ class FecEncoderFilter(PacketFilter):
     def describe(self) -> dict:
         info = super().describe()
         info["fec"] = {"k": self.k, "n": self.n,
+                       "backend": self._encoder.backend_name,
                        "groups_encoded": self._encoder.stats.groups_encoded}
         return info
 
@@ -88,9 +91,11 @@ class FecDecoderFilter(PacketFilter):
 
     def __init__(self, name: Optional[str] = None,
                  passthrough_unknown: bool = True,
-                 max_tracked_groups: int = 1024) -> None:
+                 max_tracked_groups: int = 1024,
+                 backend: Optional[str] = None) -> None:
         super().__init__(name=name)
-        self._group_decoder = FecGroupDecoder(max_tracked_groups=max_tracked_groups)
+        self._group_decoder = FecGroupDecoder(max_tracked_groups=max_tracked_groups,
+                                              backend=backend)
         self.passthrough_unknown = passthrough_unknown
         self.unknown_packets = 0
 
@@ -114,6 +119,7 @@ class FecDecoderFilter(PacketFilter):
         info = super().describe()
         stats = self._group_decoder.stats
         info["fec"] = {
+            "backend": self._group_decoder.backend_name,
             "groups_decoded": stats.groups_decoded,
             "groups_repaired": stats.groups_repaired,
             "payloads_recovered": stats.payloads_recovered,

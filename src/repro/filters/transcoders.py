@@ -16,7 +16,7 @@ statistics (and FEC grouping) keep working on the transcoded stream.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

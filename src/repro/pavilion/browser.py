@@ -12,7 +12,7 @@ travel through proxy filter chains like any other packet stream.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 MESSAGE_URL = "url"

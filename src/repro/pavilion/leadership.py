@@ -13,7 +13,7 @@ history so tests and examples can assert on the exact sequence of handoffs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 REQUEST = "request"

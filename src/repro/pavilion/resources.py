@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 CONTENT_HTML = "text/html"
 CONTENT_IMAGE = "image/png"

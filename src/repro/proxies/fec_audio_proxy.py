@@ -33,7 +33,7 @@ from ..media import (
     MediaPacketError,
     ToneSource,
 )
-from ..net import DeliveryReport, DistanceLoss, LossModel, WirelessLAN
+from ..net import DeliveryReport, LossModel, WirelessLAN
 
 
 @dataclass
@@ -45,6 +45,8 @@ class FecAudioProxyConfig:
     fec_enabled: bool = True
     packet_duration_ms: int = 20
     stream_name: str = "audio-downstream"
+    #: GF(256) backend name for the FEC filters (None = process default).
+    fec_backend: Optional[str] = None
 
 
 class FecAudioProxy:
@@ -108,7 +110,8 @@ class FecAudioProxy:
         if self._encoder_filter is not None:
             return
         encoder = FecEncoderFilter(k=k or self.config.k, n=n or self.config.n,
-                                   name="fec-encoder")
+                                   name="fec-encoder",
+                                   backend=self.config.fec_backend)
         self.control.add(encoder, position=0)
         self._encoder_filter = encoder
 
@@ -135,10 +138,12 @@ class WirelessAudioReceiver:
     available after reconstruction — the two series plotted in Figure 7.
     """
 
-    def __init__(self, name: str = "mobile-host") -> None:
+    def __init__(self, name: str = "mobile-host",
+                 fec_backend: Optional[str] = None) -> None:
         self.name = name
         self.depacketizer = Depacketizer()
-        self.decoder = FecDecoderFilter(name=f"{name}-fec-decoder")
+        self.decoder = FecDecoderFilter(name=f"{name}-fec-decoder",
+                                        backend=fec_backend)
         self._raw_sequences: set = set()
         self._reconstructed_sequences: set = set()
         self.undecodable_packets = 0
@@ -241,7 +246,8 @@ def run_fec_audio_experiment(
         packet_duration_ms: int = 20,
         loss_model_factory=None,
         seed: int = 2001,
-        completion_timeout_s: float = 120.0) -> FecAudioExperimentResult:
+        completion_timeout_s: float = 120.0,
+        fec_backend: Optional[str] = None) -> FecAudioExperimentResult:
     """Run the paper's FEC audio experiment on the simulated testbed.
 
     The defaults mirror the paper's setup: a PCM audio stream (8 kHz, two
@@ -269,10 +275,11 @@ def run_fec_audio_experiment(
         else:
             wlan.add_receiver(name, distance_m=distance_m,
                               seed=seed * 1009 + index)
-        receivers[name] = WirelessAudioReceiver(name)
+        receivers[name] = WirelessAudioReceiver(name, fec_backend=fec_backend)
 
     config = FecAudioProxyConfig(k=k, n=n, fec_enabled=fec_enabled,
-                                 packet_duration_ms=packet_duration_ms)
+                                 packet_duration_ms=packet_duration_ms,
+                                 fec_backend=fec_backend)
     proxy = FecAudioProxy(packets, wlan, config=config)
     proxy.start()
     completed = proxy.wait_for_completion(timeout=completion_timeout_s)

@@ -15,7 +15,7 @@ carry out reconfigurations.  Keeping the control loop explicitly clocked
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .events import Event, EventBus
 

@@ -24,7 +24,7 @@ import queue
 import threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..core import CallableSink, CallableSource, ControlThread, Proxy
 from ..media import AudioPacketizer, MediaPacket, ToneSource

@@ -18,7 +18,6 @@ from repro.core import (
     sequence_multiple_boundary,
 )
 from repro.core.stats import FilterStats
-from repro.filters import PassthroughFilter
 from repro.media import FRAME_B, FRAME_I, FRAME_P, VideoSource, packetize_pcm, ToneSource
 
 

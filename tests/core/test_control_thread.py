@@ -7,7 +7,6 @@ import pytest
 from repro.core import (
     CollectorSink,
     CompositionError,
-    ControlThread,
     Filter,
     IterableSource,
     null_proxy,

@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.core import Filter, FilterContainer, FilterStateError, PacketFilter
-from repro.streams import FrameReader, FrameWriter, encode_frame, make_pipe
+from repro.streams import FrameReader, FrameWriter, encode_frame
 
 
 class DoublingFilter(Filter):

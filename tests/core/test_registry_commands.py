@@ -1,6 +1,5 @@
 """Unit tests for the filter registry, command handler and control manager."""
 
-import time
 
 import pytest
 

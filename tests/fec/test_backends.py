@@ -1,0 +1,205 @@
+"""Unit tests for the pluggable GF(256) backend registry and batch APIs."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.fec import (
+    BACKEND_ENV_VAR,
+    BlockErasureCode,
+    FecCodingError,
+    FecGroupDecoder,
+    FecGroupEncoder,
+    GFBackendError,
+    GFMatrix,
+    NumpyGFBackend,
+    PurePythonGFBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+
+
+def random_matrix(rows, cols, seed=0):
+    rng = random.Random(seed)
+    return [[rng.randrange(256) for _ in range(cols)] for _ in range(rows)]
+
+
+def random_batch(rows, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert {"numpy", "python"} <= set(available_backends())
+
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert get_backend().name == "numpy"
+
+    def test_lookup_by_name(self):
+        assert isinstance(get_backend("python"), PurePythonGFBackend)
+        assert isinstance(get_backend("numpy"), NumpyGFBackend)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert get_backend().name == "python"
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(GFBackendError):
+            get_backend()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(GFBackendError):
+            get_backend("no-such-backend")
+
+    def test_resolve_accepts_instances_names_and_none(self):
+        instance = PurePythonGFBackend()
+        assert resolve_backend(instance) is instance
+        assert resolve_backend("numpy").name == "numpy"
+        assert resolve_backend(None).name in available_backends()
+        with pytest.raises(GFBackendError):
+            resolve_backend(42)
+
+    def test_code_accepts_backend_argument(self):
+        assert BlockErasureCode(2, 4, backend="python").backend.name == "python"
+        assert BlockErasureCode(2, 4).backend.name == get_backend().name
+
+
+class TestBackendAlgebra:
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (3, 4, 5), (8, 8, 8), (5, 2, 7)])
+    def test_matmul_matches_reference(self, shape):
+        m, k, n = shape
+        a = random_matrix(m, k, seed=m * 100 + k)
+        b = random_matrix(k, n, seed=n)
+        assert NumpyGFBackend().matmul(a, b) == PurePythonGFBackend().matmul(a, b)
+
+    def test_matvec_matches_reference(self):
+        rows = random_matrix(6, 9, seed=3)
+        vector = [random.Random(4).randrange(256) for _ in range(9)]
+        assert NumpyGFBackend().matvec(rows, vector) == PurePythonGFBackend().matvec(
+            rows, vector
+        )
+
+    @pytest.mark.parametrize("columns", [1, 2, 255, 256, 1000])
+    def test_apply_matrix_matches_reference(self, columns):
+        rows = random_matrix(4, 7, seed=columns)
+        data = random_batch(7, columns, seed=columns)
+        fast = NumpyGFBackend().apply_matrix(rows, data)
+        slow = PurePythonGFBackend().apply_matrix(rows, data)
+        assert fast.dtype == np.uint8
+        assert np.array_equal(fast, slow)
+
+    def test_apply_matrix_does_not_alias_inputs(self):
+        backend = NumpyGFBackend()
+        rows = [[1, 0], [0, 1]]  # identity: output values equal the input
+        data = random_batch(2, 100, seed=9)
+        result = backend.apply_matrix(rows, data)
+        assert np.array_equal(result, data)
+        result[0, 0] ^= 0xFF
+        assert not np.array_equal(result, data)
+
+    def test_apply_matrix_input_validation(self):
+        backend = NumpyGFBackend()
+        with pytest.raises(GFBackendError):
+            backend.apply_matrix([], random_batch(2, 4))
+        with pytest.raises(GFBackendError):
+            backend.apply_matrix([[1, 2]], random_batch(3, 4))
+        with pytest.raises(GFBackendError):
+            backend.apply_matrix([[1, 2]], np.zeros((2, 4), dtype=np.uint16))
+        with pytest.raises(GFBackendError):
+            backend.apply_matrix([[1, 2]], np.zeros(4, dtype=np.uint8))
+
+    def test_gfmatrix_multiply_uses_any_backend(self):
+        a = GFMatrix(random_matrix(5, 5, seed=1))
+        b = GFMatrix(random_matrix(5, 5, seed=2))
+        assert a.multiply(b, backend="numpy") == a.multiply(b, backend="python")
+        assert a.multiply(a.inverse()).is_identity()
+
+    def test_gfmatrix_to_array_round_trip(self):
+        rows = random_matrix(4, 3, seed=8)
+        array = GFMatrix(rows).to_array()
+        assert array.dtype == np.uint8
+        assert array.tolist() == rows
+
+
+class TestBatchCoding:
+    @pytest.mark.parametrize("k,n", [(1, 1), (4, 6), (8, 12)])
+    def test_encode_batch_matches_bytes_api(self, k, n):
+        code = BlockErasureCode(k, n)
+        batch = random_batch(k, 64, seed=n)
+        blocks = [bytes(batch[i]) for i in range(k)]
+        from_bytes = code.encode(blocks)
+        from_batch = code.encode_batch(batch)
+        assert from_batch.shape == (n, 64)
+        assert [bytes(row) for row in from_batch] == from_bytes
+
+    def test_decode_batch_recovers_sources(self):
+        code = BlockErasureCode(4, 6)
+        batch = random_batch(4, 32, seed=11)
+        encoded = code.encode_batch(batch)
+        survivors = [1, 3, 4, 5]  # two data blocks lost
+        decoded = code.decode_batch(survivors, encoded[survivors])
+        assert np.array_equal(decoded, batch)
+
+    def test_decode_batch_accepts_unsorted_indices(self):
+        code = BlockErasureCode(4, 6)
+        batch = random_batch(4, 32, seed=12)
+        encoded = code.encode_batch(batch)
+        survivors = [5, 0, 4, 2]
+        decoded = code.decode_batch(survivors, encoded[survivors])
+        assert np.array_equal(decoded, batch)
+
+    def test_encode_batch_validation(self):
+        code = BlockErasureCode(2, 4)
+        with pytest.raises(FecCodingError):
+            code.encode_batch(random_batch(3, 8))
+        with pytest.raises(FecCodingError):
+            code.encode_batch(np.zeros((2, 0), dtype=np.uint8))
+        with pytest.raises(FecCodingError):
+            code.encode_batch(np.zeros((2, 8), dtype=np.int32))
+
+    def test_decode_batch_validation(self):
+        code = BlockErasureCode(2, 4)
+        batch = random_batch(2, 8)
+        with pytest.raises(FecCodingError):
+            code.decode_batch([0], batch[:1])
+        with pytest.raises(FecCodingError):
+            code.decode_batch([0, 0], batch)
+        with pytest.raises(FecCodingError):
+            code.decode_batch([0, 9], batch)
+        with pytest.raises(FecCodingError):
+            code.decode_batch([0, 1], batch.astype(np.uint32))
+
+
+class TestGroupBackendThreading:
+    def test_group_round_trip_on_both_backends(self):
+        for backend in ("numpy", "python"):
+            encoder = FecGroupEncoder(k=4, n=6, backend=backend)
+            decoder = FecGroupDecoder(backend=backend)
+            assert encoder.backend_name == backend
+            assert decoder.backend_name == backend
+            payloads = [bytes([i]) * (10 + i) for i in range(4)]
+            packets = []
+            for payload in payloads:
+                packets.extend(encoder.add(payload))
+            # Drop two data packets; the group must still decode.
+            delivered = []
+            for packet in packets:
+                if packet.index in (0, 2):
+                    continue
+                delivered.extend(decoder.add(packet))
+            assert delivered == payloads
+
+    def test_backends_produce_identical_packets(self):
+        streams = {}
+        for backend in ("numpy", "python"):
+            encoder = FecGroupEncoder(k=4, n=6, backend=backend)
+            packets = []
+            for i in range(4):
+                packets.extend(encoder.add(bytes([i * 17 % 256]) * 40))
+            streams[backend] = [p.pack() for p in packets]
+        assert streams["numpy"] == streams["python"]

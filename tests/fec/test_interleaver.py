@@ -7,7 +7,6 @@ from repro.fec import (
     Deinterleaver,
     FecGroupDecoder,
     FecGroupEncoder,
-    FecPacket,
 )
 from repro.net import GilbertElliottLoss
 

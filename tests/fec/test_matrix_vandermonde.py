@@ -134,7 +134,15 @@ class TestVandermondeConstruction:
             g.submatrix(rows).inverse()
 
     def test_generator_cached(self):
-        assert systematic_generator_matrix(4, 6) is systematic_generator_matrix(4, 6)
+        # The construction is memoised internally, but callers receive
+        # private copies so mutations cannot poison the cache.
+        from repro.fec.vandermonde import _systematic_generator_matrix_cached
+
+        cached = _systematic_generator_matrix_cached(4, 6)
+        assert _systematic_generator_matrix_cached(4, 6) is cached
+        public = systematic_generator_matrix(4, 6)
+        assert public == cached
+        assert public is not cached
 
 
 class TestDecodingMatrix:
@@ -163,3 +171,17 @@ class TestDecodingMatrix:
         d = decoding_matrix(k, n, received_indices)
         recovered = d.multiply_vector([encoded[i] for i in received_indices])
         assert recovered == source
+
+    def test_returned_matrix_is_a_private_copy(self):
+        # The result is memoised internally; mutating it must not poison
+        # future decodes of the same erasure pattern.
+        first = decoding_matrix(4, 6, [2, 3, 4, 5])
+        first[0, 0] ^= 0xFF
+        second = decoding_matrix(4, 6, [2, 3, 4, 5])
+        assert first != second
+
+    def test_generator_matrix_is_a_private_copy(self):
+        first = systematic_generator_matrix(4, 6)
+        first[5, 0] ^= 0xFF
+        second = systematic_generator_matrix(4, 6)
+        assert first != second

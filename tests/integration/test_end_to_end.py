@@ -7,12 +7,9 @@ the FEC audio proxy of Figure 6, the RAPIDware configuration of Figure 2
 Figure 1.
 """
 
-import time
 
-import pytest
 
 from repro.core import (
-    CallableSink,
     CollectorSink,
     ControlThread,
     ControlManager,
@@ -20,8 +17,6 @@ from repro.core import (
     FilterSpec,
     IterableSource,
     Proxy,
-    ProxyControlClient,
-    null_proxy,
 )
 from repro.filters import (
     FecDecoderFilter,
@@ -31,7 +26,7 @@ from repro.filters import (
     ZlibCompressFilter,
     ZlibDecompressFilter,
 )
-from repro.media import AudioPacketizer, MediaPacket, ToneSource, pcm_similarity
+from repro.media import AudioPacketizer, ToneSource, pcm_similarity
 from repro.net import BernoulliLoss, WirelessLAN
 from repro.pavilion import CollaborativeSession, build_demo_site
 from repro.proxies import (
@@ -132,9 +127,6 @@ class TestFecOverLossyWlan:
     """Figure 6 / Figure 7: the FEC audio proxy over the simulated WLAN."""
 
     def test_audio_quality_improves_with_fec(self):
-        source = ToneSource(duration=8.0)
-        original_pcm = source.pcm_bytes()
-
         def run(fec_enabled):
             result = run_fec_audio_experiment(
                 audio_source=ToneSource(duration=8.0),

@@ -4,7 +4,6 @@ import pytest
 
 from repro.net import (
     AccessPoint,
-    BernoulliLoss,
     DeliveryReport,
     FIG7_WINDOW_SIZE,
     FixedPatternLoss,

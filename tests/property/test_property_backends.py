@@ -1,0 +1,119 @@
+"""Property-based equivalence tests between the GF(256) backends.
+
+The numpy backend must be byte-identical to the pure-Python reference
+oracle on every operation, and the batch encode/erase/decode round trip
+must recover the sources for every benchmarked (n, k) configuration and
+random erasure pattern.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fec import (
+    BlockErasureCode,
+    NumpyGFBackend,
+    PurePythonGFBackend,
+)
+
+FAST = NumpyGFBackend()
+ORACLE = PurePythonGFBackend()
+
+#: The (k, n) configurations exercised by benchmarks/test_bench_fec_backends.py.
+BENCHMARKED_CODES = [(8, 12), (16, 24), (32, 48)]
+
+field_elements = st.integers(min_value=0, max_value=255)
+
+
+def matrix_strategy(max_rows=8, max_cols=8):
+    return st.integers(min_value=1, max_value=max_cols).flatmap(
+        lambda width: st.lists(
+            st.lists(field_elements, min_size=width, max_size=width),
+            min_size=1,
+            max_size=max_rows,
+        )
+    )
+
+
+class TestOperationEquivalence:
+    @given(matrix_strategy(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matmul_equivalence(self, a, data):
+        inner = len(a[0])
+        width = data.draw(st.integers(min_value=1, max_value=8))
+        b = data.draw(
+            st.lists(
+                st.lists(field_elements, min_size=width, max_size=width),
+                min_size=inner,
+                max_size=inner,
+            )
+        )
+        assert FAST.matmul(a, b) == ORACLE.matmul(a, b)
+
+    @given(matrix_strategy(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_equivalence(self, rows, data):
+        vector = data.draw(
+            st.lists(field_elements, min_size=len(rows[0]), max_size=len(rows[0]))
+        )
+        assert FAST.matvec(rows, vector) == ORACLE.matvec(rows, vector)
+
+    @given(matrix_strategy(max_rows=6, max_cols=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_apply_matrix_equivalence(self, rows, data):
+        columns = data.draw(st.integers(min_value=1, max_value=96))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        batch = rng.integers(0, 256, size=(len(rows[0]), columns), dtype=np.uint8)
+        fast = FAST.apply_matrix(rows, batch)
+        slow = ORACLE.apply_matrix(rows, batch)
+        assert np.array_equal(fast, slow)
+
+
+class TestRoundTripEquivalence:
+    @given(
+        st.sampled_from(BENCHMARKED_CODES),
+        st.integers(min_value=1, max_value=32),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_benchmarked_codes_round_trip_on_both_backends(self, kn, size, rng):
+        k, n = kn
+        source = np.frombuffer(
+            bytes(rng.randrange(256) for _ in range(k * size)), dtype=np.uint8
+        ).reshape(k, size)
+        survivors = sorted(rng.sample(range(n), k))
+
+        fast_code = BlockErasureCode(k, n, backend=FAST)
+        slow_code = BlockErasureCode(k, n, backend=ORACLE)
+        fast_encoded = fast_code.encode_batch(source)
+        slow_encoded = slow_code.encode_batch(source)
+        assert np.array_equal(fast_encoded, slow_encoded)
+
+        fast_decoded = fast_code.decode_batch(survivors, fast_encoded[survivors])
+        assert np.array_equal(fast_decoded, source)
+        slow_decoded = slow_code.decode_batch(survivors, slow_encoded[survivors])
+        assert np.array_equal(slow_decoded, source)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=48),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_codes_round_trip_with_random_erasures(
+        self, k, parity, size, rng
+    ):
+        n = k + parity
+        code = BlockErasureCode(k, n, backend=FAST)
+        source = np.frombuffer(
+            bytes(rng.randrange(256) for _ in range(k * size)), dtype=np.uint8
+        ).reshape(k, size)
+        encoded = code.encode_batch(source)
+        survivors = rng.sample(range(n), k)  # unsorted erasure pattern
+        decoded = code.decode_batch(survivors, encoded[survivors])
+        assert np.array_equal(decoded, source)
+
+        # The bytes API must agree with the batch API on the same erasures.
+        received = {i: bytes(encoded[i]) for i in survivors}
+        assert code.decode(received) == [bytes(row) for row in source]

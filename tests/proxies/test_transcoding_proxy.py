@@ -1,6 +1,5 @@
 """Unit tests for the transcoding and video proxies."""
 
-import pytest
 
 from repro.media import (
     AudioPacketizer,

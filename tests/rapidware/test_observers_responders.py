@@ -5,11 +5,9 @@ import pytest
 from repro.core import CollectorSink, IterableSource, null_proxy
 from repro.net import (
     AccessPoint,
-    BernoulliLoss,
     FixedPatternLoss,
     LinearWalk,
     NoLoss,
-    WirelessLAN,
 )
 from repro.rapidware import (
     AdaptationLimits,
