@@ -37,37 +37,42 @@ def main() -> None:
     source = IterableSource(records, pacing_s=0.001, name="wired-in")
     sink = CollectorSink(name="wireless-out")
 
-    proxy = Proxy("quickstart-proxy")
-    stream = proxy.add_stream(source, sink, name="demo")
-    print("null proxy is running:", stream.filter_names() or "[no filters]")
+    # A Proxy is a context manager: leaving the block shuts every stream
+    # down (shutdown is idempotent, so an explicit call is also fine).
+    # ``engine=`` picks the execution runtime — "threaded" (default) or
+    # "event" for high-stream-count proxies; REPRO_ENGINE overrides.
+    with Proxy("quickstart-proxy") as proxy:
+        stream = proxy.add_stream(source, sink, name="demo")
+        print(f"null proxy is running on the {proxy.engine.name!r} engine:",
+              stream.filter_names() or "[no filters]")
 
-    # ------------------------------------------------------------------ 2
-    # Insert a filter while data is flowing.  The ControlThread pauses the
-    # upstream detachable stream, waits for in-flight bytes to drain,
-    # re-splices, and resumes — no byte is lost or reordered.
-    time.sleep(0.2)
-    stream.add(UppercaseFilter(name="shout"))
-    print("after inserting a filter:", stream.filter_names())
+        # -------------------------------------------------------------- 2
+        # Insert a filter while data is flowing.  The ControlThread pauses
+        # the upstream detachable stream, waits for in-flight bytes to
+        # drain, re-splices, and resumes — no byte is lost or reordered.
+        time.sleep(0.2)
+        stream.add(UppercaseFilter(name="shout"))
+        print("after inserting a filter:", stream.filter_names())
 
-    # ------------------------------------------------------------------ 3
-    # Chains compose freely on the live stream: add more filters, reorder
-    # them, and remove them again — the endpoints never notice.
-    meter = ByteCounterFilter(name="meter")
-    stream.add(meter, position=0)
-    stream.add(PassthroughFilter(name="noop"))
-    print("three filters:", stream.filter_names())
-    stream.reorder(["shout", "meter", "noop"])
-    print("reordered:", stream.filter_names())
-    stream.remove("noop")
-    print("after removing one:", stream.filter_names())
+        # -------------------------------------------------------------- 3
+        # Chains compose freely on the live stream: add more filters,
+        # reorder them, and remove them again — the endpoints never notice.
+        meter = ByteCounterFilter(name="meter")
+        stream.add(meter, position=0)
+        stream.add(PassthroughFilter(name="noop"))
+        print("three filters:", stream.filter_names())
+        stream.reorder(["shout", "meter", "noop"])
+        print("reordered:", stream.filter_names())
+        stream.remove("noop")
+        print("after removing one:", stream.filter_names())
 
-    # ------------------------------------------------------------------ 4
-    # Third-party code can be uploaded into the running proxy — the Python
-    # analogue of the paper's serialized-filter upload.
-    registry = FilterRegistry()
-    manager = ControlManager()
-    manager.register_proxy("edge", proxy, registry=registry)
-    manager.upload_filters("edge", "thirdparty", '''
+        # -------------------------------------------------------------- 4
+        # Third-party code can be uploaded into the running proxy — the
+        # Python analogue of the paper's serialized-filter upload.
+        registry = FilterRegistry()
+        manager = ControlManager()
+        manager.register_proxy("edge", proxy, registry=registry)
+        manager.upload_filters("edge", "thirdparty", '''
 class Redactor(Filter):
     "Masks digits, e.g. before data crosses an untrusted wireless segment."
     type_name = "redactor"
@@ -75,18 +80,17 @@ class Redactor(Filter):
     def transform(self, chunk):
         return bytes(ord("#") if 48 <= b <= 57 else b for b in chunk)
 ''')
-    manager.insert_filter("edge", FilterSpec("redactor", name="redact"),
-                          stream="demo")
+        manager.insert_filter("edge", FilterSpec("redactor", name="redact"),
+                              stream="demo")
 
-    # ------------------------------------------------------------------ 5
-    print()
-    print(manager.render_state())
-    print()
+        # -------------------------------------------------------------- 5
+        print()
+        print(manager.render_state())
+        print()
 
-    stream.wait_for_completion(timeout=60.0)
-    data = sink.data()
-    proxy.shutdown()
-    manager.close()
+        stream.wait_for_completion(timeout=60.0)
+        data = sink.data()
+        manager.close()
 
     print(f"delivered {len(data)} bytes "
           f"({meter.total_bytes} of them metered by the 'meter' filter)")

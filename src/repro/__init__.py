@@ -6,6 +6,7 @@ primary contribution:
 
 ===================  ========================================================
 ``repro.streams``    detachable streams (pause / disconnect / reconnect)
+``repro.runtime``    pluggable execution engines (threaded, event-driven)
 ``repro.core``       composable filters, ControlThread, Proxy, ControlManager
 ``repro.filters``    the filter library (FEC, transcoders, compression, taps)
 ``repro.fec``        (n, k) block erasure codes over GF(2^8)
@@ -20,7 +21,18 @@ The most commonly used classes are re-exported here; see the subpackages for
 the full API.
 """
 
-from . import core, fec, filters, media, net, pavilion, proxies, rapidware, streams
+from . import (
+    core,
+    fec,
+    filters,
+    media,
+    net,
+    pavilion,
+    proxies,
+    rapidware,
+    runtime,
+    streams,
+)
 from .core import (
     CallableSink,
     CallableSource,
@@ -41,6 +53,7 @@ from .core import (
 from .filters import FecDecoderFilter, FecEncoderFilter
 from .proxies import FecAudioProxy, run_fec_audio_experiment
 from .rapidware import AdaptiveAudioSession, run_adaptive_walk_experiment
+from .runtime import EventEngine, ExecutionEngine, ThreadedEngine, get_engine
 from .streams import DetachableInputStream, DetachableOutputStream, make_pipe
 
 __version__ = "1.0.0"
@@ -48,6 +61,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "streams",
+    "runtime",
     "core",
     "filters",
     "fec",
@@ -80,4 +94,8 @@ __all__ = [
     "run_fec_audio_experiment",
     "AdaptiveAudioSession",
     "run_adaptive_walk_experiment",
+    "ExecutionEngine",
+    "ThreadedEngine",
+    "EventEngine",
+    "get_engine",
 ]

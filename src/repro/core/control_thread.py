@@ -21,8 +21,10 @@ The insertion algorithm mirrors the paper's ``add()`` excerpt::
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, List, Optional, Sequence, Union
 
+from ..runtime import ExecutionEngine, resolve_engine
 from ..streams import StreamClosedError
 from .endpoints import SinkEndPoint, SourceEndPoint
 from .errors import CompositionError
@@ -50,17 +52,30 @@ class ControlThread:
     auto_start:
         When True (default) the EndPoints are connected and started
         immediately, forming the paper's "null proxy".
+    engine:
+        The execution engine running the chain elements: an
+        :class:`~repro.runtime.ExecutionEngine` instance, a registered
+        engine name (``"threaded"``, ``"event"``), or None to consult
+        ``REPRO_ENGINE`` / the registry default.  Passing a shared instance
+        (as :class:`~repro.core.proxy.Proxy` does) multiplexes several
+        streams onto one engine; an engine resolved from a name/None is
+        owned by this ControlThread and shut down with it.
     """
 
     def __init__(self, source: SourceEndPoint, sink: SinkEndPoint,
                  name: str = "stream", auto_start: bool = True,
-                 operation_timeout: float = DEFAULT_OPERATION_TIMEOUT) -> None:
+                 operation_timeout: float = DEFAULT_OPERATION_TIMEOUT,
+                 engine: Union[str, ExecutionEngine, None] = None) -> None:
         self.name = name
         self.source = source
         self.sink = sink
         self.operation_timeout = operation_timeout
+        self._owns_engine = not isinstance(engine, ExecutionEngine)
+        self.engine = resolve_engine(engine)
         self._filters: List[Filter] = []
         self._lock = threading.RLock()
+        self._idle_cond = threading.Condition()
+        self._idle_waiters = 0
         self._started = False
         self._shutdown = False
         if auto_start:
@@ -84,7 +99,8 @@ class ControlThread:
             for left, right in zip(chain, chain[1:]):
                 left.dos.connect(right.dis)
             for element in chain:
-                element.start()
+                element.add_activity_listener(self._on_element_activity)
+                self.engine.start_element(element)
             self._started = True
 
     # ------------------------------------------------------------ inspection
@@ -205,7 +221,8 @@ class ControlThread:
             finally:
                 if boundary is not None:
                     left.release_hold()
-            filter_obj.start()
+            filter_obj.add_activity_listener(self._on_element_activity)
+            self.engine.start_element(filter_obj)
             self._filters.insert(position, filter_obj)
             return position
 
@@ -259,7 +276,7 @@ class ControlThread:
                 left.dos.reconnect(right.dis)
                 self._filters.pop(position)
         if stop_filter:
-            filter_obj.stop()
+            self.engine.stop_element(filter_obj)
         return filter_obj
 
     def replace(self, ref: FilterRef, new_filter: Filter,
@@ -318,6 +335,66 @@ class ControlThread:
         filter_obj.dos.reconnect(right.dis)
         self._filters.insert(position, filter_obj)
 
+    # ------------------------------------------------------------- idle waits
+
+    def _on_element_activity(self) -> None:
+        # Fires after every chunk on the data path, so stay off the lock
+        # unless someone is actually blocked in wait_idle.  The waiter count
+        # is incremented under the condition lock *before* the waiter's
+        # first predicate check, so (with the GIL making the write visible)
+        # any activity that matters either happens-before that check or
+        # observes a non-zero count and notifies.
+        if not self._idle_waiters:
+            return
+        with self._idle_cond:
+            self._idle_cond.notify_all()
+
+    @staticmethod
+    def _chain_idle(elements: List[Filter],
+                    extra: Optional[Callable[[], bool]]) -> bool:
+        if extra is not None and not extra():
+            return False
+        return all(element.is_idle() or element.finished
+                   for element in elements)
+
+    def wait_idle(self, timeout: Optional[float] = None,
+                  extra: Optional[Callable[[], bool]] = None) -> bool:
+        """Block until every chain element is idle (event-driven, no polling).
+
+        "Idle" means no buffered input, no in-flight transform and no parked
+        output on any element — data already delivered to the chain has been
+        pushed all the way to the sink (internal state like a partially
+        filled FEC group counts as idle; it holds data by design).  ``extra``
+        is an additional predicate that must also be true (e.g. "the feed
+        queue is empty"); it is re-evaluated under the same condition
+        variable, which every element notifies after each unit of work.
+        Returns True once idle, False on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle_cond:
+            self._idle_waiters += 1
+        try:
+            while True:
+                # Snapshot the chain WITHOUT holding _idle_cond: elements()
+                # takes the composition lock, which add()/remove() hold for
+                # a whole splice, and data-path threads must never be made
+                # to wait behind it via _on_element_activity.  A chain
+                # mutation between snapshot and check is caught on the next
+                # iteration (composition itself generates activity).
+                elements = self.elements()
+                with self._idle_cond:
+                    if self._chain_idle(elements, extra):
+                        return True
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                    self._idle_cond.wait(remaining)
+        finally:
+            with self._idle_cond:
+                self._idle_waiters -= 1
+
     # --------------------------------------------------------------- teardown
 
     def wait_for_completion(self, timeout: Optional[float] = None) -> bool:
@@ -332,7 +409,7 @@ class ControlThread:
             self._shutdown = True
             elements = [self.source, *self._filters, self.sink]
         for element in elements:
-            element.stop(timeout=timeout)
+            self.engine.stop_element(element, timeout=timeout)
         for element in elements:
             try:
                 element.dos.close()
@@ -342,6 +419,8 @@ class ControlThread:
                 element.dis.close()
             except Exception:  # noqa: BLE001
                 pass
+        if self._owns_engine:
+            self.engine.shutdown(timeout=timeout)
 
     def _ensure_not_shutdown(self) -> None:
         if self._shutdown:

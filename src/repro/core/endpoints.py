@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import socket
 import threading
+from time import monotonic as _monotonic
 from typing import Callable, Iterable, Iterator, List, Optional
 
 from ..streams import (
@@ -49,6 +50,13 @@ class SourceEndPoint(EndPoint):
 
     type_name = "source-endpoint"
 
+    #: Most sources block on external input (sockets, queues), so by default
+    #: every execution engine gives them a dedicated thread.  Sources whose
+    #: ``produce`` is non-blocking (:class:`IterableSource`) opt back in to
+    #: cooperative pumping; pacing then becomes a scheduler deadline rather
+    #: than a sleeping thread.
+    cooperative_capable = False
+
     def __init__(self, name: Optional[str] = None, frame_output: bool = False,
                  pacing_s: float = 0.0, close_on_eof: bool = True) -> None:
         super().__init__(name=name, propagate_eof=close_on_eof)
@@ -57,6 +65,7 @@ class SourceEndPoint(EndPoint):
         self.frame_output = frame_output
         self.pacing_s = pacing_s
         self.items_produced = 0
+        self._next_due = 0.0
 
     def produce(self) -> Optional[bytes]:
         """Return the next chunk/packet, or None when the source is exhausted."""
@@ -72,12 +81,15 @@ class SourceEndPoint(EndPoint):
                 if not item:
                     continue
                 data = encode_frame(item) if self.frame_output else bytes(item)
-                self._maybe_hold(item)
+                # Hold on the wire unit; _boundary_unit unwraps the framing
+                # so predicates see the produced item, as in cooperative mode.
+                self._maybe_hold(data)
                 self.dos.write(data)
                 self._last_emitted = item
                 self.items_produced += 1
                 self.stats.record_output(len(data),
                                          packets=1 if self.frame_output else 0)
+                self._notify_activity()
                 if self.pacing_s:
                     self._stop_event.wait(self.pacing_s)
             if not self._stop_event.is_set() and self.propagate_eof:
@@ -94,12 +106,82 @@ class SourceEndPoint(EndPoint):
                 self.on_stop()
             finally:
                 self._finished.set()
+                self._notify_activity()
+
+    # ------------------------------------------------------ cooperative pump
+
+    def _pump_input(self, progress: bool) -> bool:
+        """The source variant of a pump step: produce and emit one item.
+
+        Only used when a subclass declares ``cooperative_capable = True``
+        (its ``produce`` must never block).  Pacing is honoured through
+        :meth:`next_due_s` — the engine simply does not pump the source
+        again until the deadline — so a paced source costs a timer entry
+        instead of a sleeping thread.
+        """
+        if self.pacing_s and _monotonic() < self._next_due:
+            if progress:
+                # The flush above advanced the pacing deadline; re-mark
+                # ourselves so the next round parks us on the timer.
+                self._notify_engine()
+            return progress
+        item = self.produce()
+        if item is None:
+            if self.propagate_eof:
+                self._close_output()
+            self._complete()
+            return True
+        if item:
+            data = encode_frame(item) if self.frame_output else bytes(item)
+            self._pending.append(data)
+            self._flush_pending()
+        self._notify_engine()  # stay scheduled until exhausted
+        return True
+
+    def _close_output_after_error(self) -> None:
+        self._close_output()
+
+    def wants_input_pump(self) -> bool:
+        if self.pacing_s:
+            return _monotonic() >= self._next_due
+        return True
+
+    def next_due_s(self) -> "Optional[float]":
+        if self.pacing_s and not self._finished.is_set():
+            return self._next_due
+        return None
+
+    def _record_emit(self, data: bytes) -> None:
+        self._last_emitted = self._boundary_unit(data)
+        self.items_produced += 1
+        self.stats.record_output(len(data),
+                                 packets=1 if self.frame_output else 0)
+        if self.pacing_s:
+            # Absolute schedule (due += interval), not relative to the emit
+            # instant: deadlines don't drift with scheduler latency, and
+            # sources started together stay phase-aligned so one timer tick
+            # pumps the whole batch.
+            base = self._next_due if self._next_due > 0.0 else _monotonic()
+            self._next_due = base + self.pacing_s
+
+    def _boundary_unit(self, unit: bytes) -> bytes:
+        """Boundary predicates see the produced item, not its framing."""
+        if self.frame_output:
+            from ..streams.framing import HEADER_SIZE
+
+            if len(unit) >= HEADER_SIZE:
+                return unit[HEADER_SIZE:]
+        return unit
 
 
 class IterableSource(SourceEndPoint):
     """A source that drains a Python iterable of byte chunks/packets."""
 
     type_name = "iterable-source"
+
+    #: Iterating is assumed non-blocking, so the event engine can pump this
+    #: source cooperatively — N paced streams need no N sleeping threads.
+    cooperative_capable = True
 
     def __init__(self, items: Iterable[bytes], name: Optional[str] = None,
                  frame_output: bool = False, pacing_s: float = 0.0) -> None:
@@ -254,6 +336,9 @@ class SocketSink(SinkEndPoint):
     """Writes raw bytes to a connected TCP socket (EndPointSocketWriter)."""
 
     type_name = "socket-sink"
+
+    #: ``sendall`` can block on the peer, so never pump this cooperatively.
+    cooperative_capable = False
 
     def __init__(self, sock: socket.socket, name: Optional[str] = None) -> None:
         super().__init__(name=name, expect_frames=False)

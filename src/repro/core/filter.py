@@ -19,12 +19,20 @@ Filters cooperate with the ControlThread's splice protocol: a filter can be
 asked to *hold* at the next stream boundary (:meth:`Filter.hold_at_boundary`)
 and to *quiesce* (finish processing everything already delivered to it)
 before it is removed from a chain.
+
+Execution is pluggable (see :mod:`repro.runtime`): the pure pump step —
+read available input, transform it, emit the results, honouring boundary
+holds — is factored into :meth:`Filter.pump`, which an event-driven engine
+invokes from a single scheduler thread whenever the filter's DIS reports
+readiness; the classic thread-per-filter worker loop (:meth:`Filter._run`)
+remains as the reference execution mode used by ``filter.start()``.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable, List, Optional, Union
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional, Union
 
 from ..streams import (
     BrokenStreamError,
@@ -71,6 +79,12 @@ class Filter:
     #: Human-readable type name used by the registry and the ControlManager.
     type_name = "filter"
 
+    #: Whether this element can be pumped cooperatively from a shared
+    #: scheduler thread.  Elements that perform blocking external I/O in
+    #: their run loop (source endpoints, socket sinks) set this to False and
+    #: always get a dedicated thread, whatever the execution engine.
+    cooperative_capable = True
+
     def __init__(self, name: Optional[str] = None, read_timeout: float = 0.05,
                  chunk_size: int = 8192, propagate_eof: bool = True) -> None:
         if read_timeout <= 0:
@@ -92,6 +106,17 @@ class Filter:
         self._finished = threading.Event()
         self._started = False
         self._busy = False
+
+        # Cooperative (event-engine) execution state.
+        self._engine = None
+        self._cooperative = False
+        self._pending: Deque[bytes] = deque()
+        self._on_start_done = False
+        self._finalized = False
+
+        # Listeners notified after every unit of work (used by
+        # ControlThread.wait_idle so completion waits are event-driven).
+        self._activity_listeners: List[Callable[[], None]] = []
 
         # Boundary-hold support (used for boundary-aware insertion).
         self._hold_lock = threading.Lock()
@@ -127,18 +152,40 @@ class Filter:
 
     @property
     def running(self) -> bool:
-        """True while the worker thread is alive."""
-        return self._thread is not None and self._thread.is_alive()
+        """True while the filter is executing (worker thread or engine)."""
+        if self._thread is not None:
+            return self._thread.is_alive()
+        return self._cooperative and not self._finished.is_set()
 
     @property
     def finished(self) -> bool:
-        """True once the worker thread has exited (EOF, stop, or error)."""
+        """True once the run loop has exited (EOF, stop, or error)."""
         return self._finished.is_set()
+
+    @property
+    def cooperative(self) -> bool:
+        """True when the filter is driven by a cooperative engine's pump."""
+        return self._cooperative
+
+    @property
+    def pending_output(self) -> bool:
+        """True while emitted-but-undelivered output awaits a flush."""
+        return bool(self._pending)
+
+    @property
+    def stop_requested(self) -> bool:
+        """True once :meth:`stop` has been called."""
+        return self._stop_event.is_set()
 
     # -------------------------------------------------------------- lifecycle
 
     def start(self) -> "Filter":
-        """Start the worker thread.  A filter can be started only once."""
+        """Start the worker thread.  A filter can be started only once.
+
+        This is the thread-per-filter reference mode; an execution engine
+        (see :mod:`repro.runtime`) may instead take ownership of the filter
+        with :meth:`bind_engine` and drive it via :meth:`pump`.
+        """
         if self._started:
             raise FilterStateError(f"{self.name}: already started")
         self._started = True
@@ -147,23 +194,45 @@ class Filter:
         self._thread.start()
         return self
 
+    def bind_engine(self, engine) -> "Filter":
+        """Hand execution of this filter to a cooperative engine.
+
+        The engine must call :meth:`pump` whenever the filter may be ready;
+        the filter's streams are subscribed to the engine's per-element
+        notification for exactly that.  Mutually exclusive with
+        :meth:`start`.
+        """
+        if self._started:
+            raise FilterStateError(f"{self.name}: already started")
+        self._started = True
+        self._cooperative = True
+        self._engine = engine
+        self.dis.subscribe(self._notify_engine)
+        self.dos.subscribe(self._notify_engine)
+        return self
+
     def stop(self, timeout: float = 5.0) -> None:
-        """Ask the worker thread to exit and wait for it.
+        """Ask the run loop to exit and wait for it.
 
         Stopping does *not* close the filter's streams (the ControlThread
         re-splices them); stopping a never-started filter is a no-op.
         """
         self._stop_event.set()
         self._resume.set()  # never leave a held filter stuck
+        self._notify_engine()
         if self._thread is not None:
             self._thread.join(timeout=timeout)
+        elif self._cooperative:
+            self._finished.wait(timeout=timeout)
 
     def join(self, timeout: Optional[float] = None) -> bool:
-        """Wait for the worker thread to finish; True if it did."""
-        if self._thread is None:
-            return True
-        self._thread.join(timeout=timeout)
-        return not self._thread.is_alive()
+        """Wait for the filter's run loop to finish; True if it did."""
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            return not self._thread.is_alive()
+        if self._cooperative:
+            return self._finished.wait(timeout=timeout)
+        return True
 
     def wait_finished(self, timeout: Optional[float] = None) -> bool:
         """Wait until the filter's run loop has completed."""
@@ -198,6 +267,7 @@ class Filter:
         with self._hold_lock:
             self._boundary_predicate = None
         self._resume.set()
+        self._notify_engine()
 
     @property
     def held(self) -> bool:
@@ -205,8 +275,9 @@ class Filter:
         return self._held.is_set() and not self._resume.is_set()
 
     def is_idle(self) -> bool:
-        """True when the filter has no buffered or in-flight input."""
-        return self.dis.available() == 0 and not self._busy
+        """True when the filter has no buffered or in-flight input/output."""
+        return (self.dis.available() == 0 and not self._busy
+                and not self._pending)
 
     def flush_state(self) -> None:
         """Emit any data the filter is holding internally (without closing).
@@ -272,6 +343,7 @@ class Filter:
                 self.on_stop()
             finally:
                 self._finished.set()
+                self._notify_activity()
 
     def _read_loop(self) -> None:
         while not self._stop_event.is_set():
@@ -287,17 +359,185 @@ class Filter:
                 self._emit(self.transform(chunk))
             finally:
                 self._busy = False
+                self._notify_activity()
 
-    def _emit(self, result: TransformResult) -> None:
-        if result is None:
+    # ------------------------------------------------------- cooperative pump
+
+    def pump(self) -> bool:
+        """Run one bounded execution step (the event-engine entry point).
+
+        One step: flush any output parked by a boundary hold or a mid-splice
+        detach, then read at most one chunk of available input, transform it
+        and emit the results; at end-of-stream, finalize and complete.  The
+        step never blocks — output is delivered with the non-blocking
+        ``DOS.try_write`` and input is read only when the DIS reports bytes
+        available — so any number of filters can be pumped from a single
+        scheduler thread.  Returns True when the step made progress.
+
+        Errors are handled exactly as in the threaded run loop: recorded on
+        :attr:`error`, counted in stats, and the filter completes.
+        """
+        if self._finished.is_set():
+            return False
+        try:
+            if not self._on_start_done:
+                self._on_start_done = True
+                self.on_start()
+            progress = self._flush_pending()
+            if self._stop_event.is_set():
+                # Stop wins over parked output, as in the threaded teardown
+                # path: the chain around us is being dismantled.
+                self._complete()
+                return True
+            if self._pending:
+                return progress  # parked at a boundary or across a splice
+            return self._pump_input(progress)
+        except (StreamClosedError, BrokenStreamError, NotConnectedError) as exc:
+            self.error = exc
+            self.stats.record_error()
+            self._complete()
+            return True
+        except Exception as exc:  # noqa: BLE001 - surfaced via self.error
+            self.error = exc
+            self.stats.record_error()
+            self._close_output_after_error()
+            self._complete()
+            return True
+        finally:
+            self._notify_activity()
+
+    def _pump_input(self, progress: bool) -> bool:
+        """Consume one unit of input — the part of a pump step that differs
+        between filters (read from the DIS) and sources (produce an item)."""
+        if self.dis.available() > 0:
+            chunk = self.dis.read(self.chunk_size, timeout=0)
+            if chunk:
+                self._busy = True
+                try:
+                    self.stats.record_input(len(chunk))
+                    self._queue_outputs(self.transform(chunk))
+                finally:
+                    self._busy = False
+                self._flush_pending()
+                return True
+        if self.dis.at_eof():
+            if not self._finalized:
+                self._finalized = True
+                self._queue_outputs(self.finalize())
+            self._flush_pending()
+            if not self._pending:
+                if self.propagate_eof:
+                    self._close_output()
+                self._complete()
+            return True
+        return progress
+
+    def _close_output_after_error(self) -> None:
+        if self.propagate_eof:
+            self._close_output()
+
+    def _queue_outputs(self, result: TransformResult) -> None:
+        """Normalise a transform result onto the pending-output queue."""
+        self._pending.extend(self._normalize_outputs(result))
+
+    def _flush_pending(self) -> bool:
+        """Deliver queued output without blocking; True if any byte moved.
+
+        Stops (leaving the remainder queued) when the unit about to be
+        emitted satisfies an armed boundary predicate — the cooperative
+        equivalent of :meth:`_maybe_hold`'s blocking wait — or when the DOS
+        is detached mid-splice (retried on the reattach notification).
+        """
+        progress = False
+        while self._pending:
+            data = self._pending[0]
+            with self._hold_lock:
+                predicate = self._boundary_predicate
+            if (predicate is not None and not self._resume.is_set()
+                    and self._unit_matches(predicate, data)):
+                self._held.set()
+                return progress
+            if not self.dos.try_write(data):
+                return progress
+            if self._held.is_set():
+                self._held.clear()
+            self._pending.popleft()
+            self._record_emit(data)
+            progress = True
+        return progress
+
+    def _record_emit(self, data: bytes) -> None:
+        """Account for one unit successfully delivered downstream."""
+        self._last_emitted = data
+        self.stats.record_output(len(data))
+
+    def wants_input_pump(self) -> bool:
+        """True when a pump step would have input-side work to do.
+
+        The engine combines this with its own output-side gating (boundary
+        holds, parked output, downstream high-water marks).
+        """
+        return self.dis.available() > 0 or self.dis.at_eof()
+
+    def next_due_s(self) -> Optional[float]:
+        """Monotonic deadline of this element's next timed pump, if any.
+
+        Purely event-driven elements return None; paced cooperative sources
+        return the instant their next item is due so the scheduler can sleep
+        exactly until then (its timer wheel).
+        """
+        return None
+
+    def _complete(self) -> None:
+        """Mark a cooperatively executed filter as finished (idempotent)."""
+        if self._finished.is_set():
             return
+        try:
+            if self._on_start_done:
+                self.on_stop()
+        finally:
+            self._finished.set()
+            self._notify_activity()
+
+    def _notify_engine(self) -> None:
+        engine = self._engine
+        if engine is not None:
+            engine.notify_element(self)
+
+    # ---------------------------------------------------------- activity hook
+
+    def add_activity_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after each unit of work completes.
+
+        Used by :meth:`repro.core.control_thread.ControlThread.wait_idle` to
+        turn completion polling into a condition-variable wait.  Duplicate
+        registrations are ignored (by equality, so bound methods dedupe).
+        """
+        if listener not in self._activity_listeners:
+            self._activity_listeners.append(listener)
+
+    def _notify_activity(self) -> None:
+        if not self._activity_listeners:
+            return
+        for listener in list(self._activity_listeners):
+            try:
+                listener()
+            except Exception:  # noqa: BLE001 - listeners must not kill the filter
+                pass
+
+    @staticmethod
+    def _normalize_outputs(result: TransformResult) -> List[bytes]:
+        """Flatten a transform result into a list of non-empty chunks."""
+        if result is None:
+            return []
         if isinstance(result, (bytes, bytearray, memoryview)):
             outputs: List[bytes] = [bytes(result)]
         else:
             outputs = [bytes(item) for item in result]
-        for data in outputs:
-            if not data:
-                continue
+        return [data for data in outputs if data]
+
+    def _emit(self, result: TransformResult) -> None:
+        for data in self._normalize_outputs(result):
             self._maybe_hold(data)
             self.dos.write(data)
             self._last_emitted = data

@@ -10,21 +10,39 @@ until filters are inserted.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from ..runtime import ExecutionEngine, resolve_engine
 from .control_thread import ControlThread
 from .endpoints import SinkEndPoint, SourceEndPoint
 from .errors import CompositionError
 
 
 class Proxy:
-    """A proxy node hosting any number of filtered data streams."""
+    """A proxy node hosting any number of filtered data streams.
 
-    def __init__(self, name: str = "proxy") -> None:
+    All of the proxy's streams share one execution engine (see
+    :mod:`repro.runtime`), selected by the ``engine`` argument (instance,
+    registered name, or None for ``REPRO_ENGINE`` / the registry default).
+    Sharing matters for the event engine: every stream's filters are pumped
+    by the proxy's single scheduler thread, which is what lets one proxy
+    host hundreds of concurrent streams.  A Proxy is a context manager;
+    leaving the ``with`` block calls :meth:`shutdown`.
+    """
+
+    def __init__(self, name: str = "proxy",
+                 engine: Union[str, ExecutionEngine, None] = None) -> None:
         self.name = name
+        self._owns_engine = not isinstance(engine, ExecutionEngine)
+        self._engine = resolve_engine(engine)
         self._streams: Dict[str, ControlThread] = {}
         self._lock = threading.RLock()
         self._shutdown = False
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine shared by this proxy's streams."""
+        return self._engine
 
     # ----------------------------------------------------------------- streams
 
@@ -39,7 +57,7 @@ class Proxy:
                 raise CompositionError(
                     f"stream {stream_name!r} already exists on proxy {self.name!r}")
             control = ControlThread(source, sink, name=stream_name,
-                                    auto_start=auto_start)
+                                    auto_start=auto_start, engine=self._engine)
             self._streams[stream_name] = control
             return control
 
@@ -82,7 +100,7 @@ class Proxy:
                     for name, control in self._streams.items()}
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop every stream.  Idempotent."""
+        """Stop every stream (and an engine this proxy owns).  Idempotent."""
         with self._lock:
             if self._shutdown:
                 return
@@ -90,6 +108,8 @@ class Proxy:
             streams = list(self._streams.values())
         for control in streams:
             control.shutdown(timeout=timeout)
+        if self._owns_engine:
+            self._engine.shutdown(timeout=timeout)
 
     def __enter__(self) -> "Proxy":
         return self
@@ -102,10 +122,12 @@ class Proxy:
 
 
 def null_proxy(source: SourceEndPoint, sink: SinkEndPoint,
-               name: str = "null-proxy") -> ControlThread:
+               name: str = "null-proxy",
+               engine: Union[str, ExecutionEngine, None] = None) -> ControlThread:
     """Build the paper's "null proxy": two EndPoints and a ControlThread.
 
     Data flows from ``source`` to ``sink`` unmodified until filters are
     inserted via the returned ControlThread.
     """
-    return ControlThread(source, sink, name=name, auto_start=True)
+    return ControlThread(source, sink, name=name, auto_start=True,
+                         engine=engine)

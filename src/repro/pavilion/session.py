@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import queue
 import threading
-import time as _time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -55,7 +54,8 @@ class CollaborativeSession:
     def __init__(self, store: Optional[ResourceStore] = None,
                  wlan: Optional[WirelessLAN] = None,
                  compress_wireless: bool = True,
-                 seed: int = 3) -> None:
+                 seed: int = 3,
+                 engine=None) -> None:
         from .resources import build_demo_site
 
         self.store = store or build_demo_site(seed=seed)
@@ -66,10 +66,13 @@ class CollaborativeSession:
         self.compress_wireless = compress_wireless
 
         # The leader-side wireless proxy: everything bound for wireless
-        # participants flows through this live filter chain.
+        # participants flows through this live filter chain.  A ``None`` on
+        # the queue is the end-of-stream sentinel, so the source blocks on
+        # the queue instead of polling it.
         self._queue: "queue.Queue[Optional[bytes]]" = queue.Queue()
         self._source_done = threading.Event()
-        self.proxy = Proxy("pavilion-wireless-proxy")
+        self._wireless_enqueued = 0
+        self.proxy = Proxy("pavilion-wireless-proxy", engine=engine)
         self._source = CallableSource(self._pull, name="content-in",
                                       frame_output=True)
         self._sink = CallableSink(self.wlan.send, name="wireless-out",
@@ -86,12 +89,8 @@ class CollaborativeSession:
     # -- plumbing --------------------------------------------------------------------
 
     def _pull(self) -> Optional[bytes]:
-        while True:
-            try:
-                return self._queue.get(timeout=0.05)
-            except queue.Empty:
-                if self._source_done.is_set():
-                    return None
+        item = self._queue.get()
+        return None if item is None else item
 
     def _wireless_deliver(self, participant_name: str, data: bytes) -> None:
         """Mobile-host middleware: undo wireless-segment encoding, hand to browser."""
@@ -196,18 +195,23 @@ class CollaborativeSession:
             self.wired_bytes_delivered += len(packed)
         # Wireless participants: through the proxy chain and the WLAN.
         if any(p.wireless for p in self._participants.values()):
+            self._wireless_enqueued += 1
             self._queue.put(packed)
 
     def wait_for_wireless_delivery(self, timeout: float = 10.0,
-                                   poll_interval: float = 0.002) -> bool:
-        """Wait until the wireless proxy chain has drained."""
-        deadline = _time.monotonic() + timeout
-        while _time.monotonic() < deadline:
-            if self._queue.empty() and all(e.is_idle() or e.finished
-                                           for e in self.control.elements()):
-                return True
-            _time.sleep(poll_interval)
-        return False
+                                   poll_interval: Optional[float] = None) -> bool:
+        """Wait until the wireless proxy chain has drained.
+
+        The wait is condition-driven (every chain element signals after each
+        unit of work); ``poll_interval`` is kept for API compatibility and
+        ignored.
+        """
+        del poll_interval
+        return self.control.wait_idle(
+            timeout=timeout,
+            extra=lambda: (self._queue.empty()
+                           and self._source.items_produced
+                           >= self._wireless_enqueued))
 
     # -- reporting ----------------------------------------------------------------------
 
@@ -231,4 +235,5 @@ class CollaborativeSession:
     def shutdown(self) -> None:
         """End the session and stop the wireless proxy."""
         self._source_done.set()
+        self._queue.put(None)  # unblock the source's queue wait
         self.proxy.shutdown()

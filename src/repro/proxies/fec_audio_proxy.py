@@ -47,6 +47,9 @@ class FecAudioProxyConfig:
     stream_name: str = "audio-downstream"
     #: GF(256) backend name for the FEC filters (None = process default).
     fec_backend: Optional[str] = None
+    #: Execution engine name for the proxy's streams (None = ``REPRO_ENGINE``
+    #: / the registry default; see :mod:`repro.runtime`).
+    engine: Optional[str] = None
 
 
 class FecAudioProxy:
@@ -63,7 +66,7 @@ class FecAudioProxy:
                  name: str = "fec-audio-proxy") -> None:
         self.config = config or FecAudioProxyConfig()
         self.wlan = wlan
-        self.proxy = Proxy(name)
+        self.proxy = Proxy(name, engine=self.config.engine)
         self._encoder_filter: Optional[FecEncoderFilter] = None
 
         # Wired receiver: the already-packetised audio stream from the wired
@@ -247,7 +250,8 @@ def run_fec_audio_experiment(
         loss_model_factory=None,
         seed: int = 2001,
         completion_timeout_s: float = 120.0,
-        fec_backend: Optional[str] = None) -> FecAudioExperimentResult:
+        fec_backend: Optional[str] = None,
+        engine: Optional[str] = None) -> FecAudioExperimentResult:
     """Run the paper's FEC audio experiment on the simulated testbed.
 
     The defaults mirror the paper's setup: a PCM audio stream (8 kHz, two
@@ -279,7 +283,7 @@ def run_fec_audio_experiment(
 
     config = FecAudioProxyConfig(k=k, n=n, fec_enabled=fec_enabled,
                                  packet_duration_ms=packet_duration_ms,
-                                 fec_backend=fec_backend)
+                                 fec_backend=fec_backend, engine=engine)
     proxy = FecAudioProxy(packets, wlan, config=config)
     proxy.start()
     completed = proxy.wait_for_completion(timeout=completion_timeout_s)

@@ -91,9 +91,11 @@ class TranscodingProxy:
     def __init__(self, packets: List[MediaPacket], device: DeviceDescriptor,
                  deliver: Callable[[bytes], None],
                  source_sample_rate: int = 8000, source_channels: int = 2,
-                 source_fps: int = 30, name: Optional[str] = None) -> None:
+                 source_fps: int = 30, name: Optional[str] = None,
+                 engine=None) -> None:
         self.device = device
-        self.proxy = Proxy(name or f"transcoding-proxy-{device.name}")
+        self.proxy = Proxy(name or f"transcoding-proxy-{device.name}",
+                           engine=engine)
         self._source = IterableSource([p.pack() for p in packets],
                                       name="media-in", frame_output=True)
         self._sink = CallableSink(deliver, name="media-out", expect_frames=True)
@@ -126,9 +128,10 @@ class VideoProxy:
     """
 
     def __init__(self, video: VideoSource, deliver: Callable[[bytes], None],
-                 pacing_s: float = 0.0, name: str = "video-proxy") -> None:
+                 pacing_s: float = 0.0, name: str = "video-proxy",
+                 engine=None) -> None:
         self.video = video
-        self.proxy = Proxy(name)
+        self.proxy = Proxy(name, engine=engine)
         self._source = IterableSource(
             [frame.to_packet().pack() for frame in video.frames()],
             name="video-in", frame_output=True, pacing_s=pacing_s)

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import queue
 import threading
-import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -45,7 +44,8 @@ class AdaptiveAudioSession:
                  policy: Optional[FecPolicy] = None,
                  limits: Optional[AdaptationLimits] = None,
                  observer_min_sample: int = 10,
-                 seed: int = 7) -> None:
+                 seed: int = 7,
+                 engine=None) -> None:
         self.wlan = wlan or WirelessLAN(seed=seed)
         self.receiver = self.wlan.add_receiver(receiver_name,
                                                distance_m=initial_distance_m,
@@ -53,10 +53,13 @@ class AdaptiveAudioSession:
         self.audio_receiver = WirelessAudioReceiver(receiver_name)
 
         # The proxied stream: a queue-fed source (the "socket" from the wired
-        # side) and a wireless-multicast sink.
+        # side) and a wireless-multicast sink.  A ``None`` on the queue is
+        # the end-of-stream sentinel, so the source blocks on the queue
+        # instead of polling it.
         self._queue: "queue.Queue[Optional[bytes]]" = queue.Queue()
         self._source_done = threading.Event()
-        self.proxy = Proxy("adaptive-audio-proxy")
+        self._enqueued_packets = 0
+        self.proxy = Proxy("adaptive-audio-proxy", engine=engine)
         self._source = CallableSource(self._pull, name="wired-receiver",
                                       frame_output=True)
         self._sink = CallableSink(self.wlan.send, name="wireless-sender",
@@ -80,41 +83,39 @@ class AdaptiveAudioSession:
     # -- stream feeding ----------------------------------------------------------
 
     def _pull(self) -> Optional[bytes]:
-        while True:
-            try:
-                item = self._queue.get(timeout=0.05)
-            except queue.Empty:
-                if self._source_done.is_set():
-                    return None
-                continue
-            return item
+        item = self._queue.get()
+        return None if item is None else item
 
     def enqueue_packets(self, packets: List[MediaPacket]) -> None:
         """Feed a batch of audio packets into the proxied stream."""
         for packet in packets:
             self._queue.put(packet.pack())
+            self._enqueued_packets += 1
             if packet.sequence > self._highest_enqueued_sequence:
                 self._highest_enqueued_sequence = packet.sequence
 
     def end_of_stream(self) -> None:
         """Signal that no more packets will be fed."""
         self._source_done.set()
+        self._queue.put(None)  # wake the source's blocking queue wait
 
     def wait_quiescent(self, timeout: float = 10.0,
-                       poll_interval: float = 0.002) -> bool:
+                       poll_interval: Optional[float] = None) -> bool:
         """Wait until everything already enqueued has left the proxy.
 
-        Quiescence means: the feed queue is empty and every chain element is
-        idle (no buffered input, nothing mid-transform).  FEC groups that are
-        still filling count as quiescent — they hold data by design.
+        Quiescence means: the feed queue is empty, every enqueued packet has
+        entered the chain, and every chain element is idle (no buffered
+        input, nothing mid-transform).  FEC groups that are still filling
+        count as quiescent — they hold data by design.  The wait is
+        condition-driven (each element signals after every unit of work);
+        ``poll_interval`` is kept for API compatibility and ignored.
         """
-        deadline = _time.monotonic() + timeout
-        while _time.monotonic() < deadline:
-            if self._queue.empty() and all(e.is_idle() or e.finished
-                                           for e in self.control.elements()):
-                return True
-            _time.sleep(poll_interval)
-        return False
+        del poll_interval
+        return self.control.wait_idle(
+            timeout=timeout,
+            extra=lambda: (self._queue.empty()
+                           and self._source.items_produced
+                           >= self._enqueued_packets))
 
     # -- adaptation ---------------------------------------------------------------
 
@@ -148,6 +149,8 @@ class AdaptiveAudioSession:
         return self.audio_receiver.delivery_report(total)
 
     def shutdown(self) -> None:
+        self._source_done.set()
+        self._queue.put(None)  # unblock the source's queue wait
         self.proxy.shutdown()
 
 

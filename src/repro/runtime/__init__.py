@@ -1,0 +1,43 @@
+"""Pluggable execution engines for filter-chain runtimes.
+
+This package owns *how* a proxy's filter chains execute, behind the same
+registry pattern as the GF(256) backends (:mod:`repro.fec.backend`):
+
+* :class:`ThreadedEngine` — thread per chain element (the paper's model,
+  and the default);
+* :class:`EventEngine` — one cooperative scheduler thread pumping filters
+  on DIS readiness callbacks, for proxies with very many streams.
+
+Select with ``ControlThread(..., engine=...)`` / ``Proxy(..., engine=...)``
+(name or instance), the ``REPRO_ENGINE`` environment variable, or
+:func:`set_default_engine`.
+"""
+
+from .base import (
+    ENGINE_ENV_VAR,
+    EngineError,
+    ExecutionEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    resolve_engine,
+    set_default_engine,
+)
+from .event import EventEngine
+from .threaded import ThreadedEngine
+
+register_engine(ThreadedEngine.name, ThreadedEngine, make_default=True)
+register_engine(EventEngine.name, EventEngine)
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "EngineError",
+    "ExecutionEngine",
+    "ThreadedEngine",
+    "EventEngine",
+    "register_engine",
+    "available_engines",
+    "get_engine",
+    "resolve_engine",
+    "set_default_engine",
+]

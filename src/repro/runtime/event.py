@@ -1,0 +1,264 @@
+"""The event-driven engine — readiness-scheduled cooperative execution.
+
+Thread-per-filter burns a thread and a 50 ms polling wakeup per chain
+element; a proxy hosting hundreds of streams spends its time context
+switching instead of filtering.  ``EventEngine`` multiplexes every
+*cooperative* element (filters and in-process sinks) onto one scheduler
+thread that pumps an element only when it is ready:
+
+* its DIS has buffered bytes (signalled by the stream's subscriber hook —
+  no polling), or has reached end-of-stream and the filter must finalize;
+* it has parked output to flush (after a boundary hold is released or a
+  splice reattaches its DOS);
+* it has been asked to stop.
+
+Elements that block on *external* input (socket and callback sources,
+socket sinks — anything marked ``cooperative_capable = False``) still get a
+dedicated thread, because a cooperative scheduler must never block.
+Non-blocking sources (:class:`~repro.core.endpoints.IterableSource`) are
+pumped cooperatively too, their pacing handled by the scheduler's timer
+wheel — so an N-stream proxy of in-process sources runs on *one* thread
+instead of N × chain-length workers.
+
+Flow control is cooperative too: a pump step delivers output with the
+non-blocking ``DOS.try_write`` (which may overshoot the downstream buffer's
+capacity by one transform's worth of output) and the scheduler simply stops
+pumping an element while its downstream buffer sits at or above capacity —
+the classic high-water-mark pattern, with no blocking and therefore no
+scheduler deadlock.
+
+The composition protocol is unchanged: pause/drain/reconnect splices, the
+boundary-hold handshake and quiesce all work against the same Filter state
+machine; the ControlThread cannot tell which engine is underneath.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import List, Optional
+
+from .base import EngineError, ExecutionEngine
+
+#: Fallback wakeup period for the scheduler.  Every state change that can
+#: make an element ready fires a notification, so this is a liveness safety
+#: net, not a polling interval.
+DEFAULT_HEARTBEAT_S = 0.5
+
+
+class EventEngine(ExecutionEngine):
+    """Single-threaded cooperative scheduler for high-stream-count proxies."""
+
+    name = "event"
+
+    def __init__(self, heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        if heartbeat_s <= 0:
+            raise EngineError("heartbeat_s must be positive")
+        self._heartbeat_s = heartbeat_s
+        self._cond = threading.Condition()
+        self._elements: List = []   # cooperatively pumped elements
+        # Dirty-set scheduling: stream notifications mark the element whose
+        # readiness changed, so a round touches O(notified) elements, not
+        # O(all) — the difference between 8 and 256 streams on one thread.
+        self._dirty: set = set()
+        self._scan_all = False
+        # Elements whose readiness depends on *another* element's progress
+        # (downstream high-water, output parked across a splice); rechecked
+        # every round.  Scheduler-thread-private, no lock needed.
+        self._gated: set = set()
+        # Timer wheel for paced sources: a (due, seq, element) min-heap.
+        # Entries are popped into the round once due, so N idle paced
+        # streams cost one heap entry each, not one readiness check per
+        # round.  Scheduler-thread-private.
+        self._timers: List = []
+        self._timer_seq = 0
+        self._wake = False
+        self._stopping = False
+        self._scheduler: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start_element(self, element) -> None:
+        if getattr(element, "cooperative_capable", True):
+            with self._cond:
+                # Refuse before binding: a half-bound element could never be
+                # started on another engine (bind marks it started).
+                if self._stopping:
+                    raise EngineError(
+                        f"engine {self.name!r} has been shut down")
+                element.bind_engine(self)
+                self._elements.append(element)
+                self._dirty.add(element)
+                self._ensure_scheduler()
+                self._wake = True
+                self._cond.notify_all()
+        else:
+            with self._cond:
+                if self._stopping:
+                    raise EngineError(
+                        f"engine {self.name!r} has been shut down")
+            # Blocking-I/O elements keep their dedicated thread; subscribe
+            # their DIS so a threaded sink draining its buffer re-wakes any
+            # upstream cooperative element gated on the high-water mark.
+            # A recheck-wake suffices — gated elements are candidates every
+            # round — so this stays O(gated), not a full rescan per chunk.
+            element.dis.subscribe(self._notify_recheck)
+            element.start()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        with self._cond:
+            self._stopping = True
+            self._wake = True
+            self._cond.notify_all()
+            scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.join(timeout=timeout)
+
+    def notify_element(self, element) -> None:
+        """Wake the scheduler to re-evaluate one element (thread-safe)."""
+        with self._cond:
+            self._dirty.add(element)
+            self._wake = True
+            self._cond.notify_all()
+
+    def _notify_recheck(self) -> None:
+        """Wake the scheduler to recheck its gated set only (thread-safe)."""
+        with self._cond:
+            self._wake = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def managed_count(self) -> int:
+        """Number of elements currently pumped by the scheduler."""
+        with self._cond:
+            return len(self._elements)
+
+    @property
+    def scheduler_alive(self) -> bool:
+        scheduler = self._scheduler
+        return scheduler is not None and scheduler.is_alive()
+
+    # -------------------------------------------------------------- scheduler
+
+    def _ensure_scheduler(self) -> None:
+        if self._scheduler is None or not self._scheduler.is_alive():
+            self._scheduler = threading.Thread(
+                target=self._loop, name=f"event-engine-{id(self):x}",
+                daemon=True)
+            self._scheduler.start()
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopping:
+                    return
+                if self._scan_all:
+                    candidates = list(self._elements)
+                    self._scan_all = False
+                else:
+                    candidates = list(self._dirty | self._gated)
+                self._dirty.clear()
+            now = time.monotonic()
+            while self._timers and self._timers[0][0] <= now:
+                candidates.append(heapq.heappop(self._timers)[2])
+            progress = False
+            finished = []
+            for element in candidates:
+                if element.finished:
+                    finished.append(element)
+                    continue
+                try:
+                    if self._ready(element):
+                        self._gated.discard(element)
+                        progress = element.pump() or progress
+                        # A pump that consumed input or delivered output
+                        # re-marks the affected elements through the stream
+                        # listeners, so follow-on work lands back in the
+                        # dirty set by itself.
+                    else:
+                        self._park(element)
+                except Exception:  # noqa: BLE001 - a dying element (teardown
+                    pass           # races on its streams) must not kill the
+                                   # scheduler; pump reports via element.error
+                if element.finished:
+                    finished.append(element)
+            with self._cond:
+                for element in finished:
+                    self._gated.discard(element)
+                    self._dirty.discard(element)
+                    try:
+                        self._elements.remove(element)
+                    except ValueError:
+                        pass
+                if self._stopping:
+                    return
+                if not progress and not self._wake:
+                    sleep_s = self._sleep_s()
+                    woken = self._cond.wait(sleep_s)
+                    if not woken and sleep_s >= self._heartbeat_s:
+                        # A full heartbeat passed with no notification at
+                        # all: rescan everything.  This turns any lost
+                        # wakeup — a bug, or a listener raced with teardown
+                        # — into a bounded hiccup instead of a stalled
+                        # stream.  Timer-bounded sleeps (< heartbeat) wake
+                        # for their deadline and skip this.
+                        self._scan_all = True
+                self._wake = False
+
+    def _sleep_s(self) -> float:
+        """How long the idle scheduler may sleep: the heartbeat, shortened
+        to the nearest timer-wheel deadline."""
+        if not self._timers:
+            return self._heartbeat_s
+        return min(self._heartbeat_s,
+                   max(self._timers[0][0] - time.monotonic(), 0.0))
+
+    def _ready(self, element) -> bool:
+        """Would pumping ``element`` make progress right now?"""
+        if element.stop_requested:
+            return True
+        if element.held:
+            return False
+        if element.pending_output:
+            # Parked output can only move once the DOS is reattached.
+            return element.dos.connected
+        if element.wants_input_pump():
+            return not self._backpressured(element)
+        return False
+
+    def _park(self, element) -> None:
+        """File a not-ready element wherever its wake-up will come from.
+
+        Cross-element conditions (downstream high-water, output parked
+        across a splice) go to the every-round ``_gated`` set; a paced
+        source between items goes on the timer heap; everything else is
+        left alone — its own stream, hold or stop notification re-marks it.
+        """
+        if element.held or element.stop_requested:
+            return
+        if element.pending_output:
+            self._gated.add(element)  # waiting on a reattach in the splice
+            return
+        if element.wants_input_pump():
+            if self._backpressured(element):
+                self._gated.add(element)
+            return
+        due = element.next_due_s()
+        if due is not None:
+            self._timer_seq += 1
+            heapq.heappush(self._timers, (due, self._timer_seq, element))
+
+    @staticmethod
+    def _backpressured(element) -> bool:
+        """True while the element's downstream buffer is at/over capacity."""
+        dos = element.dos
+        if not dos.connected:
+            return False  # one transform will park in _pending; that's fine
+        sink = dos.sink
+        if sink is None:
+            return False
+        capacity = sink.buffer.capacity
+        return capacity is not None and sink.available() >= capacity

@@ -1,0 +1,21 @@
+"""The thread-per-filter engine — the paper's original execution model.
+
+Every chain element gets its own worker thread (``Filter.start``), blocking
+reads with a polling timeout and blocking writes with buffer back-pressure.
+Simple and fully preemptive, it is the reference engine the event engine is
+equivalence-tested against, and remains the default: for a handful of
+streams its per-element isolation beats the event engine's shared scheduler.
+"""
+
+from __future__ import annotations
+
+from .base import ExecutionEngine
+
+
+class ThreadedEngine(ExecutionEngine):
+    """One dedicated worker thread per chain element."""
+
+    name = "threaded"
+
+    def start_element(self, element) -> None:
+        element.start()

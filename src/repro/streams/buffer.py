@@ -91,13 +91,20 @@ class StreamBuffer:
 
     # ----------------------------------------------------------------- write
 
-    def write(self, data: bytes, timeout: Optional[float] = None) -> int:
+    def write(self, data: bytes, timeout: Optional[float] = None,
+              force: bool = False) -> int:
         """Append ``data``, blocking while the buffer is full.
 
         Returns the number of bytes written (always ``len(data)`` unless the
         data is empty).  Raises :class:`StreamClosedError` if the buffer was
         closed for writing, :class:`BrokenStreamError` if the reader side
         was torn down, and :class:`StreamTimeoutError` on timeout.
+
+        With ``force=True`` the capacity bound is ignored and the call never
+        blocks: the bytes are appended even if the buffer overshoots its
+        capacity.  Cooperative schedulers use this so a pump step can never
+        deadlock on a full pipe; they bound memory with high-water-mark
+        scheduling instead of blocking (see :mod:`repro.runtime.event`).
         """
         if not data:
             return 0
@@ -109,7 +116,7 @@ class StreamBuffer:
                     raise BrokenStreamError(f"{self._name}: reader side is gone")
                 if self._eof:
                     raise StreamClosedError(f"{self._name}: buffer closed for writing")
-                if self._capacity is None:
+                if self._capacity is None or force:
                     room = len(view) - written
                 else:
                     room = self._capacity - len(self._data)

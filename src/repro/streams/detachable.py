@@ -37,7 +37,7 @@ flag"); here it is the :attr:`switching` property.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Callable, List, Optional
 
 from .buffer import DEFAULT_CAPACITY, StreamBuffer
 from .exceptions import (
@@ -55,8 +55,49 @@ DEFAULT_RECONNECT_WAIT = 30.0
 #: Default time the pause protocol waits for the DIS buffer to drain.
 DEFAULT_DRAIN_TIMEOUT = 30.0
 
+#: A stream-event subscriber: a zero-argument callable invoked after the
+#: stream's externally observable state changed (data arrived, the source
+#: closed, the half was reattached or closed).  Used by event-driven
+#: execution engines (:mod:`repro.runtime.event`) as a readiness signal.
+StreamListener = Callable[[], None]
+
 _counter_lock = threading.Lock()
 _counter = 0
+
+
+class _ListenerMixin:
+    """Shared subscribe/unsubscribe plumbing for both stream halves."""
+
+    _listeners: List[StreamListener]
+
+    def subscribe(self, listener: StreamListener) -> None:
+        """Register ``listener`` to be called on stream events.
+
+        Listeners must be fast and must not call back into the stream; they
+        are fired outside the stream's internal lock, so a listener observes
+        the post-event state but may race with further events.  Registering
+        the same listener twice is a no-op.
+        """
+        if listener is None:
+            raise ValueError("listener must be callable, not None")
+        # Equality, not identity: each `obj.method` access creates a fresh
+        # bound-method object, and bound methods compare equal by (func,
+        # self) — the semantics re-subscription and unsubscribe need.
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: StreamListener) -> None:
+        """Remove a previously registered listener (missing is a no-op)."""
+        self._listeners = [cb for cb in self._listeners if cb != listener]
+
+    def _fire_listeners(self) -> None:
+        if not self._listeners:
+            return  # keep the unsubscribed (threaded-engine) path free
+        for listener in list(self._listeners):
+            try:
+                listener()
+            except Exception:  # noqa: BLE001 - listeners must not break the pipe
+                pass
 
 
 def _next_id() -> int:
@@ -66,13 +107,17 @@ def _next_id() -> int:
         return _counter
 
 
-class DetachableOutputStream:
+class DetachableOutputStream(_ListenerMixin):
     """The writing half of a detachable stream connection.
 
     Data written here is delivered to the connected
     :class:`DetachableInputStream`'s buffer via its ``receive`` method, just
     as ``PipedOutputStream.write`` calls ``PipedInputStream.receive`` in the
     JDK.
+
+    Subscribers registered with :meth:`subscribe` are notified when the DOS
+    is (re)attached to a sink and when it is closed — the signals an
+    event-driven pump needs to retry output that was parked across a splice.
     """
 
     def __init__(self, name: Optional[str] = None,
@@ -86,6 +131,7 @@ class DetachableOutputStream:
         self._closed = False
         self._reconnect_wait = reconnect_wait
         self._bytes_written = 0
+        self._listeners: List[StreamListener] = []
 
     # ------------------------------------------------------------ properties
 
@@ -132,6 +178,7 @@ class DetachableOutputStream:
                     f"DIS connected={dis.connected})"
                 )
             self._attach(dis)
+        self._fire_listeners()
 
     def reconnect(self, dis: "DetachableInputStream") -> None:
         """Attach this (paused or fresh) DOS to a new DIS.
@@ -152,6 +199,7 @@ class DetachableOutputStream:
                     f"(DOS connected={self._connected}, DIS connected={dis.connected})"
                 )
             self._attach(dis)
+        self._fire_listeners()
 
     def _attach(self, dis: "DetachableInputStream") -> None:
         self._sink = dis
@@ -202,6 +250,32 @@ class DetachableOutputStream:
             written = sink.receive(data)
             self._bytes_written += written
         return written
+
+    def try_write(self, data: bytes) -> bool:
+        """Deliver ``data`` to the sink without ever blocking.
+
+        Returns ``False`` when the stream is momentarily detached (paused
+        for a splice, or not yet connected) — the caller should retain the
+        data and retry after a reattach notification (see :meth:`subscribe`).
+        On success the bytes are force-delivered into the sink's buffer,
+        overshooting its capacity if necessary, so a single-threaded
+        cooperative pump can never deadlock against its own downstream;
+        memory is bounded by the scheduler's high-water-mark gating rather
+        than by blocking.  Raises :class:`StreamClosedError` once closed.
+        """
+        if data is None:
+            raise ValueError("data must be bytes, not None")
+        if not data:
+            return True
+        with self._lock:
+            if self._closed:
+                raise StreamClosedError(f"{self.name}: write on closed stream")
+            sink = self._sink
+            if not self._connected or sink is None:
+                return False
+            written = sink.receive(data, force=True)
+            self._bytes_written += written
+        return True
 
     def _wait_for_sink(self, timeout: Optional[float]) -> "DetachableInputStream":
         """Wait (under the lock) until the DOS has a live sink."""
@@ -295,6 +369,7 @@ class DetachableOutputStream:
             self._state_changed.notify_all()
         if sink is not None:
             sink._on_source_closed()
+        self._fire_listeners()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else (
@@ -302,13 +377,18 @@ class DetachableOutputStream:
         return f"<DetachableOutputStream {self.name} {state}>"
 
 
-class DetachableInputStream:
+class DetachableInputStream(_ListenerMixin):
     """The reading half of a detachable stream connection.
 
     All data is buffered here (on the DIS side, as in the paper and in the
     JDK piped streams).  ``read()`` blocks while the connection is merely
     paused, and returns ``b""`` only once the writing side has been *closed*
     and the buffer drained.
+
+    Subscribers registered with :meth:`subscribe` are notified when bytes
+    arrive, when the source closes (end of stream), and when the DIS itself
+    is closed — the readiness signals an event-driven pump needs instead of
+    polling ``read()`` with a timeout.
     """
 
     def __init__(self, name: Optional[str] = None,
@@ -322,6 +402,7 @@ class DetachableInputStream:
         self._switching = False
         self._closed = False
         self._source_closed = False
+        self._listeners: List[StreamListener] = []
 
     # ------------------------------------------------------------ properties
 
@@ -410,23 +491,30 @@ class DetachableInputStream:
             self._source = None
             self._state_changed.notify_all()
         self._buffer.close_for_writing()
+        self._fire_listeners()
 
     def _notify_readers(self) -> None:
         with self._lock:
             self._state_changed.notify_all()
+        self._fire_listeners()
 
     # --------------------------------------------------------------- receive
 
-    def receive(self, data: bytes, timeout: Optional[float] = None) -> int:
+    def receive(self, data: bytes, timeout: Optional[float] = None,
+                force: bool = False) -> int:
         """Accept ``data`` from the writing side into the buffer.
 
         Called by :meth:`DetachableOutputStream.write`; exposed publicly so
         EndPoints and tests can inject data directly, exactly as the paper's
-        ``DIS.receive()`` is callable from the DOS.
+        ``DIS.receive()`` is callable from the DOS.  ``force=True`` bypasses
+        the capacity bound (see :meth:`StreamBuffer.write`).
         """
         if self._closed:
             raise StreamClosedError(f"{self.name}: receive on closed stream")
-        return self._buffer.write(data, timeout=timeout)
+        written = self._buffer.write(data, timeout=timeout, force=force)
+        if written:
+            self._fire_listeners()
+        return written
 
     # ------------------------------------------------------------------ read
 
@@ -446,11 +534,16 @@ class DetachableInputStream:
         if self._closed and self._buffer.is_empty():
             return b""
         try:
-            return self._buffer.read(max_bytes, timeout=timeout)
+            chunk = self._buffer.read(max_bytes, timeout=timeout)
         except StreamTimeoutError:
             if self._closed:
                 return b""
             raise
+        if chunk:
+            # Buffer level dropped: wake subscribers (an event engine gates
+            # upstream elements on this buffer's high-water mark).
+            self._fire_listeners()
+        return chunk
 
     def read_exactly(self, nbytes: int, timeout: Optional[float] = None) -> bytes:
         """Read exactly ``nbytes`` (short only at end-of-stream)."""
@@ -486,6 +579,7 @@ class DetachableInputStream:
         self._buffer.clear()
         if source is not None:
             source.detach()
+        self._fire_listeners()
 
     def at_eof(self) -> bool:
         """True when no byte will ever be readable again."""

@@ -273,6 +273,53 @@ class TestPositionOf:
         control.shutdown()
 
 
+class TestWaitIdle:
+    def test_wait_idle_returns_once_chain_drains(self):
+        chunks = make_chunks(100)
+        control, sink = build_stream(chunks)
+        assert control.wait_for_completion(timeout=5.0)
+        assert control.wait_idle(timeout=5.0)
+        assert control.wait_idle(timeout=5.0, extra=lambda: True)
+        control.shutdown()
+
+    def test_wait_idle_times_out_on_false_extra(self):
+        control, _sink = build_stream(make_chunks(10))
+        control.wait_for_completion(timeout=5.0)
+        assert control.wait_idle(timeout=0.2, extra=lambda: False) is False
+        control.shutdown()
+
+    def test_concurrent_wait_idle_does_not_stall_composition(self):
+        """Regression: a wait_idle waiter must never make data-path threads
+        queue behind the composition lock (lock-order inversion) — splices
+        performed while a waiter spins must complete at normal speed."""
+        import threading
+
+        chunks = make_chunks(3000)
+        control, sink = build_stream(chunks, pacing_s=0.0005)
+        stop = threading.Event()
+
+        def waiter():
+            while not stop.is_set():
+                control.wait_idle(timeout=0.2, extra=lambda: False)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        try:
+            start = time.monotonic()
+            for i in range(5):
+                control.add(PassthroughFilter(name=f"f{i}"))
+                control.remove(f"f{i}")
+            elapsed = time.monotonic() - start
+            # Far below the 10 s drain timeout a stalled splice would take.
+            assert elapsed < 5.0
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert control.wait_for_completion(timeout=30.0)
+        assert sink.data() == b"".join(chunks)
+        control.shutdown()
+
+
 class TestShutdown:
     def test_shutdown_is_idempotent(self):
         control, _sink = build_stream(make_chunks(20))

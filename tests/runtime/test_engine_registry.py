@@ -1,0 +1,62 @@
+"""Unit tests for the execution-engine registry and selection rules."""
+
+import pytest
+
+from repro.runtime import (
+    ENGINE_ENV_VAR,
+    EngineError,
+    EventEngine,
+    ExecutionEngine,
+    ThreadedEngine,
+    available_engines,
+    get_engine,
+    resolve_engine,
+)
+
+
+class TestRegistry:
+    def test_both_engines_registered(self):
+        assert "threaded" in available_engines()
+        assert "event" in available_engines()
+
+    def test_default_is_threaded(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert isinstance(get_engine(), ThreadedEngine)
+
+    def test_get_by_name(self):
+        assert isinstance(get_engine("threaded"), ThreadedEngine)
+        assert isinstance(get_engine("event"), EventEngine)
+
+    def test_each_call_returns_fresh_instance(self):
+        assert get_engine("event") is not get_engine("event")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(EngineError):
+            get_engine("fibers")
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "event")
+        assert isinstance(get_engine(), EventEngine)
+
+    def test_env_var_typo_raises(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "evnet")
+        with pytest.raises(EngineError):
+            get_engine()
+
+
+class TestResolve:
+    def test_resolve_none_uses_default(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert isinstance(resolve_engine(None), ExecutionEngine)
+
+    def test_resolve_instance_passes_through(self):
+        engine = EventEngine()
+        assert resolve_engine(engine) is engine
+        engine.shutdown()
+
+    def test_resolve_name(self):
+        assert isinstance(resolve_engine("threaded"), ThreadedEngine)
+
+    def test_resolve_garbage_raises(self):
+        with pytest.raises(EngineError):
+            resolve_engine(42)

@@ -1,0 +1,208 @@
+"""Unit tests for the event-driven engine's cooperative execution."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    CollectorSink,
+    ControlThread,
+    Filter,
+    IterableSource,
+    NullSink,
+    Proxy,
+)
+from repro.filters import PassthroughFilter, UppercaseFilter
+from repro.runtime import EngineError, EventEngine
+
+
+@pytest.fixture
+def engine():
+    eng = EventEngine()
+    yield eng
+    eng.shutdown()
+
+
+def make_chunks(count, prefix="chunk"):
+    return [f"{prefix}-{i:04d};".encode() for i in range(count)]
+
+
+class TestCooperativeExecution:
+    def test_null_proxy_round_trip(self, engine):
+        chunks = make_chunks(100)
+        source = IterableSource(list(chunks))
+        sink = CollectorSink()
+        control = ControlThread(source, sink, engine=engine)
+        assert control.wait_for_completion(timeout=10.0)
+        assert sink.data() == b"".join(chunks)
+        control.shutdown()
+
+    def test_filters_share_one_scheduler_thread(self, engine):
+        chunks = make_chunks(50)
+        before = threading.active_count()
+        source = IterableSource(list(chunks), pacing_s=0.001)
+        sink = CollectorSink()
+        control = ControlThread(source, sink, engine=engine)
+        for i in range(4):
+            control.add(PassthroughFilter(name=f"f{i}"))
+        # One source thread + one scheduler, however many filters: strictly
+        # fewer threads than thread-per-filter's 4 filters + 2 endpoints.
+        assert threading.active_count() - before <= 3
+        assert control.wait_for_completion(timeout=20.0)
+        assert sink.data() == b"".join(chunks)
+        control.shutdown()
+
+    def test_filter_is_running_and_finishes(self, engine):
+        source = IterableSource(make_chunks(20), pacing_s=0.002)
+        sink = CollectorSink()
+        control = ControlThread(source, sink, engine=engine)
+        f = PassthroughFilter(name="coop")
+        control.add(f)
+        assert f.running
+        assert f.cooperative
+        assert control.wait_for_completion(timeout=10.0)
+        assert f.wait_finished(timeout=5.0)
+        assert not f.running
+        control.shutdown()
+
+    def test_transform_error_is_recorded_and_eof_propagates(self, engine):
+        class Exploding(Filter):
+            type_name = "exploding"
+
+            def transform(self, chunk):
+                raise RuntimeError("boom")
+
+        source = IterableSource(make_chunks(5))
+        sink = CollectorSink()
+        control = ControlThread(source, sink, auto_start=False, engine=engine)
+        bad = Exploding(name="bad")
+        control.add(bad)
+        control.start()
+        assert bad.wait_finished(timeout=5.0)
+        assert isinstance(bad.error, RuntimeError)
+        # Downstream saw EOF rather than hanging.
+        assert control.wait_for_completion(timeout=5.0)
+        control.shutdown()
+
+    def test_stop_element_mid_stream(self, engine):
+        source = IterableSource(make_chunks(5000), pacing_s=0.001)
+        sink = NullSink()
+        control = ControlThread(source, sink, engine=engine)
+        f = PassthroughFilter(name="stoppee")
+        control.add(f)
+        time.sleep(0.05)
+        f.stop(timeout=5.0)
+        assert f.finished
+        assert not f.running
+        control.shutdown()
+
+    def test_dynamic_insert_and_remove_loses_nothing(self, engine):
+        chunks = make_chunks(400)
+        source = IterableSource(list(chunks), pacing_s=0.0005)
+        sink = CollectorSink()
+        control = ControlThread(source, sink, engine=engine)
+        for _ in range(3):
+            time.sleep(0.02)
+            control.add(UppercaseFilter(name="tmp"))
+            time.sleep(0.02)
+            control.remove("tmp")
+        assert control.wait_for_completion(timeout=30.0)
+        data = sink.data()
+        assert len(data) == len(b"".join(chunks))
+        assert data.lower() == b"".join(chunks).lower()
+        control.shutdown()
+
+    def test_boundary_hold_parks_without_blocking_scheduler(self, engine):
+        # Two independent streams on one engine: while stream A is held at a
+        # boundary, stream B must keep flowing (the scheduler is not blocked).
+        src_a = IterableSource(make_chunks(2000, "a"), pacing_s=0.0005)
+        sink_a = CollectorSink()
+        control_a = ControlThread(src_a, sink_a, name="a", engine=engine)
+        held = PassthroughFilter(name="holdme")
+        control_a.add(held)
+
+        src_b = IterableSource(make_chunks(200, "b"), pacing_s=0.0005)
+        sink_b = CollectorSink()
+        control_b = ControlThread(src_b, sink_b, name="b", engine=engine)
+
+        assert held.hold_at_boundary(timeout=5.0)
+        assert held.held
+        flowing_before = sink_b.data()
+        time.sleep(0.1)
+        assert len(sink_b.data()) > len(flowing_before)  # B kept moving
+        held.release_hold()
+        assert control_a.wait_for_completion(timeout=20.0)
+        assert control_b.wait_for_completion(timeout=20.0)
+        assert sink_a.data() == b"".join(make_chunks(2000, "a"))
+        control_a.shutdown()
+        control_b.shutdown()
+
+    def test_backpressure_gates_pumping_but_stream_completes(self):
+        from repro.streams import DetachableInputStream
+
+        engine = EventEngine(heartbeat_s=0.05)
+        # A tiny downstream buffer forces the high-water gate to engage.
+        payload = [bytes([i % 256]) * 4096 for i in range(64)]
+        source = IterableSource(list(payload))
+        sink = CollectorSink()
+        sink.set_dis(DetachableInputStream(name="tiny", capacity=1024))
+        control = ControlThread(source, sink, auto_start=False, engine=engine)
+        control.add(PassthroughFilter(name="narrow"))
+        control.start()
+        assert control.wait_for_completion(timeout=20.0)
+        assert sink.data() == b"".join(payload)
+        control.shutdown()
+        engine.shutdown()
+
+
+class TestEngineLifecycle:
+    def test_shutdown_stops_scheduler(self):
+        engine = EventEngine()
+        source = IterableSource(make_chunks(10))
+        sink = CollectorSink()
+        control = ControlThread(source, sink, engine=engine)
+        control.wait_for_completion(timeout=5.0)
+        control.shutdown()
+        engine.shutdown()
+        assert not engine.scheduler_alive
+
+    def test_start_after_shutdown_raises(self):
+        engine = EventEngine()
+        engine.shutdown()
+        with pytest.raises(EngineError):
+            engine.start_element(PassthroughFilter())
+
+    def test_finished_elements_are_deregistered(self, engine):
+        source = IterableSource(make_chunks(10))
+        sink = CollectorSink()
+        control = ControlThread(source, sink, engine=engine)
+        assert control.wait_for_completion(timeout=5.0)
+        deadline = time.monotonic() + 5.0
+        while engine.managed_count and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert engine.managed_count == 0
+        control.shutdown()
+
+    def test_proxy_owns_engine_resolved_from_name(self):
+        proxy = Proxy("owner", engine="event")
+        source = IterableSource(make_chunks(10))
+        sink = CollectorSink()
+        control = proxy.add_stream(source, sink, name="s")
+        assert control.wait_for_completion(timeout=5.0)
+        proxy.shutdown()
+        assert not proxy.engine.scheduler_alive
+
+    def test_shared_engine_survives_proxy_shutdown(self, engine):
+        proxy = Proxy("borrower", engine=engine)
+        source = IterableSource(make_chunks(10))
+        sink = CollectorSink()
+        proxy.add_stream(source, sink, name="s").wait_for_completion(timeout=5.0)
+        proxy.shutdown()
+        # The engine was passed in as an instance, so the proxy must not
+        # have shut it down: it can still run new elements.
+        source2 = IterableSource(make_chunks(10))
+        sink2 = CollectorSink()
+        control2 = ControlThread(source2, sink2, engine=engine)
+        assert control2.wait_for_completion(timeout=5.0)
+        control2.shutdown()

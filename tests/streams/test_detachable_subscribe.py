@@ -1,0 +1,213 @@
+"""Subscriber-hook semantics and pause/reconnect races on detachable streams.
+
+The readiness-callback hook added for the event engine must observe every
+byte that arrives, and — the invariant the whole composition protocol rests
+on — a writer racing against pause/reconnect splices must never lose or
+duplicate a byte, with or without subscribers attached.
+"""
+
+import threading
+from time import sleep as _sleep
+
+import pytest
+
+from repro.streams import (
+    DetachableInputStream,
+    DetachableOutputStream,
+    StreamClosedError,
+    make_pipe,
+)
+
+
+class TestSubscriberHook:
+    def test_subscriber_fires_on_receive(self):
+        dos, dis = make_pipe("sub")
+        events = []
+        dis.subscribe(lambda: events.append(dis.available()))
+        dos.write(b"abc")
+        assert events  # data arrival reported
+        assert dis.read(10) == b"abc"
+
+    def test_subscriber_fires_on_source_close(self):
+        dos, dis = make_pipe("eof")
+        fired = threading.Event()
+        dis.subscribe(fired.set)
+        dos.close()
+        assert fired.is_set()
+        assert dis.at_eof()
+
+    def test_dos_subscriber_fires_on_reattach(self):
+        dos = DetachableOutputStream("w")
+        dis_a = DetachableInputStream("a")
+        dis_b = DetachableInputStream("b")
+        attaches = []
+        dos.subscribe(lambda: attaches.append(dos.connected))
+        dos.connect(dis_a)
+        dos.pause(drain_timeout=1.0)
+        dos.reconnect(dis_b)
+        assert len(attaches) >= 2  # connect + reconnect both notified
+
+    def test_unsubscribe_and_duplicate_registration(self):
+        dos, dis = make_pipe("unsub")
+        count = [0]
+
+        def listener():
+            count[0] += 1
+
+        dis.subscribe(listener)
+        dis.subscribe(listener)  # duplicate is a no-op
+        dos.write(b"x")
+        first = count[0]
+        assert first >= 1
+        dis.unsubscribe(listener)
+        dos.write(b"y")
+        dis.read(10)
+        assert count[0] == first  # no further notifications
+
+    def test_broken_subscriber_does_not_break_the_pipe(self):
+        dos, dis = make_pipe("bad-listener")
+
+        def bad():
+            raise RuntimeError("listener bug")
+
+        dis.subscribe(bad)
+        assert dos.write(b"payload") == 7
+        assert dis.read(10) == b"payload"
+
+    def test_subscriber_sees_every_byte(self):
+        dos, dis = make_pipe("count")
+        seen = []
+        dis.subscribe(lambda: seen.append(True))
+        for i in range(50):
+            dos.write(b"x" * (i + 1))
+            dis.read(1024)
+        # One notification per receive at minimum (reads may add more).
+        assert len(seen) >= 50
+
+
+class TestPauseReconnectRaces:
+    """Concurrent reconnect + write must never drop or duplicate bytes."""
+
+    RECORD = 8  # fixed-size numbered records: b"%07d;" % i
+
+    def _records(self, count):
+        return [b"%07d;" % i for i in range(count)]
+
+    def test_writer_racing_splices_loses_nothing(self):
+        records = self._records(3000)
+        dos = DetachableOutputStream("racer", reconnect_wait=30.0)
+        sides = [DetachableInputStream(f"side-{i}", capacity=None)
+                 for i in range(2)]
+        received = [bytearray(), bytearray()]
+        notified = [threading.Event(), threading.Event()]
+        for i, dis in enumerate(sides):
+            dis.subscribe(notified[i].set)
+        stop_readers = threading.Event()
+
+        def reader(index):
+            dis = sides[index]
+            while not (stop_readers.is_set() and dis.available() == 0):
+                try:
+                    chunk = dis.read(4096, timeout=0.05)
+                except Exception:
+                    continue
+                if chunk:
+                    received[index].extend(chunk)
+
+        readers = [threading.Thread(target=reader, args=(i,)) for i in range(2)]
+        for t in readers:
+            t.start()
+
+        def writer():
+            for i, record in enumerate(records):
+                dos.write(record)
+                if i % 50 == 49:
+                    _sleep(0.001)  # stretch the write burst across splices
+
+        dos.connect(sides[0])
+        w = threading.Thread(target=writer)
+        w.start()
+        active = 0
+        # Splice back and forth while the writer hammers the stream.
+        for _ in range(40):
+            dos.pause(drain_timeout=10.0)
+            active = 1 - active
+            dos.reconnect(sides[active])
+            _sleep(0.002)
+        w.join(timeout=30.0)
+        assert not w.is_alive()
+        stop_readers.set()
+        for t in readers:
+            t.join(timeout=10.0)
+
+        # Every side that received bytes saw data-arrival notifications via
+        # the subscriber hook.
+        for index in range(2):
+            if received[index]:
+                assert notified[index].is_set()
+        assert any(notified[i].is_set() for i in range(2))
+
+        # Records are atomic per write; each must land on exactly one side,
+        # in order, with nothing lost and nothing duplicated.
+        combined = []
+        for side in received:
+            assert len(side) % self.RECORD == 0
+            parsed = [bytes(side[i:i + self.RECORD])
+                      for i in range(0, len(side), self.RECORD)]
+            assert parsed == sorted(parsed)  # per-side order preserved
+            combined.extend(parsed)
+        assert sorted(combined) == records
+
+    def test_reconnect_storm_with_subscribers_and_closes(self):
+        records = self._records(500)
+        dos = DetachableOutputStream("storm", reconnect_wait=30.0)
+        dis = DetachableInputStream("storm-in", capacity=None)
+        arrivals = []
+        dis.subscribe(lambda: arrivals.append(dis.available()))
+        dos.connect(dis)
+        got = bytearray()
+
+        def reader():
+            while True:
+                chunk = dis.read(4096, timeout=5.0)
+                if not chunk:
+                    return
+                got.extend(chunk)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i, record in enumerate(records):
+            dos.write(record)
+            if i % 100 == 99:
+                dos.pause(drain_timeout=10.0)
+                dos.reconnect(dis)
+        dos.close()
+        t.join(timeout=10.0)
+        assert bytes(got) == b"".join(records)
+        assert arrivals  # the hook observed the stream throughout
+        with pytest.raises(StreamClosedError):
+            dos.write(b"late")
+
+    def test_try_write_respects_detach_and_close(self):
+        dos = DetachableOutputStream("nb")
+        dis = DetachableInputStream("nb-in")
+        assert dos.try_write(b"parked") is False  # detached: nothing written
+        dos.connect(dis)
+        assert dos.try_write(b"parked") is True
+        assert dis.read(10) == b"parked"
+        dos.pause(drain_timeout=1.0)
+        assert dos.try_write(b"mid-splice") is False
+        dos.reconnect(dis)
+        assert dos.try_write(b"mid-splice") is True
+        assert dis.read(20) == b"mid-splice"
+        dos.close()
+        with pytest.raises(StreamClosedError):
+            dos.try_write(b"dead")
+
+    def test_try_write_overshoots_capacity_instead_of_blocking(self):
+        dos = DetachableOutputStream("force")
+        dis = DetachableInputStream("force-in", capacity=16)
+        dos.connect(dis)
+        assert dos.try_write(b"x" * 64) is True  # never blocks
+        assert dis.available() == 64
+        assert dis.read(100) == b"x" * 64
