@@ -14,15 +14,30 @@ from typing import Iterable, List
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
+#: Quick (smoke) runs write under ``results/quick/`` so they can never
+#: clobber the committed full-mode tables in ``results/``.
+QUICK_RESULTS_DIR = os.path.join(RESULTS_DIR, "quick")
+
+
+def results_dir() -> str:
+    """Where tables land for this run (checked per call, not at import)."""
+    return QUICK_RESULTS_DIR if os.environ.get("REPRO_BENCH_QUICK") else RESULTS_DIR
+
 
 def write_table(name: str, lines: Iterable[str]) -> str:
-    """Print a result table and persist it to ``benchmarks/results/<name>.txt``."""
+    """Print a result table and persist it under ``benchmarks/results/``.
+
+    Full-mode runs write ``results/<name>.txt`` (the committed tables);
+    quick-mode runs (``REPRO_BENCH_QUICK=1``, as exported by
+    ``run_all.py --quick``) write ``results/quick/<name>.txt`` instead.
+    """
     rows: List[str] = list(lines)
     text = "\n".join(rows) + "\n"
     print()
     print(text, end="")
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    directory = results_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return path

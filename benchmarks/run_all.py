@@ -5,8 +5,11 @@ Each ``test_bench_*.py`` file is executed in its own pytest process so one
 broken benchmark cannot take the rest down.  With ``--quick`` the benchmarks
 run in smoke mode: pytest-benchmark timing rounds are disabled and
 ``REPRO_BENCH_QUICK=1`` is exported so sweeps that honour it (see
-``test_bench_fec_backends.py``) trim their configuration grids.  CI runs the
-quick mode as a non-blocking job so the perf harness cannot silently rot.
+``test_bench_fec_backends.py``) trim their configuration grids, and result
+tables land in ``benchmarks/results/quick/`` so the committed full-mode
+tables in ``benchmarks/results/`` are never clobbered by a smoke run.  CI
+runs the quick mode as a non-blocking job so the perf harness cannot
+silently rot.
 
 Usage::
 
@@ -76,6 +79,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
     mode = " (quick mode)" if args.quick else ""
     print(f"{len(paths) - len(failures)}/{len(paths)} benchmarks passed{mode}")
+    results = os.path.join("benchmarks", "results", "quick" if args.quick else "")
+    print(f"result tables: {os.path.normpath(results)}/")
     if failures:
         print("failed:", ", ".join(failures), file=sys.stderr)
         return 1

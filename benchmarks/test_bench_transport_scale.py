@@ -1,0 +1,128 @@
+"""Transport scalability — concurrent UDP streams per scheduler thread.
+
+One proxy hosts N concurrent UDP-transport streams (a bound UDP socket ->
+``TransportSource`` -> ``NullSink``); the feeder blasts M framed datagrams
+into every socket and the clock runs until all N streams observe
+end-of-stream.  This is the multi-process deployment regime the transport
+layer exists for: the proxy's ingest cost per datagram — not bulk compute —
+decides how many remote senders one proxy can terminate.
+
+Under the threaded engine every stream's source burns a dedicated reader
+thread.  Under the event engine the sockets are parked on the scheduler's
+selector and join the dirty-set scheduling loop: N streams cost N file
+descriptors and **one** scheduler thread — the benchmark asserts the thread
+census (that is the acceptance bar; CI boxes are too noisy to gate on a
+throughput ratio).  The table is written to
+``benchmarks/results/transport_scale.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import threading
+import time
+
+from repro.core import NullSink, Proxy
+from repro.transport import TransportSource, UdpTransport
+
+from benchutil import format_row, write_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Concurrent UDP stream counts swept per engine.  64 is the acceptance
+#: floor for single-scheduler-thread multiplexing.
+STREAM_COUNTS = [16, 64] if QUICK else [16, 64, 128]
+
+PACKETS_PER_STREAM = 30 if QUICK else 50
+PAYLOAD = bytes(range(256)) * 2  # 512 B per datagram
+
+ENGINES = ["threaded", "event"]
+COMPLETION_TIMEOUT_S = 120.0
+
+#: Repetitions per (engine, stream-count) cell; the median run is kept.
+REPS = 1 if QUICK else 3
+
+
+def _run_once(engine_name: str, n_streams: int) -> "tuple[float, int]":
+    """(seconds to drain all streams, extra threads observed mid-run)."""
+    baseline_threads = threading.active_count()
+    transport = UdpTransport()
+    try:
+        with Proxy(f"udp-scale-{engine_name}-{n_streams}",
+                   engine=engine_name, transport=transport) as proxy:
+            channels = []
+            controls = []
+            for i in range(n_streams):
+                channel = transport.open_channel(f"stream-{i}")
+                receiver = channel.join("proxy-ingest")
+                control = proxy.add_stream(TransportSource(receiver),
+                                           NullSink(expect_frames=True),
+                                           name=f"udp-{i}")
+                channels.append(channel)
+                controls.append(control)
+            extra_threads = threading.active_count() - baseline_threads
+            start = time.perf_counter()
+            for _ in range(PACKETS_PER_STREAM):
+                for channel in channels:
+                    channel.send(PAYLOAD)
+            for channel in channels:
+                channel.close()
+            for control in controls:
+                if not control.wait_for_completion(
+                        timeout=COMPLETION_TIMEOUT_S):
+                    raise RuntimeError(
+                        f"{engine_name}/{n_streams}: stream did not complete")
+            elapsed = time.perf_counter() - start
+    finally:
+        transport.close()
+    return elapsed, extra_threads
+
+
+def run_engine_at_scale(engine_name: str,
+                        n_streams: int) -> "tuple[float, float, int]":
+    """Median of REPS runs: (seconds, MB/s aggregate, extra threads)."""
+    runs = [_run_once(engine_name, n_streams) for _ in range(REPS)]
+    elapsed = statistics.median(run[0] for run in runs)
+    threads = max(run[1] for run in runs)
+    payload_bytes = len(PAYLOAD) * PACKETS_PER_STREAM * n_streams
+    return elapsed, payload_bytes / (1024.0 * 1024.0) / elapsed, threads
+
+
+def test_transport_scale_table():
+    widths = (10, 9, 9, 11, 10, 12)
+    lines = [
+        "Transport scalability: N concurrent UDP streams into one proxy",
+        f"({PACKETS_PER_STREAM} datagrams x {len(PAYLOAD)} B per stream"
+        f"{', quick mode' if QUICK else ''})",
+        "",
+        format_row(("engine", "streams", "threads", "seconds", "MB/s",
+                    "vs threaded"), widths),
+    ]
+    event_threads = {}
+    for n_streams in STREAM_COUNTS:
+        results = {}
+        for engine_name in ENGINES:
+            results[engine_name] = run_engine_at_scale(engine_name, n_streams)
+        ratio = results["event"][1] / results["threaded"][1]
+        event_threads[n_streams] = results["event"][2]
+        for engine_name in ENGINES:
+            elapsed, mbps, threads = results[engine_name]
+            vs = f"{ratio:.2f}x" if engine_name == "event" else "1.00x"
+            lines.append(format_row(
+                (engine_name, n_streams, threads, f"{elapsed:.2f}",
+                 f"{mbps:.1f}", vs), widths))
+        lines.append("")
+    lines.append("event-engine extra threads by stream count: "
+                 + ", ".join(f"{n}: {event_threads[n]}"
+                             for n in STREAM_COUNTS))
+    write_table("transport_scale", lines)
+
+    # The acceptance assertion: at >= 64 concurrent UDP streams the event
+    # engine added exactly ONE thread (its scheduler) — the sockets are
+    # multiplexed on the selector, with no per-socket reader threads.
+    for n_streams, threads in event_threads.items():
+        if n_streams >= 64:
+            assert threads == 1, (
+                f"event engine used {threads} extra threads "
+                f"for {n_streams} UDP streams")

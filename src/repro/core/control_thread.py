@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from ..runtime import ExecutionEngine, resolve_engine
 from ..streams import StreamClosedError
+from ..transport.base import Transport, resolve_transport
 from .endpoints import SinkEndPoint, SourceEndPoint
 from .errors import CompositionError
 from .filter import Filter
@@ -60,18 +61,33 @@ class ControlThread:
         (as :class:`~repro.core.proxy.Proxy` does) multiplexes several
         streams onto one engine; an engine resolved from a name/None is
         owned by this ControlThread and shut down with it.
+    transport:
+        The network substrate available to this stream (reachable as
+        :attr:`transport` / :meth:`open_channel`): a
+        :class:`~repro.transport.base.Transport` instance, a registered
+        transport name (``"inproc"``, ``"udp"``, ``"loopback"``), or None
+        to consult ``REPRO_TRANSPORT`` / the registry default.  A
+        name/None is resolved *lazily* on first use, so streams that never
+        touch the transport never instantiate one.  Ownership follows the
+        engine rule: a shared instance (as ``Proxy`` passes) outlives the
+        stream, a transport resolved from a name/None is closed with it.
     """
 
     def __init__(self, source: SourceEndPoint, sink: SinkEndPoint,
                  name: str = "stream", auto_start: bool = True,
                  operation_timeout: float = DEFAULT_OPERATION_TIMEOUT,
-                 engine: Union[str, ExecutionEngine, None] = None) -> None:
+                 engine: Union[str, ExecutionEngine, None] = None,
+                 transport: Union[str, Transport, None] = None) -> None:
         self.name = name
         self.source = source
         self.sink = sink
         self.operation_timeout = operation_timeout
         self._owns_engine = not isinstance(engine, ExecutionEngine)
         self.engine = resolve_engine(engine)
+        self._owns_transport = not isinstance(transport, Transport)
+        self._transport_arg = transport
+        self._transport: Optional[Transport] = (
+            transport if isinstance(transport, Transport) else None)
         self._filters: List[Filter] = []
         self._lock = threading.RLock()
         self._idle_cond = threading.Condition()
@@ -102,6 +118,21 @@ class ControlThread:
                 element.add_activity_listener(self._on_element_activity)
                 self.engine.start_element(element)
             self._started = True
+
+    # -------------------------------------------------------------- transport
+
+    @property
+    def transport(self) -> Transport:
+        """The stream's network substrate (resolved lazily on first use)."""
+        if self._transport is None:
+            with self._lock:
+                if self._transport is None:
+                    self._transport = resolve_transport(self._transport_arg)
+        return self._transport
+
+    def open_channel(self, name: str = "default", **options):
+        """Open a datagram channel on this stream's transport."""
+        return self.transport.open_channel(name, **options)
 
     # ------------------------------------------------------------ inspection
 
@@ -421,6 +452,8 @@ class ControlThread:
                 pass
         if self._owns_engine:
             self.engine.shutdown(timeout=timeout)
+        if self._owns_transport and self._transport is not None:
+            self._transport.close()
 
     def _ensure_not_shutdown(self) -> None:
         if self._shutdown:

@@ -210,33 +210,55 @@ class CallableSource(SourceEndPoint):
 
 
 class SocketSource(SourceEndPoint):
-    """Reads raw bytes from a connected TCP socket (EndPointSocketReader)."""
+    """Reads raw bytes from a connected stream (EndPointSocketReader).
+
+    Accepts a connected TCP ``socket.socket`` or any transport-layer
+    :class:`~repro.transport.base.StreamConnection` — the endpoint is built
+    on the latter; a raw socket is wrapped on the way in.  ``recv_timeout``
+    bounds each blocking read (it exists so the worker can observe a stop
+    request, not for liveness): peer close is end-of-stream the moment it
+    happens, and :meth:`stop` half-closes the reading side so a parked
+    ``recv`` returns immediately instead of burning out its poll cycle.
+    """
 
     type_name = "socket-source"
 
-    def __init__(self, sock: socket.socket, name: Optional[str] = None,
-                 recv_size: int = 8192) -> None:
+    def __init__(self, sock, name: Optional[str] = None,
+                 recv_size: int = 8192,
+                 recv_timeout: Optional[float] = 0.5) -> None:
+        from ..transport.base import TransportTimeoutError
+        from ..transport.udp import TcpStreamConnection
+
         super().__init__(name=name, frame_output=False)
-        self._socket = sock
-        self._socket.settimeout(0.1)
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ValueError("recv_timeout must be positive (or None)")
+        self._conn = (TcpStreamConnection(sock)
+                      if isinstance(sock, socket.socket) else sock)
+        self._timeout_error = TransportTimeoutError
         self.recv_size = recv_size
+        self.recv_timeout = recv_timeout
 
     def produce(self) -> Optional[bytes]:
         while not self._stop_event.is_set():
             try:
-                data = self._socket.recv(self.recv_size)
-            except socket.timeout:
+                data = self._conn.recv(self.recv_size,
+                                       timeout=self.recv_timeout)
+            except self._timeout_error:
                 continue
-            except OSError:
-                return None
             return data if data else None
         return None
 
+    def stop(self, timeout: float = 5.0) -> None:
+        # Unblock a worker parked in recv() before joining it, so stopping
+        # costs one wakeup rather than a full recv_timeout poll cycle.
+        self._stop_event.set()
+        unblock = getattr(self._conn, "unblock", None)
+        if callable(unblock):
+            unblock()
+        super().stop(timeout=timeout)
+
     def on_stop(self) -> None:
-        try:
-            self._socket.close()
-        except OSError:
-            pass
+        self._conn.close()
 
 
 class SinkEndPoint(EndPoint):
@@ -333,25 +355,32 @@ class CallableSink(SinkEndPoint):
 
 
 class SocketSink(SinkEndPoint):
-    """Writes raw bytes to a connected TCP socket (EndPointSocketWriter)."""
+    """Writes raw bytes to a connected stream (EndPointSocketWriter).
+
+    Accepts a connected TCP ``socket.socket`` or any transport-layer
+    :class:`~repro.transport.base.StreamConnection`.  End-of-stream
+    half-closes the sending side so the peer sees EOF while the connection
+    object stays usable for its owner.
+    """
 
     type_name = "socket-sink"
 
-    #: ``sendall`` can block on the peer, so never pump this cooperatively.
+    #: The blocking send can stall on the peer, so never pump this
+    #: cooperatively.
     cooperative_capable = False
 
-    def __init__(self, sock: socket.socket, name: Optional[str] = None) -> None:
+    def __init__(self, sock, name: Optional[str] = None) -> None:
+        from ..transport.udp import TcpStreamConnection
+
         super().__init__(name=name, expect_frames=False)
-        self._socket = sock
+        self._conn = (TcpStreamConnection(sock)
+                      if isinstance(sock, socket.socket) else sock)
 
     def consume(self, data: bytes) -> None:
-        self._socket.sendall(data)
+        self._conn.send(data)
 
     def on_stop(self) -> None:
-        try:
-            self._socket.shutdown(socket.SHUT_WR)
-        except OSError:
-            pass
+        self._conn.close_sending()
 
 
 class NullSink(SinkEndPoint):

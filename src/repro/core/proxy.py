@@ -13,6 +13,7 @@ import threading
 from typing import Dict, List, Optional, Union
 
 from ..runtime import ExecutionEngine, resolve_engine
+from ..transport.base import Transport, resolve_transport
 from .control_thread import ControlThread
 from .endpoints import SinkEndPoint, SourceEndPoint
 from .errors import CompositionError
@@ -26,15 +27,26 @@ class Proxy:
     registered name, or None for ``REPRO_ENGINE`` / the registry default).
     Sharing matters for the event engine: every stream's filters are pumped
     by the proxy's single scheduler thread, which is what lets one proxy
-    host hundreds of concurrent streams.  A Proxy is a context manager;
-    leaving the ``with`` block calls :meth:`shutdown`.
+    host hundreds of concurrent streams.
+
+    The proxy's streams likewise share one :mod:`transport <repro.transport>`
+    (``transport=`` instance, registered name — ``"inproc"``, ``"udp"``,
+    ``"loopback"`` — or None for ``REPRO_TRANSPORT`` / the registry
+    default): one UDP transport owns all of the proxy's sockets, one inproc
+    transport keeps all of its simulated channels seeded from one root.
+
+    A Proxy is a context manager; leaving the ``with`` block calls
+    :meth:`shutdown`.
     """
 
     def __init__(self, name: str = "proxy",
-                 engine: Union[str, ExecutionEngine, None] = None) -> None:
+                 engine: Union[str, ExecutionEngine, None] = None,
+                 transport: Union[str, Transport, None] = None) -> None:
         self.name = name
         self._owns_engine = not isinstance(engine, ExecutionEngine)
         self._engine = resolve_engine(engine)
+        self._owns_transport = not isinstance(transport, Transport)
+        self._transport = resolve_transport(transport)
         self._streams: Dict[str, ControlThread] = {}
         self._lock = threading.RLock()
         self._shutdown = False
@@ -43,6 +55,15 @@ class Proxy:
     def engine(self) -> ExecutionEngine:
         """The execution engine shared by this proxy's streams."""
         return self._engine
+
+    @property
+    def transport(self) -> Transport:
+        """The transport shared by this proxy's streams."""
+        return self._transport
+
+    def open_channel(self, name: str = "default", **options):
+        """Open a datagram channel on the proxy's transport."""
+        return self._transport.open_channel(name, **options)
 
     # ----------------------------------------------------------------- streams
 
@@ -57,7 +78,8 @@ class Proxy:
                 raise CompositionError(
                     f"stream {stream_name!r} already exists on proxy {self.name!r}")
             control = ControlThread(source, sink, name=stream_name,
-                                    auto_start=auto_start, engine=self._engine)
+                                    auto_start=auto_start, engine=self._engine,
+                                    transport=self._transport)
             self._streams[stream_name] = control
             return control
 
@@ -110,6 +132,8 @@ class Proxy:
             control.shutdown(timeout=timeout)
         if self._owns_engine:
             self._engine.shutdown(timeout=timeout)
+        if self._owns_transport:
+            self._transport.close()
 
     def __enter__(self) -> "Proxy":
         return self
@@ -123,11 +147,12 @@ class Proxy:
 
 def null_proxy(source: SourceEndPoint, sink: SinkEndPoint,
                name: str = "null-proxy",
-               engine: Union[str, ExecutionEngine, None] = None) -> ControlThread:
+               engine: Union[str, ExecutionEngine, None] = None,
+               transport: Union[str, Transport, None] = None) -> ControlThread:
     """Build the paper's "null proxy": two EndPoints and a ControlThread.
 
     Data flows from ``source`` to ``sink`` unmodified until filters are
     inserted via the returned ControlThread.
     """
     return ControlThread(source, sink, name=name, auto_start=True,
-                         engine=engine)
+                         engine=engine, transport=transport)

@@ -14,12 +14,15 @@ import queue
 import threading
 import zlib
 from dataclasses import dataclass
+from time import monotonic as _monotonic
+from time import sleep as _sleep
 from typing import Dict, List, Optional
 
-from ..core import CallableSink, CallableSource, ControlThread, Proxy
+from ..core import CallableSource, ControlThread, Proxy
 from ..filters import ZlibCompressFilter
 from ..net import MulticastGroup, WirelessLAN
 from ..proxies.transcoding_proxy import DeviceDescriptor
+from ..transport import TransportSink, open_wireless_channel
 from .browser import BrowserInterface, BrowseMessage, MESSAGE_CONTENT
 from .leadership import LeadershipProtocol
 from .resources import Resource, ResourceStore
@@ -46,7 +49,10 @@ class CollaborativeSession:
 
     Wired participants receive content over the reliable multicast group;
     wireless participants receive it through the session's wireless proxy
-    (a live RAPIDware filter chain) and the simulated WLAN.  The session
+    (a live RAPIDware filter chain) and the wireless *transport channel* —
+    the simulated WLAN by default, or any registered transport via
+    ``transport=`` (``"loopback"``, ``"udp"``; note that only the inproc
+    channel applies per-receiver loss models and distances).  The session
     leader is the only member allowed to drive browsing; leadership moves
     via the floor-control protocol.
     """
@@ -55,11 +61,11 @@ class CollaborativeSession:
                  wlan: Optional[WirelessLAN] = None,
                  compress_wireless: bool = True,
                  seed: int = 3,
-                 engine=None) -> None:
+                 engine=None,
+                 transport=None) -> None:
         from .resources import build_demo_site
 
         self.store = store or build_demo_site(seed=seed)
-        self.wlan = wlan or WirelessLAN(seed=seed)
         self.leadership = LeadershipProtocol()
         self.multicast = MulticastGroup("pavilion-content")
         self._participants: Dict[str, Participant] = {}
@@ -72,11 +78,17 @@ class CollaborativeSession:
         self._queue: "queue.Queue[Optional[bytes]]" = queue.Queue()
         self._source_done = threading.Event()
         self._wireless_enqueued = 0
-        self.proxy = Proxy("pavilion-wireless-proxy", engine=engine)
+        self.proxy = Proxy("pavilion-wireless-proxy", engine=engine,
+                           transport=transport)
+        # Explicit ``wlan`` wins; otherwise the transport selection
+        # (argument / REPRO_TRANSPORT / default) decides, as for Proxy.
+        self.channel, self.wlan, self._simulated = open_wireless_channel(
+            self.proxy, "pavilion-wireless", wlan=wlan, seed=seed)
+        self._wireless_receivers: Dict[str, object] = {}
         self._source = CallableSource(self._pull, name="content-in",
                                       frame_output=True)
-        self._sink = CallableSink(self.wlan.send, name="wireless-out",
-                                  expect_frames=True)
+        self._sink = TransportSink(self.channel, name="wireless-out",
+                                   expect_frames=True)
         self.control: ControlThread = self.proxy.add_stream(
             self._source, self._sink, name="content", auto_start=False)
         if compress_wireless:
@@ -121,8 +133,11 @@ class CollaborativeSession:
         self._participants[name] = participant
         self.leadership.join(name, now_s=now_s)
         if wireless:
-            self.wlan.add_receiver(
-                name, distance_m=distance_m,
+            # queue_payloads=False: delivery is purely via the callback, so
+            # the receiver must not accumulate a second copy of every page
+            # for the session's lifetime.
+            self._wireless_receivers[name] = self.channel.join(
+                name, distance_m=distance_m, queue_payloads=False,
                 on_receive=lambda data, _n=name: self._wireless_deliver(_n, data))
         else:
             self.multicast.subscribe(name, participant.browser.receive)
@@ -134,7 +149,8 @@ class CollaborativeSession:
             raise SessionError(f"participant {name!r} is not in the session")
         participant = self._participants.pop(name)
         if participant.wireless:
-            self.wlan.access_point.remove_receiver(name)
+            self._wireless_receivers.pop(name, None)
+            self.channel.leave(name)
         else:
             self.multicast.unsubscribe(name)
         return self.leadership.leave(name, now_s=now_s)
@@ -200,18 +216,49 @@ class CollaborativeSession:
 
     def wait_for_wireless_delivery(self, timeout: float = 10.0,
                                    poll_interval: Optional[float] = None) -> bool:
-        """Wait until the wireless proxy chain has drained.
+        """Wait until the wireless proxy chain has drained *and* delivered.
 
-        The wait is condition-driven (every chain element signals after each
-        unit of work); ``poll_interval`` is kept for API compatibility and
-        ignored.
+        The chain wait is condition-driven (every element signals after
+        each unit of work); ``poll_interval`` is kept for API compatibility
+        and ignored.  Push transports (inproc, loopback) deliver to the
+        participants' callbacks during ``send``; pull transports (udp) are
+        drained here — ``pending()`` ingests whatever the kernel has
+        buffered, firing the callbacks — until the per-receiver delivery
+        counters go quiet.
         """
         del poll_interval
-        return self.control.wait_idle(
+        deadline = _monotonic() + timeout
+        drained = self.control.wait_idle(
             timeout=timeout,
             extra=lambda: (self._queue.empty()
                            and self._source.items_produced
                            >= self._wireless_enqueued))
+        if not drained:
+            return False
+        receivers = list(self._wireless_receivers.values())
+        if receivers and not self._simulated:
+            # Pull transports only (push transports delivered during send):
+            # the sink's send returns while a datagram can still be in
+            # flight, so require the counters stable across a settle pause,
+            # and never outlive the caller's deadline.  A deadline exit is
+            # a failure, same as the wait_idle path.
+            last_total = -1
+            stable = 0
+            while True:
+                for receiver in receivers:
+                    receiver.pending()  # ingest + fire on_receive callbacks
+                total = sum(r.packets_received for r in receivers)
+                if total == last_total:
+                    stable += 1
+                    if stable >= 2:
+                        break
+                else:
+                    stable = 0
+                    last_total = total
+                if _monotonic() >= deadline:
+                    return False
+                _sleep(0.005)
+        return True
 
     # -- reporting ----------------------------------------------------------------------
 
@@ -225,11 +272,11 @@ class CollaborativeSession:
         return summary
 
     def wireless_compression_ratio(self) -> float:
-        """Bytes sent on the WLAN relative to the original content bytes."""
+        """Bytes sent on the wireless channel relative to the content bytes."""
         original = self.wired_bytes_delivered
         if original == 0:
             return 1.0
-        over_air = self.wlan.access_point.bytes_sent
+        over_air = self.channel.bytes_sent
         return over_air / original if original else 1.0
 
     def shutdown(self) -> None:

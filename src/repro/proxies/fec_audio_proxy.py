@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core import CallableSink, ControlThread, IterableSource, Proxy
+from ..core import ControlThread, IterableSource, Proxy
 from ..fec import FecPacket, FecPacketError
 from ..filters import FecDecoderFilter, FecEncoderFilter, PAPER_FEC_K, PAPER_FEC_N
 from ..media import (
@@ -34,6 +34,8 @@ from ..media import (
     ToneSource,
 )
 from ..net import DeliveryReport, LossModel, WirelessLAN
+from ..transport import InprocChannel, TransportSink
+from ..transport.base import DatagramChannel
 
 
 @dataclass
@@ -50,6 +52,14 @@ class FecAudioProxyConfig:
     #: Execution engine name for the proxy's streams (None = ``REPRO_ENGINE``
     #: / the registry default; see :mod:`repro.runtime`).
     engine: Optional[str] = None
+    #: Transport name for the wireless segment when no ``wlan`` is given
+    #: (None = ``REPRO_TRANSPORT`` / the registry default; see
+    #: :mod:`repro.transport`).
+    transport: Optional[str] = None
+    #: Pin the FEC group-id base (None = a fresh process-wide block per
+    #: encoder).  Pinning makes two runs byte-identical on the wire, which
+    #: the transport-equivalence tests rely on.
+    fec_start_group_id: Optional[int] = None
 
 
 class FecAudioProxy:
@@ -59,14 +69,34 @@ class FecAudioProxy:
     sender EndPoint); :meth:`enable_fec` and :meth:`disable_fec` insert and
     remove the FEC encoder filter *while the stream is running*, which is
     exactly the demand-driven behaviour of the paper's Section 3 scenario.
+
+    The wireless segment is a transport channel: pass a simulated ``wlan``
+    (the classic testbed — it is wrapped in an
+    :class:`~repro.transport.inproc.InprocChannel`), an existing
+    :class:`~repro.transport.base.DatagramChannel`, or neither, in which
+    case the proxy opens a channel on its transport (``transport=`` /
+    ``config.transport`` / ``REPRO_TRANSPORT`` / inproc default) — with the
+    ``udp`` transport the mobile hosts may live in other OS processes.
     """
 
-    def __init__(self, wired_packets: List[MediaPacket], wlan: WirelessLAN,
+    def __init__(self, wired_packets: List[MediaPacket],
+                 wlan: Optional[WirelessLAN] = None,
                  config: Optional[FecAudioProxyConfig] = None,
-                 name: str = "fec-audio-proxy") -> None:
+                 name: str = "fec-audio-proxy",
+                 channel: Optional[DatagramChannel] = None,
+                 transport=None) -> None:
         self.config = config or FecAudioProxyConfig()
-        self.wlan = wlan
-        self.proxy = Proxy(name, engine=self.config.engine)
+        self.proxy = Proxy(name, engine=self.config.engine,
+                           transport=transport or self.config.transport)
+        if channel is None:
+            if wlan is not None:
+                channel = InprocChannel("wlan", wlan=wlan)
+            else:
+                channel = self.proxy.open_channel("wlan")
+        self.channel = channel
+        #: The simulated LAN behind the channel, when there is one (tests
+        #: and the Figure 7 driver reach into its access point for stats).
+        self.wlan = wlan if wlan is not None else getattr(channel, "wlan", None)
         self._encoder_filter: Optional[FecEncoderFilter] = None
 
         # Wired receiver: the already-packetised audio stream from the wired
@@ -75,9 +105,10 @@ class FecAudioProxy:
             [packet.pack() for packet in wired_packets],
             name="wired-receiver", frame_output=True)
         # Wireless sender: every packet leaving the chain is multicast on the
-        # wireless LAN.
-        self._sink = CallableSink(self.wlan.send, name="wireless-sender",
-                                  expect_frames=True)
+        # wireless channel; end-of-stream closes the channel so receivers
+        # (local or remote) see EOF.
+        self._sink = TransportSink(self.channel, name="wireless-sender",
+                                   expect_frames=True)
         self.control: ControlThread = self.proxy.add_stream(
             self._source, self._sink, name=self.config.stream_name,
             auto_start=False)
@@ -114,6 +145,7 @@ class FecAudioProxy:
             return
         encoder = FecEncoderFilter(k=k or self.config.k, n=n or self.config.n,
                                    name="fec-encoder",
+                                   start_group_id=self.config.fec_start_group_id,
                                    backend=self.config.fec_backend)
         self.control.add(encoder, position=0)
         self._encoder_filter = encoder

@@ -92,10 +92,10 @@ class TranscodingProxy:
                  deliver: Callable[[bytes], None],
                  source_sample_rate: int = 8000, source_channels: int = 2,
                  source_fps: int = 30, name: Optional[str] = None,
-                 engine=None) -> None:
+                 engine=None, transport=None) -> None:
         self.device = device
         self.proxy = Proxy(name or f"transcoding-proxy-{device.name}",
-                           engine=engine)
+                           engine=engine, transport=transport)
         self._source = IterableSource([p.pack() for p in packets],
                                       name="media-in", frame_output=True)
         self._sink = CallableSink(deliver, name="media-out", expect_frames=True)
@@ -129,9 +129,9 @@ class VideoProxy:
 
     def __init__(self, video: VideoSource, deliver: Callable[[bytes], None],
                  pacing_s: float = 0.0, name: str = "video-proxy",
-                 engine=None) -> None:
+                 engine=None, transport=None) -> None:
         self.video = video
-        self.proxy = Proxy(name, engine=engine)
+        self.proxy = Proxy(name, engine=engine, transport=transport)
         self._source = IterableSource(
             [frame.to_packet().pack() for frame in video.frames()],
             name="video-in", frame_output=True, pacing_s=pacing_s)

@@ -25,10 +25,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..core import CallableSink, CallableSource, ControlThread, Proxy
+from ..core import CallableSource, ControlThread, Proxy
 from ..media import AudioPacketizer, MediaPacket, ToneSource
 from ..net import DeliveryReport, LinearWalk, WirelessLAN
 from ..proxies.fec_audio_proxy import WirelessAudioReceiver
+from ..transport import TransportSink, open_wireless_channel
 from .events import EventBus
 from .observers import LossRateObserver, MigrationObserver
 from .policy import AdaptationLimits, FecPolicy
@@ -45,11 +46,31 @@ class AdaptiveAudioSession:
                  limits: Optional[AdaptationLimits] = None,
                  observer_min_sample: int = 10,
                  seed: int = 7,
-                 engine=None) -> None:
-        self.wlan = wlan or WirelessLAN(seed=seed)
-        self.receiver = self.wlan.add_receiver(receiver_name,
-                                               distance_m=initial_distance_m,
-                                               seed=seed)
+                 engine=None,
+                 transport=None) -> None:
+        # The wireless segment is a transport channel; the simulated WLAN is
+        # the default (and the only transport whose receivers carry the loss
+        # models and distances the adaptation plane observes — under any
+        # other transport :meth:`observe` and :meth:`move_receiver` are
+        # no-ops and the stream is simply carried unprotected-but-lossless).
+        # An explicit ``wlan`` wins; otherwise the transport selection
+        # (argument / REPRO_TRANSPORT / default) decides, as for Proxy.
+        self.proxy = Proxy("adaptive-audio-proxy", engine=engine,
+                           transport=transport)
+        self.channel, self.wlan, self._simulated = open_wireless_channel(
+            self.proxy, "adaptive-audio", wlan=wlan, seed=seed)
+        # Under inproc the capture path is the simulated receiver's inbox,
+        # so the channel-side queue would only duplicate every packet for
+        # the session's lifetime — leave it off.
+        channel_receiver = self.channel.join(receiver_name,
+                                             distance_m=initial_distance_m,
+                                             seed=seed,
+                                             queue_payloads=not self._simulated)
+        #: The receiving end used for loss observation and capture: the
+        #: simulated WirelessReceiver under inproc (stats, move_to), the
+        #: transport receiver otherwise.
+        self.receiver = getattr(channel_receiver, "wireless", channel_receiver)
+        self.channel_receiver = channel_receiver
         self.audio_receiver = WirelessAudioReceiver(receiver_name)
 
         # The proxied stream: a queue-fed source (the "socket" from the wired
@@ -59,11 +80,10 @@ class AdaptiveAudioSession:
         self._queue: "queue.Queue[Optional[bytes]]" = queue.Queue()
         self._source_done = threading.Event()
         self._enqueued_packets = 0
-        self.proxy = Proxy("adaptive-audio-proxy", engine=engine)
         self._source = CallableSource(self._pull, name="wired-receiver",
                                       frame_output=True)
-        self._sink = CallableSink(self.wlan.send, name="wireless-sender",
-                                  expect_frames=True)
+        self._sink = TransportSink(self.channel, name="wireless-sender",
+                                   expect_frames=True)
         self.control: ControlThread = self.proxy.add_stream(
             self._source, self._sink, name="audio", auto_start=True)
 
@@ -120,11 +140,20 @@ class AdaptiveAudioSession:
     # -- adaptation ---------------------------------------------------------------
 
     def observe(self, now_s: float) -> None:
-        """Run every observer once (responders react synchronously)."""
+        """Run every observer once (responders react synchronously).
+
+        A no-op under non-simulated transports: only the inproc receiver
+        carries the loss statistics and distance the observers read.
+        """
+        if not self._simulated:
+            return
         self.migration_observer.observe(now_s)
         self.loss_observer.observe(now_s)
 
     def move_receiver(self, distance_m: float) -> None:
+        """Move the simulated receiver (a no-op on other transports)."""
+        if not self._simulated:
+            return
         self.receiver.move_to(distance_m)
 
     @property

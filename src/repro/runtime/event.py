@@ -20,6 +20,16 @@ pumped cooperatively too, their pacing handled by the scheduler's timer
 wheel — so an N-stream proxy of in-process sources runs on *one* thread
 instead of N × chain-length workers.
 
+Sockets join the same loop through a :mod:`selectors`-based idle wait: a
+cooperative element that exposes ``selectable_fileno()`` (the transport
+layer's UDP sources, :class:`~repro.transport.endpoints.TransportSource`)
+is registered with the scheduler's selector, and when the scheduler would
+otherwise sleep it waits in ``selector.select`` instead — a readable socket
+drops its element straight into the dirty set.  A self-pipe wakes the
+select when an in-process notification lands first, so neither signal
+source can stall the other.  N UDP streams therefore cost N *file
+descriptors*, not N reader threads.
+
 Flow control is cooperative too: a pump step delivers output with the
 non-blocking ``DOS.try_write`` (which may overshoot the downstream buffer's
 capacity by one transform's worth of output) and the scheduler simply stops
@@ -35,9 +45,12 @@ machine; the ControlThread cannot tell which engine is underneath.
 from __future__ import annotations
 
 import heapq
+import os
+import selectors
+import socket
 import threading
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .base import EngineError, ExecutionEngine
 
@@ -76,6 +89,19 @@ class EventEngine(ExecutionEngine):
         self._wake = False
         self._stopping = False
         self._scheduler: Optional[threading.Thread] = None
+        # Socket readiness: created lazily with the first selectable element
+        # so purely in-process proxies never pay for a selector or the
+        # self-pipe.  All guarded by self._cond.
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._selectable_fds: Dict = {}           # element -> its wake-up fd
+        # Elements whose fd is temporarily off the selector: an element
+        # parked for a non-fd reason (boundary hold, backpressure) with a
+        # readable socket would otherwise turn every idle select() into a
+        # zero-sleep spin.  Scheduler-managed, mutated under self._cond.
+        self._suspended: set = set()
+        self._wakeup_send: Optional[socket.socket] = None
+        self._wakeup_recv: Optional[socket.socket] = None
+        self._selecting = False
 
     # ------------------------------------------------------------- lifecycle
 
@@ -90,8 +116,10 @@ class EventEngine(ExecutionEngine):
                 element.bind_engine(self)
                 self._elements.append(element)
                 self._dirty.add(element)
+                self._register_selectable(element)
                 self._ensure_scheduler()
                 self._wake = True
+                self._wake_selector()
                 self._cond.notify_all()
         else:
             with self._cond:
@@ -110,23 +138,147 @@ class EventEngine(ExecutionEngine):
         with self._cond:
             self._stopping = True
             self._wake = True
+            self._wake_selector()
             self._cond.notify_all()
             scheduler = self._scheduler
         if scheduler is not None:
             scheduler.join(timeout=timeout)
+        self._close_selector()
 
     def notify_element(self, element) -> None:
         """Wake the scheduler to re-evaluate one element (thread-safe)."""
         with self._cond:
             self._dirty.add(element)
             self._wake = True
+            self._wake_selector()
             self._cond.notify_all()
 
     def _notify_recheck(self) -> None:
         """Wake the scheduler to recheck its gated set only (thread-safe)."""
         with self._cond:
             self._wake = True
+            self._wake_selector()
             self._cond.notify_all()
+
+    # ----------------------------------------------------- socket readiness
+
+    def _register_selectable(self, element) -> bool:
+        """Park ``element``'s readable fd on the selector (under the lock).
+
+        Only cooperative elements that expose ``selectable_fileno()`` (UDP
+        transport sources) have one; everything else keeps signalling
+        readiness through the stream/receiver subscription hooks.
+        """
+        accessor = getattr(element, "selectable_fileno", None)
+        if not callable(accessor):
+            return False
+        fd = accessor()
+        if fd is None:
+            return False
+        self._ensure_selector()
+        try:
+            self._selector.register(fd, selectors.EVENT_READ, element)
+        except (KeyError, ValueError, OSError):
+            return False
+        self._selectable_fds[element] = fd
+        return True
+
+    def _unregister_selectable(self, element) -> None:
+        """Drop a finished element's fd from the selector (under the lock)."""
+        fd = self._selectable_fds.pop(element, None)
+        was_suspended = element in self._suspended
+        self._suspended.discard(element)
+        if fd is not None and not was_suspended and self._selector is not None:
+            try:
+                self._selector.unregister(fd)
+            except (KeyError, ValueError, OSError):
+                pass
+
+    def _suspend_selectable_fd(self, element) -> None:
+        """Take a parked element's fd off the selector (scheduler thread).
+
+        Called when the element cannot be pumped for a reason its socket
+        knows nothing about (boundary hold, downstream high-water, parked
+        output): a readable-but-unpumpable fd would make every idle
+        select() return instantly — a busy spin.  The every-round gated
+        recheck (or the hold-release notification) still reaches the
+        element; the fd goes back on the selector when it is next pumped.
+        """
+        with self._cond:
+            fd = self._selectable_fds.get(element)
+            if fd is None or element in self._suspended:
+                return
+            if self._selector is not None:
+                try:
+                    self._selector.unregister(fd)
+                except (KeyError, ValueError, OSError):
+                    pass
+            self._suspended.add(element)
+
+    def _resume_selectable_fd(self, element) -> None:
+        """Put a previously suspended element's fd back on the selector."""
+        with self._cond:
+            if element not in self._suspended:
+                return
+            self._suspended.discard(element)
+            fd = self._selectable_fds.get(element)
+            if fd is not None and self._selector is not None:
+                try:
+                    self._selector.register(fd, selectors.EVENT_READ, element)
+                except (KeyError, ValueError, OSError):
+                    pass
+
+    def _ensure_selector(self) -> None:
+        if self._selector is not None:
+            return
+        self._selector = selectors.DefaultSelector()
+        # Self-pipe: in-process notifications must be able to interrupt a
+        # scheduler blocked in select().  data=None marks the wakeup end.
+        self._wakeup_send, self._wakeup_recv = socket.socketpair()
+        self._wakeup_send.setblocking(False)
+        self._wakeup_recv.setblocking(False)
+        self._selector.register(self._wakeup_recv, selectors.EVENT_READ, None)
+
+    def _wake_selector(self) -> None:
+        """Interrupt a select() in progress (caller holds the lock)."""
+        if self._selecting and self._wakeup_send is not None:
+            try:
+                self._wakeup_send.send(b"\x00")
+            except (BlockingIOError, OSError):
+                pass  # pipe full means a wakeup is already pending
+
+    def _drain_wakeup(self) -> None:
+        if self._wakeup_recv is None:
+            return
+        while True:
+            try:
+                if not self._wakeup_recv.recv(4096):
+                    return
+            except (BlockingIOError, OSError):
+                return
+
+    def _prune_dead_fds(self) -> None:
+        """Unregister fds whose sockets were closed under us (EBADF guard)."""
+        for element, fd in list(self._selectable_fds.items()):
+            try:
+                os.fstat(fd)
+            except OSError:
+                self._unregister_selectable(element)
+                self._dirty.add(element)  # let its pump observe the EOF
+
+    def _close_selector(self) -> None:
+        with self._cond:
+            selector, self._selector = self._selector, None
+            send, self._wakeup_send = self._wakeup_send, None
+            recv, self._wakeup_recv = self._wakeup_recv, None
+            self._selectable_fds.clear()
+            self._suspended.clear()
+        for resource in (selector, send, recv):
+            if resource is not None:
+                try:
+                    resource.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
 
     # ------------------------------------------------------------ inspection
 
@@ -173,6 +325,7 @@ class EventEngine(ExecutionEngine):
                 try:
                     if self._ready(element):
                         self._gated.discard(element)
+                        self._resume_selectable_fd(element)
                         progress = element.pump() or progress
                         # A pump that consumed input or delivered output
                         # re-marks the affected elements through the stream
@@ -189,23 +342,61 @@ class EventEngine(ExecutionEngine):
                 for element in finished:
                     self._gated.discard(element)
                     self._dirty.discard(element)
+                    self._unregister_selectable(element)
                     try:
                         self._elements.remove(element)
                     except ValueError:
                         pass
                 if self._stopping:
                     return
+                sleep_s = 0.0
                 if not progress and not self._wake:
                     sleep_s = self._sleep_s()
-                    woken = self._cond.wait(sleep_s)
-                    if not woken and sleep_s >= self._heartbeat_s:
-                        # A full heartbeat passed with no notification at
-                        # all: rescan everything.  This turns any lost
-                        # wakeup — a bug, or a listener raced with teardown
-                        # — into a bounded hiccup instead of a stalled
-                        # stream.  Timer-bounded sleeps (< heartbeat) wake
-                        # for their deadline and skip this.
-                        self._scan_all = True
+                if self._selector is None:
+                    if sleep_s > 0.0:
+                        woken = self._cond.wait(sleep_s)
+                        if not woken and sleep_s >= self._heartbeat_s:
+                            # A full heartbeat passed with no notification
+                            # at all: rescan everything.  This turns any
+                            # lost wakeup — a bug, or a listener raced with
+                            # teardown — into a bounded hiccup instead of a
+                            # stalled stream.  Timer-bounded sleeps
+                            # (< heartbeat) wake for their deadline and
+                            # skip this.
+                            self._scan_all = True
+                    self._wake = False
+                    continue
+                # Selectable sockets registered: the idle wait moves to the
+                # selector so a readable socket is itself a wakeup.  The
+                # _selecting flag closes the notify race — a notifier that
+                # runs before it is set leaves _wake=True (observed above);
+                # one that runs after it writes the self-pipe.
+                self._selecting = sleep_s > 0.0
+                selector = self._selector  # local ref: a shutdown whose
+                # join() timed out may null the attribute concurrently
+            if not self._selecting:
+                with self._cond:
+                    self._wake = False
+                continue
+            try:
+                events = selector.select(sleep_s)
+            except (OSError, ValueError):
+                # EBADF from a socket closed under us, or the selector
+                # itself closed by a timed-out shutdown.
+                events = []
+                with self._cond:
+                    self._prune_dead_fds()
+            with self._cond:
+                self._selecting = False
+                woken = bool(self._wake)
+                for key, _mask in events:
+                    woken = True
+                    if key.data is None:
+                        self._drain_wakeup()
+                    else:
+                        self._dirty.add(key.data)
+                if not woken and sleep_s >= self._heartbeat_s:
+                    self._scan_all = True  # lost-wakeup safety net, as above
                 self._wake = False
 
     def _sleep_s(self) -> float:
@@ -237,14 +428,19 @@ class EventEngine(ExecutionEngine):
         source between items goes on the timer heap; everything else is
         left alone — its own stream, hold or stop notification re-marks it.
         """
-        if element.held or element.stop_requested:
+        if element.stop_requested:
+            return
+        if element.held:
+            self._suspend_selectable_fd(element)
             return
         if element.pending_output:
             self._gated.add(element)  # waiting on a reattach in the splice
+            self._suspend_selectable_fd(element)
             return
         if element.wants_input_pump():
             if self._backpressured(element):
                 self._gated.add(element)
+                self._suspend_selectable_fd(element)
             return
         due = element.next_due_s()
         if due is not None:

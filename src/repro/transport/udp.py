@@ -1,0 +1,503 @@
+"""The UDP transport — real datagram sockets for multi-process deployment.
+
+This is the transport that turns the proxy from a simulation harness into a
+deployable process: a channel member is a bound UDP socket, so the sender
+(the proxy) and its receivers (the mobile hosts) can live in different OS
+processes or on different machines.  Two delivery modes:
+
+* **unicast fan-out** (default): ``send`` transmits one copy per member to
+  each member's address — application-level multicast, works everywhere
+  (loopback, containers, NATs);
+* **IP multicast**: pass ``multicast_group=(group_ip, port)`` to
+  ``open_channel`` and ``send`` transmits a single datagram to the group;
+  members bind the group port and join the group.  Availability depends on
+  the host's multicast routing, so tests treat it as optional.
+
+Framing: every datagram carries exactly one length-prefixed frame from
+:mod:`repro.streams.framing` (magic byte + length + payload), so a
+corrupted or foreign datagram is *detected and dropped* (counted in
+``framing_errors``) instead of silently mis-parsed.  End-of-stream is a
+frame header whose length field is ``0xFFFFFFFF`` — above
+``MAX_FRAME_SIZE`` and therefore unambiguous — sent to every member when
+the channel closes, the datagram analogue of a TCP FIN.
+
+Receivers are non-blocking sockets drained opportunistically: ``poll`` /
+``pending`` / ``at_eof`` pull whatever the kernel has buffered into the
+receiver's queue, ``recv`` blocks in :func:`select.select`, and
+``selectable_fileno`` exposes the fd so the event engine parks the receiver
+on its selector — many UDP streams, one scheduler thread, no per-socket
+threads.
+
+The stream service is TCP: ``listen``/``connect`` return
+:class:`TcpStreamListener`/:class:`TcpStreamConnection`, the objects the
+socket EndPoints (:class:`repro.core.endpoints.SocketSource` /
+``SocketSink``) are built on.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..streams.framing import FRAME_MAGIC, HEADER_SIZE, MAX_FRAME_SIZE
+from .base import (
+    DatagramChannel,
+    DatagramReceiver,
+    StreamConnection,
+    StreamListener,
+    Transport,
+    TransportError,
+    TransportTimeoutError,
+    _monotonic,
+)
+
+_HEADER = struct.Struct(">BI")
+
+#: Length field of the end-of-stream marker: above MAX_FRAME_SIZE, so no
+#: legal data frame can ever collide with it.
+_EOS_LENGTH = 0xFFFFFFFF
+
+#: The end-of-stream datagram (a frame header with the sentinel length).
+EOS_DATAGRAM = _HEADER.pack(FRAME_MAGIC, _EOS_LENGTH)
+
+#: Largest payload accepted per datagram (header + payload must fit a UDP
+#: datagram; 60 KiB leaves headroom under the 64 KiB IPv4 limit).
+MAX_DATAGRAM_PAYLOAD = 60 * 1024
+
+UdpAddress = Tuple[str, int]
+
+
+def encode_datagram(payload: bytes) -> bytes:
+    """Frame one payload for the wire (one frame per datagram)."""
+    payload = bytes(payload)
+    if len(payload) > min(MAX_DATAGRAM_PAYLOAD, MAX_FRAME_SIZE):
+        raise TransportError(
+            f"datagram payload of {len(payload)} bytes exceeds the "
+            f"{MAX_DATAGRAM_PAYLOAD}-byte UDP limit")
+    return _HEADER.pack(FRAME_MAGIC, len(payload)) + payload
+
+
+def decode_datagram(datagram: bytes) -> Optional[bytes]:
+    """Unframe one datagram: the payload, or None for the EOS marker.
+
+    Raises :class:`TransportError` for anything malformed (bad magic, bad
+    length, trailing garbage) so callers can count-and-drop it.
+    """
+    if len(datagram) < HEADER_SIZE:
+        raise TransportError("datagram shorter than a frame header")
+    magic, length = _HEADER.unpack_from(datagram, 0)
+    if magic != FRAME_MAGIC:
+        raise TransportError(f"bad frame magic 0x{magic:02x}")
+    if length == _EOS_LENGTH:
+        return None
+    if length != len(datagram) - HEADER_SIZE:
+        raise TransportError(
+            f"frame length {length} does not match datagram size "
+            f"{len(datagram)}")
+    return datagram[HEADER_SIZE:]
+
+
+class UdpReceiver(DatagramReceiver):
+    """A channel member backed by a bound, non-blocking UDP socket."""
+
+    def __init__(self, name: str, sock: socket.socket,
+                 on_receive=None, queue_payloads: bool = True) -> None:
+        super().__init__(name, on_receive=on_receive,
+                         queue_payloads=queue_payloads)
+        sock.setblocking(False)
+        self._socket = sock
+        self.address: UdpAddress = sock.getsockname()
+        self.framing_errors = 0
+
+    # -- socket draining -------------------------------------------------------
+
+    def _drain_socket(self) -> None:
+        """Pull every kernel-buffered datagram into the receiver queue."""
+        while True:
+            try:
+                datagram, _sender = self._socket.recvfrom(65535)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # socket closed under us: EOF state already recorded
+            try:
+                payload = decode_datagram(datagram)
+            except TransportError:
+                self.framing_errors += 1
+                continue
+            if payload is None:
+                self._mark_eof()
+            else:
+                self._deliver(payload)
+
+    # -- host-facing API (drain-first variants) --------------------------------
+
+    def poll(self) -> Optional[bytes]:
+        self._drain_socket()
+        return super().poll()
+
+    def pending(self) -> int:
+        self._drain_socket()
+        return super().pending()
+
+    def at_eof(self) -> bool:
+        self._drain_socket()
+        return super().at_eof()
+
+    def take(self) -> List[bytes]:
+        self._drain_socket()
+        return super().take()
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        deadline = None if timeout is None else _monotonic() + timeout
+        while True:
+            self._drain_socket()
+            payload = super().poll()
+            if payload is not None:
+                return payload
+            if super().at_eof():
+                return None
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - _monotonic()
+                if remaining <= 0:
+                    raise TransportTimeoutError(
+                        f"receiver {self.name!r}: recv timed out")
+            try:
+                readable, _, _ = select.select([self._socket], [], [],
+                                               remaining)
+            except OSError:
+                return None  # closed while blocked
+            if not readable and remaining is not None:
+                raise TransportTimeoutError(
+                    f"receiver {self.name!r}: recv timed out")
+
+    def selectable_fileno(self) -> Optional[int]:
+        try:
+            return self._socket.fileno()
+        except OSError:  # pragma: no cover - closed socket
+            return None
+
+    def close(self) -> None:
+        super().close()
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+
+class UdpChannel(DatagramChannel):
+    """A datagram channel over real UDP sockets.
+
+    Members joined locally get a bound receiver socket; remote members (in
+    another process) are registered by address with :meth:`add_member` —
+    their side calls ``join`` on its own channel object with an explicit
+    ``address`` to bind.
+    """
+
+    def __init__(self, name: str = "udp", host: str = "127.0.0.1",
+                 multicast_group: Optional[UdpAddress] = None,
+                 multicast_ttl: int = 1) -> None:
+        super().__init__(name)
+        self.host = host
+        self.multicast_group = multicast_group
+        self._lock = threading.Lock()
+        self._members: Dict[str, UdpAddress] = {}
+        self._receivers: Dict[str, UdpReceiver] = {}
+        self._send_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        if multicast_group is not None:
+            self._send_socket.setsockopt(socket.IPPROTO_IP,
+                                         socket.IP_MULTICAST_TTL,
+                                         multicast_ttl)
+            self._send_socket.setsockopt(socket.IPPROTO_IP,
+                                         socket.IP_MULTICAST_LOOP, 1)
+
+    # -- membership ------------------------------------------------------------
+
+    def join(self, member: str, address: Optional[UdpAddress] = None,
+             on_receive=None, recv_buffer_bytes: Optional[int] = None,
+             queue_payloads: bool = True, **_options) -> UdpReceiver:
+        """Bind a local receiver socket and register it as a member."""
+        with self._lock:
+            if member in self._receivers:
+                raise TransportError(
+                    f"channel {self.name!r}: member {member!r} already joined")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            if recv_buffer_bytes:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                                recv_buffer_bytes)
+            if self.multicast_group is not None:
+                group_ip, group_port = self.multicast_group
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.bind(("", group_port))
+                membership = (socket.inet_aton(group_ip)
+                              + socket.inet_aton("0.0.0.0"))
+                sock.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP,
+                                membership)
+            else:
+                sock.bind(address or (self.host, 0))
+        except OSError:
+            sock.close()
+            raise
+        receiver = UdpReceiver(member, sock, on_receive=on_receive,
+                               queue_payloads=queue_payloads)
+        with self._lock:
+            # Re-check under the lock: a concurrent join of the same name
+            # must not silently replace (and leak) the first socket.
+            if member in self._receivers:
+                raced = True
+            else:
+                raced = False
+                self._receivers[member] = receiver
+                if self.multicast_group is None:
+                    self._members[member] = receiver.address
+                if self._closed:
+                    receiver._mark_eof()
+        if raced:
+            receiver.close()
+            raise TransportError(
+                f"channel {self.name!r}: member {member!r} already joined")
+        return receiver
+
+    def add_member(self, member: str, address: UdpAddress) -> None:
+        """Register a remote member by address (no local socket)."""
+        with self._lock:
+            self._members[member] = (address[0], int(address[1]))
+
+    def leave(self, member: str) -> None:
+        with self._lock:
+            self._members.pop(member, None)
+            receiver = self._receivers.pop(member, None)
+        if receiver is not None:
+            receiver.close()
+
+    def members(self) -> List[str]:
+        with self._lock:
+            return sorted(set(self._members) | set(self._receivers))
+
+    def receiver(self, member: str) -> UdpReceiver:
+        with self._lock:
+            return self._receivers[member]
+
+    # -- transmission ----------------------------------------------------------
+
+    def _destinations(self) -> List[UdpAddress]:
+        if self.multicast_group is not None:
+            return [self.multicast_group]
+        with self._lock:
+            return list(self._members.values())
+
+    def _transmit(self, wire: bytes, destinations: List[UdpAddress]) -> int:
+        sent = 0
+        for address in destinations:
+            try:
+                self._send_socket.sendto(wire, address)
+                sent += 1
+            except OSError:
+                continue  # an unreachable member must not break the others
+        return sent
+
+    def send(self, data: bytes) -> int:
+        if self._closed:
+            raise TransportError(f"channel {self.name!r}: send after close")
+        wire = encode_datagram(data)
+        destinations = self._destinations()
+        sent = self._transmit(wire, destinations)
+        if sent:
+            # Account payload bytes, matching the inproc/loopback channels,
+            # so cross-transport statistics (e.g. compression ratios)
+            # compare like with like; framing overhead is a wire detail.
+            self._account(len(data))
+        return sent
+
+    def send_to(self, member: str, data: bytes) -> bool:
+        if self._closed:
+            raise TransportError(f"channel {self.name!r}: send after close")
+        if self.multicast_group is not None:
+            # Group members share one bound port (SO_REUSEADDR), so a
+            # unicast datagram would reach an arbitrary member — refuse
+            # loudly instead of delivering to the wrong host.
+            raise TransportError(
+                f"channel {self.name!r}: send_to is unavailable in "
+                "IP-multicast mode (members share the group port)")
+        with self._lock:
+            address = self._members.get(member)
+        if address is None:
+            return False
+        wire = encode_datagram(data)
+        if not self._transmit(wire, [address]):
+            return False
+        self._account(len(data))
+        return True
+
+    def close(self) -> None:
+        """Send the EOS marker to every member and release the send socket.
+
+        Local receivers are additionally marked EOF directly, so a dropped
+        EOS datagram can never wedge an in-process consumer; datagrams
+        already in their kernel buffers are still drained first (EOF is
+        checked *after* the opportunistic drain).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            super().close()
+            receivers = list(self._receivers.values())
+        self._transmit(EOS_DATAGRAM, self._destinations())
+        for receiver in receivers:
+            receiver._mark_eof()
+        try:
+            self._send_socket.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+
+# --------------------------------------------------------------------------
+# TCP stream service
+# --------------------------------------------------------------------------
+
+
+class TcpStreamConnection(StreamConnection):
+    """A reliable byte stream over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+        self._closed = False
+
+    @property
+    def socket(self) -> socket.socket:
+        return self._socket
+
+    def send(self, data: bytes) -> None:
+        try:
+            self._socket.sendall(bytes(data))
+        except OSError as exc:
+            raise TransportError(f"stream send failed: {exc}") from exc
+
+    def recv(self, max_bytes: int = 65536,
+             timeout: Optional[float] = None) -> bytes:
+        try:
+            self._socket.settimeout(timeout)
+            return self._socket.recv(max_bytes)
+        except socket.timeout:
+            raise TransportTimeoutError("stream recv timed out") from None
+        except OSError:
+            return b""  # connection reset / closed under us: end of stream
+
+    def close_sending(self) -> None:
+        try:
+            self._socket.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def unblock(self) -> None:
+        """Make a blocked :meth:`recv` return promptly (end-of-stream)."""
+        try:
+            self._socket.shutdown(socket.SHUT_RD)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def fileno(self) -> Optional[int]:
+        try:
+            return self._socket.fileno()
+        except OSError:  # pragma: no cover - closed socket
+            return None
+
+
+class TcpStreamListener(StreamListener):
+    """Accepts TCP stream connections."""
+
+    def __init__(self, address: Optional[UdpAddress] = None,
+                 backlog: int = 16) -> None:
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind(address or ("127.0.0.1", 0))
+        self._socket.listen(backlog)
+        self._closed = False
+
+    @property
+    def address(self) -> UdpAddress:
+        return self._socket.getsockname()
+
+    def accept(self, timeout: Optional[float] = None) -> TcpStreamConnection:
+        try:
+            self._socket.settimeout(timeout)
+            conn, _peer = self._socket.accept()
+        except socket.timeout:
+            raise TransportTimeoutError("accept timed out") from None
+        except OSError as exc:
+            raise TransportError(f"accept failed: {exc}") from exc
+        return TcpStreamConnection(conn)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+
+class UdpTransport(Transport):
+    """Real sockets: UDP datagram channels plus a TCP stream service."""
+
+    name = "udp"
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._channels: Dict[str, UdpChannel] = {}
+        self._channel_lock = threading.Lock()
+        self._listeners: List[TcpStreamListener] = []
+
+    def open_channel(self, name: str = "default",
+                     multicast_group: Optional[UdpAddress] = None,
+                     multicast_ttl: int = 1, **_options) -> UdpChannel:
+        with self._channel_lock:
+            channel = self._channels.get(name)
+            if channel is None:
+                channel = UdpChannel(name, host=self.host,
+                                     multicast_group=multicast_group,
+                                     multicast_ttl=multicast_ttl)
+                self._channels[name] = channel
+            return channel
+
+    def listen(self, address=None) -> TcpStreamListener:
+        listener = TcpStreamListener(address)
+        with self._channel_lock:
+            self._listeners.append(listener)
+        return listener
+
+    def connect(self, address) -> TcpStreamConnection:
+        try:
+            sock = socket.create_connection(address)
+        except OSError as exc:
+            raise TransportError(
+                f"connect to {address!r} failed: {exc}") from exc
+        return TcpStreamConnection(sock)
+
+    def close(self) -> None:
+        with self._channel_lock:
+            channels = list(self._channels.values())
+            self._channels.clear()
+            listeners = list(self._listeners)
+            self._listeners.clear()
+        for channel in channels:
+            channel.close()
+            for member in channel.members():
+                channel.leave(member)
+        for listener in listeners:
+            listener.close()

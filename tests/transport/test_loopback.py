@@ -1,0 +1,155 @@
+"""Semantics of the loopback transport (and the shared memory pipes)."""
+
+import threading
+
+import pytest
+
+from repro.transport import (
+    LoopbackTransport,
+    TransportError,
+    TransportTimeoutError,
+    memory_stream_pair,
+)
+
+
+@pytest.fixture
+def transport():
+    t = LoopbackTransport()
+    yield t
+    t.close()
+
+
+class TestLoopbackChannel:
+    def test_multicast_reaches_every_member(self, transport):
+        channel = transport.open_channel("c")
+        a = channel.join("a")
+        b = channel.join("b")
+        assert channel.send(b"hello") == 2
+        assert a.take() == [b"hello"]
+        assert b.take() == [b"hello"]
+        assert channel.packets_sent == 1
+        assert channel.bytes_sent == 5
+
+    def test_unicast_targets_one_member(self, transport):
+        channel = transport.open_channel("c")
+        a = channel.join("a")
+        b = channel.join("b")
+        assert channel.send_to("a", b"solo")
+        assert not channel.send_to("ghost", b"lost")
+        assert a.take() == [b"solo"]
+        assert b.take() == []
+
+    def test_duplicate_member_rejected(self, transport):
+        channel = transport.open_channel("c")
+        channel.join("a")
+        with pytest.raises(TransportError):
+            channel.join("a")
+
+    def test_open_channel_is_idempotent_per_name(self, transport):
+        assert transport.open_channel("c") is transport.open_channel("c")
+        assert transport.open_channel("c") is not transport.open_channel("d")
+
+    def test_close_marks_members_eof_after_drain(self, transport):
+        channel = transport.open_channel("c")
+        receiver = channel.join("a")
+        channel.send(b"one")
+        channel.close()
+        assert not receiver.at_eof()  # one payload still queued
+        assert receiver.recv(timeout=1.0) == b"one"
+        assert receiver.recv(timeout=1.0) is None
+        assert receiver.at_eof()
+
+    def test_send_after_close_raises(self, transport):
+        channel = transport.open_channel("c")
+        channel.close()
+        with pytest.raises(TransportError):
+            channel.send(b"late")
+
+    def test_join_after_close_sees_immediate_eof(self, transport):
+        channel = transport.open_channel("c")
+        channel.close()
+        receiver = channel.join("late")
+        assert receiver.at_eof()
+
+    def test_leave_marks_receiver_eof(self, transport):
+        channel = transport.open_channel("c")
+        receiver = channel.join("a")
+        channel.leave("a")
+        assert receiver.at_eof()
+        assert channel.members() == []
+
+    def test_recv_timeout(self, transport):
+        receiver = transport.open_channel("c").join("a")
+        with pytest.raises(TransportTimeoutError):
+            receiver.recv(timeout=0.05)
+
+    def test_blocking_recv_wakes_on_delivery(self, transport):
+        channel = transport.open_channel("c")
+        receiver = channel.join("a")
+        got = []
+        thread = threading.Thread(
+            target=lambda: got.append(receiver.recv(timeout=5.0)))
+        thread.start()
+        channel.send(b"wake")
+        thread.join(timeout=5.0)
+        assert got == [b"wake"]
+
+    def test_subscribe_fires_on_delivery_and_eof(self, transport):
+        channel = transport.open_channel("c")
+        receiver = channel.join("a")
+        events = []
+        receiver.subscribe(lambda: events.append("event"))
+        channel.send(b"x")
+        channel.close()
+        assert len(events) == 2
+
+    def test_on_receive_callback(self, transport):
+        seen = []
+        channel = transport.open_channel("c")
+        channel.join("a", on_receive=seen.append)
+        channel.send(b"cb")
+        assert seen == [b"cb"]
+
+
+class TestMemoryStreams:
+    def test_pair_round_trip_with_chunk_splitting(self):
+        client, server = memory_stream_pair()
+        client.send(b"abcdef")
+        assert server.recv(4, timeout=1.0) == b"abcd"
+        assert server.recv(4, timeout=1.0) == b"ef"
+        server.send(b"reply")
+        assert client.recv(timeout=1.0) == b"reply"
+
+    def test_half_close_gives_peer_eof(self):
+        client, server = memory_stream_pair()
+        client.send(b"last")
+        client.close_sending()
+        assert server.recv(timeout=1.0) == b"last"
+        assert server.recv(timeout=1.0) == b""
+
+    def test_recv_timeout(self):
+        client, _server = memory_stream_pair()
+        with pytest.raises(TransportTimeoutError):
+            client.recv(timeout=0.05)
+
+    def test_listen_connect_accept(self, transport):
+        listener = transport.listen("svc")
+        assert listener.address == "svc"
+        client = transport.connect("svc")
+        server = listener.accept(timeout=1.0)
+        client.send(b"ping")
+        assert server.recv(timeout=1.0) == b"ping"
+
+    def test_connect_unknown_address_raises(self, transport):
+        with pytest.raises(TransportError):
+            transport.connect("nowhere")
+
+    def test_listen_duplicate_address_raises(self, transport):
+        transport.listen("svc")
+        with pytest.raises(TransportError):
+            transport.listen("svc")
+
+    def test_accept_timeout(self, transport):
+        listener = transport.listen("svc")
+        with pytest.raises(TransportTimeoutError):
+            listener.accept(timeout=0.05)

@@ -1,0 +1,116 @@
+"""Registry, environment selection, and resolution for repro.transport."""
+
+import pytest
+
+from repro.transport import (
+    TRANSPORT_ENV_VAR,
+    InprocTransport,
+    LoopbackTransport,
+    Transport,
+    TransportError,
+    UdpTransport,
+    available_transports,
+    get_transport,
+    register_transport,
+    resolve_transport,
+    set_default_transport,
+)
+
+
+class TestRegistry:
+    def test_shipped_transports_are_registered(self):
+        names = available_transports()
+        assert {"inproc", "loopback", "udp"} <= set(names)
+
+    def test_get_by_name_returns_fresh_instances(self):
+        first = get_transport("loopback")
+        second = get_transport("loopback")
+        assert isinstance(first, LoopbackTransport)
+        assert first is not second
+
+    def test_default_is_inproc(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV_VAR, raising=False)
+        assert isinstance(get_transport(), InprocTransport)
+
+    def test_env_var_selects_transport(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "udp")
+        transport = get_transport()
+        assert isinstance(transport, UdpTransport)
+        transport.close()
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(TransportError) as excinfo:
+            get_transport("carrier-pigeon")
+        assert "carrier-pigeon" in str(excinfo.value)
+        assert "udp" in str(excinfo.value)
+
+    def test_register_requires_name(self):
+        with pytest.raises(TransportError):
+            register_transport("", LoopbackTransport)
+
+    def test_set_default_unknown_raises(self):
+        with pytest.raises(TransportError):
+            set_default_transport("nope")
+
+    def test_set_default_round_trip(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV_VAR, raising=False)
+        set_default_transport("loopback")
+        try:
+            assert isinstance(get_transport(), LoopbackTransport)
+        finally:
+            set_default_transport("inproc")
+
+
+class TestResolve:
+    def test_resolve_none_uses_default(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV_VAR, raising=False)
+        assert isinstance(resolve_transport(None), InprocTransport)
+
+    def test_resolve_instance_passes_through(self):
+        transport = LoopbackTransport()
+        assert resolve_transport(transport) is transport
+
+    def test_resolve_name(self):
+        assert isinstance(resolve_transport("loopback"), LoopbackTransport)
+
+    def test_resolve_rejects_other_types(self):
+        with pytest.raises(TransportError):
+            resolve_transport(42)
+
+
+class TestProxyIntegration:
+    def test_proxy_threads_transport_through(self):
+        from repro.core import Proxy
+
+        transport = LoopbackTransport()
+        with Proxy("p", transport=transport) as proxy:
+            assert proxy.transport is transport
+            channel = proxy.open_channel("c")
+            receiver = channel.join("m")
+            channel.send(b"hello")
+            assert receiver.take() == [b"hello"]
+        # A shared instance is NOT closed by the proxy.
+        channel2 = transport.open_channel("c2")
+        channel2.send(b"still-open")
+        transport.close()
+
+    def test_proxy_owns_transport_resolved_from_name(self):
+        from repro.core import Proxy
+
+        proxy = Proxy("p", transport="loopback")
+        channel = proxy.open_channel("c")
+        proxy.shutdown()
+        # The owned transport was closed with the proxy.
+        assert channel.closed
+
+    def test_control_thread_threads_transport_through(self):
+        from repro.core import CollectorSink, IterableSource, null_proxy
+
+        transport = LoopbackTransport()
+        control = null_proxy(IterableSource([b"x"]), CollectorSink(),
+                             transport=transport)
+        assert control.transport is transport
+        assert isinstance(control.transport, Transport)
+        control.wait_for_completion(timeout=5.0)
+        control.shutdown()
+        transport.close()

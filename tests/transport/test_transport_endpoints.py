@@ -1,0 +1,125 @@
+"""TransportSource / TransportSink anchoring proxied chains."""
+
+import pytest
+
+from repro.core import CollectorSink, IterableSource, Proxy
+from repro.filters import UppercaseFilter
+from repro.transport import (
+    LoopbackTransport,
+    TransportSink,
+    TransportSource,
+    UdpTransport,
+    get_transport,
+)
+
+TRANSPORTS = ["inproc", "loopback", "udp"]
+ENGINES = ["threaded", "event"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("transport_name", TRANSPORTS)
+class TestTransportSource:
+    def test_receiver_to_chain(self, transport_name, engine):
+        transport = get_transport(transport_name)
+        channel = transport.open_channel("in")
+        receiver = channel.join("proxy")
+        with Proxy("p", engine=engine) as proxy:
+            source = TransportSource(receiver)
+            sink = CollectorSink(expect_frames=True)
+            control = proxy.add_stream(source, sink, name="s")
+            control.add(UppercaseFilter())
+            for i in range(10):
+                channel.send(b"pkt-%d" % i)
+            channel.close()
+            assert control.wait_for_completion(timeout=10.0), (
+                transport_name, engine)
+        assert sink.items() == [b"PKT-%d" % i for i in range(10)]
+        transport.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("transport_name", TRANSPORTS)
+class TestTransportSink:
+    def test_chain_to_channel_with_eof_propagation(self, transport_name,
+                                                   engine):
+        transport = get_transport(transport_name)
+        channel = transport.open_channel("out")
+        listener = channel.join("listener")
+        with Proxy("p", engine=engine) as proxy:
+            source = IterableSource([b"a", b"b", b"c"], frame_output=True)
+            sink = TransportSink(channel)
+            control = proxy.add_stream(source, sink, name="s")
+            assert control.wait_for_completion(timeout=10.0)
+        got = []
+        while True:
+            payload = listener.recv(timeout=5.0)
+            if payload is None:
+                break
+            got.append(payload)
+        assert got == [b"a", b"b", b"c"]
+        assert listener.at_eof()  # the chain's EOF closed the channel
+        transport.close()
+
+
+class TestEndpointBehaviour:
+    def test_sink_can_leave_channel_open(self):
+        transport = LoopbackTransport()
+        channel = transport.open_channel("shared")
+        listener = channel.join("listener")
+        with Proxy("p") as proxy:
+            source = IterableSource([b"x"], frame_output=True)
+            sink = TransportSink(channel, close_channel_on_eof=False)
+            control = proxy.add_stream(source, sink, name="s")
+            assert control.wait_for_completion(timeout=5.0)
+        assert not channel.closed
+        assert listener.take() == [b"x"]
+        transport.close()
+
+    def test_source_stop_mid_stream(self):
+        transport = LoopbackTransport()
+        channel = transport.open_channel("in")
+        receiver = channel.join("proxy")
+        with Proxy("p") as proxy:
+            source = TransportSource(receiver)
+            sink = CollectorSink(expect_frames=True)
+            proxy.add_stream(source, sink, name="s")
+            channel.send(b"one")
+        # Proxy shutdown with the channel still open: the source must have
+        # stopped promptly rather than waiting for channel EOF.
+        assert source.finished
+        transport.close()
+
+    def test_invalid_poll_interval_rejected(self):
+        transport = LoopbackTransport()
+        receiver = transport.open_channel("c").join("m")
+        with pytest.raises(ValueError):
+            TransportSource(receiver, poll_interval_s=0)
+        transport.close()
+
+    def test_udp_sources_share_one_scheduler_thread(self):
+        """The selector integration: N UDP streams, no per-socket threads."""
+        import threading
+
+        transport = UdpTransport()
+        channels = []
+        sinks = []
+        baseline = threading.active_count()
+        with Proxy("p", engine="event") as proxy:
+            for i in range(8):
+                channel = transport.open_channel(f"c{i}")
+                receiver = channel.join("m")
+                sink = CollectorSink(expect_frames=True)
+                proxy.add_stream(TransportSource(receiver), sink,
+                                 name=f"s{i}")
+                channels.append(channel)
+                sinks.append(sink)
+            # 8 UDP streams added exactly one scheduler thread.
+            assert threading.active_count() == baseline + 1
+            for channel in channels:
+                channel.send(b"data")
+                channel.close()
+            for name, control in proxy.streams.items():
+                assert control.wait_for_completion(timeout=10.0), name
+        for sink in sinks:
+            assert sink.items() == [b"data"]
+        transport.close()
