@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""CI perf-floor gate for the stream data path.
+
+Fails (exit 1) when the E6 "chain of 4 filters" configuration moves data at
+less than ``FLOOR_RATIO`` of the plain ``queue.Queue`` baseline measured in
+the same process.  The committed full-mode table shows the chain at ~20% of
+the baseline; the 10% floor is deliberately generous so shared-runner noise
+cannot flake the build, while a gross data-path regression (per-chunk
+copies, per-chunk locking, unconditional wakeups creeping back in) still
+trips it.  Using the in-process baseline as the denominator normalises away
+the runner's absolute speed.
+
+Run as: ``PYTHONPATH=src python benchmarks/check_perf_floor.py``
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+os.environ.setdefault("REPRO_BENCH_QUICK", "1")  # never touch committed tables
+
+from test_bench_e6_stream_overhead import (  # noqa: E402
+    TRANSFER_BYTES,
+    transfer_through_chain,
+    transfer_through_queue,
+)
+
+FLOOR_RATIO = 0.10
+ATTEMPTS = 3
+
+
+def best_rate(func) -> float:
+    """Best MiB/s over a few runs — the floor gates regressions, not noise."""
+    best = 0.0
+    for _ in range(ATTEMPTS):
+        start = time.perf_counter()
+        moved = func()
+        elapsed = time.perf_counter() - start
+        assert moved == TRANSFER_BYTES, f"moved {moved} of {TRANSFER_BYTES} bytes"
+        best = max(best, moved / (1024 * 1024) / elapsed)
+    return best
+
+
+def main() -> int:
+    queue_rate = best_rate(transfer_through_queue)
+    chain_rate = best_rate(lambda: transfer_through_chain(4))
+    ratio = chain_rate / queue_rate if queue_rate else 0.0
+    print(f"queue.Queue baseline : {queue_rate:8.1f} MiB/s")
+    print(f"chain of 4 filters   : {chain_rate:8.1f} MiB/s")
+    print(f"chain/queue ratio    : {ratio:8.3f}  (floor {FLOOR_RATIO:.2f})")
+    if ratio < FLOOR_RATIO:
+        print("FAIL: composed data path fell below the perf floor")
+        return 1
+    print("OK: data path above the perf floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

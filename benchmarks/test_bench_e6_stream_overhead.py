@@ -5,12 +5,26 @@ they cost relative to a plain ``queue.Queue`` hand-off, and how throughput
 scales with the length of a pass-through filter chain (each extra filter
 adds one thread and one buffered hop, exactly as in the paper's Java
 implementation).
+
+Two tables are produced:
+
+* the headline comparison (queue baseline, bare pipe, null proxy, 4-filter
+  chain) at the canonical 8 KiB chunk size, each row the median of several
+  runs so scheduler noise cannot skew the committed numbers;
+* a chunk-size sweep (512 B / 8 KiB / 64 KiB) that measures both buffer
+  read paths: *aligned* reads (the reader's budget covers whole written
+  chunks, which the chunk-deque buffer pops back out zero-copy) and
+  *misaligned* reads (smaller than a chunk, forcing the slice/coalesce
+  path).
 """
 
 from __future__ import annotations
 
+import os
 import queue
+import statistics
 import threading
+import time
 
 import pytest
 
@@ -24,22 +38,34 @@ TRANSFER_BYTES = 4 * 1024 * 1024
 CHUNK_SIZE = 8192
 CHUNKS = [bytes(CHUNK_SIZE) for _ in range(TRANSFER_BYTES // CHUNK_SIZE)]
 
+#: The sweep's chunk sizes: sub-MTU datagrams, the filter default, and the
+#: bulk size used by socket endpoints.
+SWEEP_CHUNK_SIZES = [512, 8192, 65536]
 
-def transfer_through_pipe() -> int:
+#: Median-of-N repeats for the committed tables (1 in quick mode).
+def _repeats() -> int:
+    return 1 if os.environ.get("REPRO_BENCH_QUICK") else 3
+
+
+def _make_chunks(chunk_size: int):
+    return [bytes(chunk_size) for _ in range(TRANSFER_BYTES // chunk_size)]
+
+
+def transfer_through_pipe(chunks=CHUNKS, read_size: int = 65536) -> int:
     """Move the payload through one detachable DOS/DIS pair."""
     dos, dis = make_pipe(capacity=256 * 1024)
     received = {"n": 0}
 
     def reader():
         while True:
-            data = dis.read(65536, timeout=5.0)
+            data = dis.read(read_size, timeout=5.0)
             if not data:
                 return
             received["n"] += len(data)
 
     thread = threading.Thread(target=reader)
     thread.start()
-    for chunk in CHUNKS:
+    for chunk in chunks:
         dos.write(chunk)
     dos.close()
     thread.join(timeout=30.0)
@@ -67,9 +93,9 @@ def transfer_through_queue() -> int:
     return received["n"]
 
 
-def transfer_through_chain(filter_count: int) -> int:
+def transfer_through_chain(filter_count: int, chunks=CHUNKS) -> int:
     """Move the payload through a proxy chain of pass-through filters."""
-    source = IterableSource(list(CHUNKS))
+    source = IterableSource(list(chunks))
     sink = NullSink()
     control = ControlThread(source, sink, auto_start=False)
     for index in range(filter_count):
@@ -79,6 +105,18 @@ def transfer_through_chain(filter_count: int) -> int:
     moved = sink.stats.snapshot()["bytes_in"]
     control.shutdown()
     return moved
+
+
+def _median_rate(func, repeats: int) -> float:
+    """Median MiB/s over ``repeats`` timed runs of ``func``."""
+    rates = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        moved = func()
+        elapsed = time.perf_counter() - start
+        assert moved == TRANSFER_BYTES
+        rates.append(moved / (1024 * 1024) / elapsed if elapsed else float("inf"))
+    return statistics.median(rates)
 
 
 def test_e6_pipe_vs_queue_throughput(benchmark):
@@ -100,13 +138,7 @@ def test_e6_chain_length_scaling(benchmark, filter_count):
 
 def test_e6_summary_table(benchmark):
     """One-shot comparison table (fine-grained timings come from the rows above)."""
-    import time
-
-    def timed(func):
-        start = time.perf_counter()
-        moved = func()
-        elapsed = time.perf_counter() - start
-        return moved, elapsed
+    repeats = _repeats()
 
     def collect():
         rows = []
@@ -116,20 +148,62 @@ def test_e6_summary_table(benchmark):
             ("null proxy (0 filters)", lambda: transfer_through_chain(0)),
             ("chain of 4 filters", lambda: transfer_through_chain(4)),
         ]:
-            moved, elapsed = timed(func)
-            rows.append((label, moved, elapsed))
+            rows.append((label, _median_rate(func, repeats)))
         return rows
 
     rows = benchmark.pedantic(collect, rounds=1, iterations=1)
 
     lines = [
-        f"E6: moving {TRANSFER_BYTES // (1024 * 1024)} MiB in {CHUNK_SIZE}-byte chunks",
+        f"E6: moving {TRANSFER_BYTES // (1024 * 1024)} MiB in {CHUNK_SIZE}-byte chunks"
+        f" (median of {repeats})",
         "",
         format_row(["configuration", "MiB/s"], [24, 10]),
     ]
-    for label, moved, elapsed in rows:
-        rate = moved / (1024 * 1024) / elapsed if elapsed else float("inf")
+    for label, rate in rows:
         lines.append(format_row([label, f"{rate:.1f}"], [24, 10]))
     write_table("e6_stream_overhead", lines)
-    for _label, moved, _elapsed in rows:
-        assert moved == TRANSFER_BYTES
+
+
+def test_e6_chunk_size_sweep(benchmark):
+    """Aligned vs misaligned buffer reads, across chunk sizes.
+
+    *aligned*: the reader asks for exactly one chunk's worth, so every
+    read pops the head chunk out of the chunk deque as the writer's own
+    object — the zero-copy path (a larger read budget over several queued
+    smaller chunks would coalesce them instead).  *misaligned*: the reader
+    asks for just over half a chunk, so every read splits the head chunk
+    and pays the lazy slicing cost.  The chain row shows the end-to-end
+    effect of chunk size on a composed data path.
+    """
+    repeats = _repeats()
+
+    def collect():
+        rows = []
+        for chunk_size in SWEEP_CHUNK_SIZES:
+            chunks = _make_chunks(chunk_size)
+            misaligned_read = chunk_size // 2 + 1
+            rows.append((
+                chunk_size,
+                _median_rate(lambda: transfer_through_pipe(chunks, chunk_size),
+                             repeats),
+                _median_rate(lambda: transfer_through_pipe(chunks, misaligned_read),
+                             repeats),
+                _median_rate(lambda: transfer_through_chain(4, chunks), repeats),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    lines = [
+        f"E6 chunk-size sweep: {TRANSFER_BYTES // (1024 * 1024)} MiB per run"
+        f" (median of {repeats}; MiB/s)",
+        "",
+        format_row(["chunk size", "pipe aligned", "pipe misaligned",
+                    "chain of 4"], [12, 14, 16, 12]),
+    ]
+    for chunk_size, aligned, misaligned, chain in rows:
+        label = (f"{chunk_size // 1024} KiB" if chunk_size >= 1024
+                 else f"{chunk_size} B")
+        lines.append(format_row([label, f"{aligned:.1f}", f"{misaligned:.1f}",
+                                 f"{chain:.1f}"], [12, 14, 16, 12]))
+    write_table("e6_chunk_size_sweep", lines)

@@ -57,6 +57,14 @@ class SourceEndPoint(EndPoint):
     #: than a sleeping thread.
     cooperative_capable = False
 
+    #: Whether ``produce`` returns without ever blocking *in the threaded
+    #: run loop as well*.  Only such sources may accumulate a multi-item
+    #: batch before writing: a blocking source would stall in ``produce``
+    #: while already-produced items sit undelivered in the batch.  (This is
+    #: stricter than ``cooperative_capable`` — a transport source polls
+    #: non-blockingly when cooperative but blocks in its dedicated thread.)
+    produce_nonblocking = False
+
     def __init__(self, name: Optional[str] = None, frame_output: bool = False,
                  pacing_s: float = 0.0, close_on_eof: bool = True) -> None:
         super().__init__(name=name, propagate_eof=close_on_eof)
@@ -66,32 +74,90 @@ class SourceEndPoint(EndPoint):
         self.pacing_s = pacing_s
         self.items_produced = 0
         self._next_due = 0.0
+        # Latched the first time produce() returns None, so an exhausted
+        # producer is never probed again (produce() need not be repeatable
+        # after signalling end of input).
+        self._exhausted = False
 
     def produce(self) -> Optional[bytes]:
         """Return the next chunk/packet, or None when the source is exhausted."""
         raise NotImplementedError
 
+    def _encode(self, item: bytes) -> bytes:
+        """The wire form of one produced item (framed or raw bytes)."""
+        return encode_frame(item) if self.frame_output else bytes(item)
+
+    def _deliver_batch(self, batch: List[bytes], last_item: bytes) -> None:
+        """Write an accumulated batch downstream with per-batch accounting."""
+        self.dos.write_many(batch)
+        self._last_emitted = last_item
+        self.items_produced += len(batch)
+        self.stats.record_output_batch(
+            sum(map(len, batch)), len(batch),
+            packets=len(batch) if self.frame_output else 0)
+        self._notify_activity()
+
     def _run(self) -> None:  # replaces the read loop: sources have no input
         try:
             self.on_start()
-            while not self._stop_event.is_set():
+            # Only a never-blocking, unpaced source may accumulate a batch
+            # before writing; this part of the decision is static, so the
+            # hold check below is only paid when batching is possible.
+            batch_capable = (not self.pacing_s and self.pump_budget > 1
+                             and self.produce_nonblocking)
+            exhausted = False
+            while not self._stop_event.is_set() and not exhausted:
                 item = self.produce()
                 if item is None:
                     break
                 if not item:
                     continue
-                data = encode_frame(item) if self.frame_output else bytes(item)
-                # Hold on the wire unit; _boundary_unit unwraps the framing
-                # so predicates see the produced item, as in cooperative mode.
-                self._maybe_hold(data)
-                self.dos.write(data)
-                self._last_emitted = item
-                self.items_produced += 1
-                self.stats.record_output(len(data),
-                                         packets=1 if self.frame_output else 0)
-                self._notify_activity()
-                if self.pacing_s:
-                    self._stop_event.wait(self.pacing_s)
+                if batch_capable:
+                    with self._hold_lock:
+                        hold_armed = self._boundary_predicate is not None
+                else:
+                    hold_armed = True  # forces the per-item path below
+                if hold_armed:
+                    data = self._encode(item)
+                    # Hold on the wire unit; _boundary_unit unwraps the
+                    # framing so predicates see the produced item, as in
+                    # cooperative mode.
+                    self._maybe_hold(data)
+                    self.dos.write(data)
+                    self._last_emitted = item
+                    self.items_produced += 1
+                    self.stats.record_output(len(data),
+                                             packets=1 if self.frame_output else 0)
+                    self._notify_activity()
+                    if self.pacing_s:
+                        self._stop_event.wait(self.pacing_s)
+                    continue
+                # Unpaced, unheld bulk path: accumulate up to a budget of
+                # items and deliver them in one batched write, so the DOS
+                # lock and the downstream wakeup are paid once per batch.
+                batch = [self._encode(item)]
+                last_item = item
+                try:
+                    while (len(batch) < self.pump_budget
+                           and not self._stop_event.is_set()):
+                        item = self.produce()
+                        if item is None:
+                            exhausted = True
+                            break
+                        if not item:
+                            break
+                        batch.append(self._encode(item))
+                        last_item = item
+                except Exception:
+                    # produce() failing mid-batch must not discard the items
+                    # before it — the per-item path delivered each of those
+                    # before erroring, and so do we.
+                    try:
+                        self._deliver_batch(batch, last_item)
+                    except Exception:  # noqa: BLE001 - keep the original error
+                        pass
+                    raise
+                self._deliver_batch(batch, last_item)
             if not self._stop_event.is_set() and self.propagate_eof:
                 self._close_output()
         except (StreamClosedError, BrokenStreamError, NotConnectedError) as exc:
@@ -111,13 +177,17 @@ class SourceEndPoint(EndPoint):
     # ------------------------------------------------------ cooperative pump
 
     def _pump_input(self, progress: bool) -> bool:
-        """The source variant of a pump step: produce and emit one item.
+        """The source variant of a pump step: produce and emit items.
 
         Only used when a subclass declares ``cooperative_capable = True``
         (its ``produce`` must never block).  Pacing is honoured through
         :meth:`next_due_s` — the engine simply does not pump the source
         again until the deadline — so a paced source costs a timer entry
         instead of a sleeping thread.
+
+        An unpaced source produces up to a budget of items per step and
+        flushes them as one batch, so scheduler round-trips amortize; a
+        paced source still moves one item per deadline.
         """
         if self.pacing_s and _monotonic() < self._next_due:
             if progress:
@@ -125,16 +195,24 @@ class SourceEndPoint(EndPoint):
                 # ourselves so the next round parks us on the timer.
                 self._notify_engine()
             return progress
-        item = self.produce()
-        if item is None:
+        budget = 1 if self.pacing_s else self.pump_budget
+        queued = False
+        for _ in range(budget):
+            item = None if self._exhausted else self.produce()
+            if item is None:
+                self._exhausted = True
+                break
+            if not item:
+                break  # nothing available right now (cooperative receivers)
+            self._pending.append(self._encode(item))
+            queued = True
+        if queued:
+            self._flush_pending()
+        if self._exhausted and not self._pending:
             if self.propagate_eof:
                 self._close_output()
             self._complete()
             return True
-        if item:
-            data = encode_frame(item) if self.frame_output else bytes(item)
-            self._pending.append(data)
-            self._flush_pending()
         self._notify_engine()  # stay scheduled until exhausted
         return True
 
@@ -164,6 +242,12 @@ class SourceEndPoint(EndPoint):
             base = self._next_due if self._next_due > 0.0 else _monotonic()
             self._next_due = base + self.pacing_s
 
+    def _record_emit_batch(self, batch) -> None:
+        # Per-unit, not per-batch: each emit advances the pacing deadline
+        # and the produced-item count, which must stay unit-exact.
+        for data in batch:
+            self._record_emit(data)
+
     def _boundary_unit(self, unit: bytes) -> bytes:
         """Boundary predicates see the produced item, not its framing."""
         if self.frame_output:
@@ -180,8 +264,10 @@ class IterableSource(SourceEndPoint):
     type_name = "iterable-source"
 
     #: Iterating is assumed non-blocking, so the event engine can pump this
-    #: source cooperatively — N paced streams need no N sleeping threads.
+    #: source cooperatively — N paced streams need no N sleeping threads —
+    #: and the threaded run loop can batch items before writing.
     cooperative_capable = True
+    produce_nonblocking = True
 
     def __init__(self, items: Iterable[bytes], name: Optional[str] = None,
                  frame_output: bool = False, pacing_s: float = 0.0) -> None:

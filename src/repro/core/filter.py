@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from time import monotonic as _monotonic
+from time import sleep as _sleep
 from typing import Callable, Deque, Iterable, List, Optional, Union
 
 from ..streams import (
+    DEFAULT_CAPACITY,
     BrokenStreamError,
     DetachableInputStream,
     DetachableOutputStream,
@@ -52,6 +55,13 @@ TransformResult = Union[None, bytes, Iterable[bytes]]
 
 #: Predicate deciding whether a just-emitted packet ends a stream boundary.
 BoundaryPredicate = Callable[[bytes], bool]
+
+#: Default number of input chunks a filter moves per lock/scheduler
+#: round-trip.  One read drains up to this many queued chunks, and their
+#: outputs are delivered in one batched write, so the per-hop locking and
+#: wakeup costs amortize across the batch.  Resolved at construction time
+#: (not def-time) so tests can pin the unbatched path.
+DEFAULT_PUMP_BUDGET = 32
 
 _name_lock = threading.Lock()
 _name_counter = 0
@@ -86,17 +96,31 @@ class Filter:
     cooperative_capable = True
 
     def __init__(self, name: Optional[str] = None, read_timeout: float = 0.05,
-                 chunk_size: int = 8192, propagate_eof: bool = True) -> None:
+                 chunk_size: int = 8192, propagate_eof: bool = True,
+                 pump_budget: Optional[int] = None) -> None:
         if read_timeout <= 0:
             raise ValueError("read_timeout must be positive")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if pump_budget is None:
+            pump_budget = DEFAULT_PUMP_BUDGET
+        if pump_budget <= 0:
+            raise ValueError("pump_budget must be positive")
         self.name = name or _auto_name(self.type_name)
         self.read_timeout = read_timeout
         self.chunk_size = chunk_size
+        self.pump_budget = pump_budget
         self.propagate_eof = propagate_eof
 
-        self.dis = DetachableInputStream(name=f"{self.name}.dis")
+        # Size the input buffer to hold a full pump budget, so an upstream
+        # batch write never blocks halfway through an otherwise-roomy
+        # buffer (which would serialise the two hops chunk-by-chunk) —
+        # capped so large-chunk_size filters don't get a backpressure
+        # window big enough to hide real latency from the flow control.
+        self.dis = DetachableInputStream(
+            name=f"{self.name}.dis",
+            capacity=max(DEFAULT_CAPACITY,
+                         min(chunk_size * pump_budget, 8 * DEFAULT_CAPACITY)))
         self.dos = DetachableOutputStream(name=f"{self.name}.dos")
         self.stats = FilterStats()
         self.error: Optional[BaseException] = None
@@ -254,6 +278,14 @@ class Filter:
 
         The ControlThread uses this for boundary-aware insertion (e.g. "only
         insert the video FEC filter so that it starts at an I frame").
+
+        Units already handed to a batched delivery when the hold is armed
+        still cross (up to one ``pump_budget`` of them; previously the
+        in-flight window was a single unit), so predicates should match
+        *recurring* boundaries — the next I frame, the next packet start —
+        rather than one specific unit.  The composition protocol already
+        tolerates this: a hold that never engages times out here and the
+        caller proceeds with an unaligned splice.
         """
         with self._hold_lock:
             self._held.clear()
@@ -346,17 +378,45 @@ class Filter:
                 self._notify_activity()
 
     def _read_loop(self) -> None:
+        budget_bytes = self.chunk_size * self.pump_budget
         while not self._stop_event.is_set():
             try:
-                chunk = self.dis.read(self.chunk_size, timeout=self.read_timeout)
+                chunks = self.dis.read_chunks(budget_bytes,
+                                              timeout=self.read_timeout,
+                                              max_chunk=self.chunk_size)
             except StreamTimeoutError:
                 continue
-            if chunk == b"":
+            if not chunks:
                 return  # end of stream
             self._busy = True
             try:
-                self.stats.record_input(len(chunk))
-                self._emit(self.transform(chunk))
+                outputs: List[bytes] = []
+                in_bytes = in_chunks = 0
+                try:
+                    for chunk in chunks:
+                        # Count input as consumed only up to (and including)
+                        # the chunk handed to transform, so an error mid-batch
+                        # does not report the discarded tail as processed.
+                        in_bytes += len(chunk)
+                        in_chunks += 1
+                        result = self.transform(chunk)
+                        if type(result) is bytes:  # dominant case: 1 chunk out
+                            if result:
+                                outputs.append(result)
+                        elif result is not None:
+                            outputs.extend(self._normalize_outputs(result))
+                except Exception:
+                    # A transform failing mid-batch must not discard the
+                    # outputs of the chunks before it — the per-chunk loop
+                    # delivered those before erroring, and so do we.
+                    try:
+                        self._emit_units(outputs)
+                    except Exception:  # noqa: BLE001 - keep the original error
+                        pass
+                    raise
+                finally:
+                    self.stats.record_input_batch(in_bytes, in_chunks)
+                self._emit_units(outputs)
             finally:
                 self._busy = False
                 self._notify_activity()
@@ -367,8 +427,9 @@ class Filter:
         """Run one bounded execution step (the event-engine entry point).
 
         One step: flush any output parked by a boundary hold or a mid-splice
-        detach, then read at most one chunk of available input, transform it
-        and emit the results; at end-of-stream, finalize and complete.  The
+        detach, then drain up to a ``pump_budget`` of available input
+        chunks, transform each and emit the combined results; at
+        end-of-stream, finalize and complete.  The
         step never blocks — output is delivered with the non-blocking
         ``DOS.try_write`` and input is read only when the DIS reports bytes
         available — so any number of filters can be pumped from a single
@@ -400,6 +461,12 @@ class Filter:
         except Exception as exc:  # noqa: BLE001 - surfaced via self.error
             self.error = exc
             self.stats.record_error()
+            try:
+                # Outputs queued by the chunks before the failing one must
+                # still go downstream before the error closes the stream.
+                self._flush_pending()
+            except Exception:  # noqa: BLE001 - keep the original error
+                pass
             self._close_output_after_error()
             self._complete()
             return True
@@ -407,16 +474,27 @@ class Filter:
             self._notify_activity()
 
     def _pump_input(self, progress: bool) -> bool:
-        """Consume one unit of input — the part of a pump step that differs
-        between filters (read from the DIS) and sources (produce an item)."""
+        """Consume one budget of input — the part of a pump step that differs
+        between filters (read from the DIS) and sources (produce items).
+
+        One step drains up to ``pump_budget`` queued chunks in a single
+        buffer lock round-trip, transforms each, and flushes the combined
+        output — so the scheduler's dirty-set and wakeup overhead
+        amortizes across the batch instead of recurring per chunk.
+        """
         if self.dis.available() > 0:
-            chunk = self.dis.read(self.chunk_size, timeout=0)
-            if chunk:
+            chunks = self.dis.read_chunks(self.chunk_size * self.pump_budget,
+                                          timeout=0, max_chunk=self.chunk_size)
+            if chunks:
                 self._busy = True
+                in_bytes = in_chunks = 0
                 try:
-                    self.stats.record_input(len(chunk))
-                    self._queue_outputs(self.transform(chunk))
+                    for chunk in chunks:
+                        in_bytes += len(chunk)
+                        in_chunks += 1
+                        self._queue_outputs(self.transform(chunk))
                 finally:
+                    self.stats.record_input_batch(in_bytes, in_chunks)
                     self._busy = False
                 self._flush_pending()
                 return True
@@ -450,9 +528,21 @@ class Filter:
         """
         progress = False
         while self._pending:
-            data = self._pending[0]
             with self._hold_lock:
                 predicate = self._boundary_predicate
+            if predicate is None and len(self._pending) > 1:
+                # No hold armed: move the whole parked batch in one
+                # non-blocking, all-or-nothing delivery.
+                batch = list(self._pending)
+                if not self.dos.try_write_many(batch):
+                    return progress
+                if self._held.is_set():
+                    self._held.clear()
+                self._pending.clear()
+                self._record_emit_batch(batch)
+                progress = True
+                continue
+            data = self._pending[0]
             if (predicate is not None and not self._resume.is_set()
                     and self._unit_matches(predicate, data)):
                 self._held.set()
@@ -470,6 +560,15 @@ class Filter:
         """Account for one unit successfully delivered downstream."""
         self._last_emitted = data
         self.stats.record_output(len(data))
+
+    def _record_emit_batch(self, batch: List[bytes]) -> None:
+        """Account for a whole delivered batch with per-batch stats.
+
+        Sources override this to keep their per-unit bookkeeping (item
+        counts, pacing deadlines) exact.
+        """
+        self._last_emitted = batch[-1]
+        self.stats.record_output_batch(sum(map(len, batch)), len(batch))
 
     def wants_input_pump(self) -> bool:
         """True when a pump step would have input-side work to do.
@@ -537,11 +636,30 @@ class Filter:
         return [data for data in outputs if data]
 
     def _emit(self, result: TransformResult) -> None:
-        for data in self._normalize_outputs(result):
+        self._emit_units(self._normalize_outputs(result))
+
+    def _emit_units(self, units: List[bytes]) -> None:
+        """Deliver transformed units downstream, batching when possible.
+
+        With no boundary hold armed, the whole batch goes out through one
+        ``DOS.write_many`` — a single lock/connectivity round-trip and a
+        single batch of stats.  While a hold is armed, units are emitted
+        one at a time so :meth:`_maybe_hold` can stop the stream exactly at
+        the boundary unit.  A hold armed mid-batch takes effect from the
+        next batch, whose size is bounded by the pump budget.
+        """
+        if not units:
+            return
+        with self._hold_lock:
+            hold_armed = self._boundary_predicate is not None
+        if not hold_armed and len(units) > 1:
+            self.dos.write_many(units)
+            self._record_emit_batch(units)
+            return
+        for data in units:
             self._maybe_hold(data)
             self.dos.write(data)
-            self._last_emitted = data
-            self.stats.record_output(len(data))
+            self._record_emit(data)
 
     def _maybe_hold(self, unit: bytes) -> None:
         """Honour a pending boundary hold before emitting ``unit``.
@@ -612,9 +730,11 @@ class PacketFilter(Filter):
     PacketResult = Union[None, bytes, Iterable[bytes]]
 
     def __init__(self, name: Optional[str] = None, read_timeout: float = 0.05,
-                 chunk_size: int = 65536, propagate_eof: bool = True) -> None:
+                 chunk_size: int = 65536, propagate_eof: bool = True,
+                 pump_budget: Optional[int] = None) -> None:
         super().__init__(name=name, read_timeout=read_timeout,
-                         chunk_size=chunk_size, propagate_eof=propagate_eof)
+                         chunk_size=chunk_size, propagate_eof=propagate_eof,
+                         pump_budget=pump_budget)
         self._decoder = FrameDecoder()
         self._last_packet: Optional[bytes] = None
 
@@ -702,15 +822,3 @@ class FilterContainer:
 
     def __len__(self) -> int:
         return len(self._filters)
-
-
-def _monotonic() -> float:
-    import time
-
-    return time.monotonic()
-
-
-def _sleep(seconds: float) -> None:
-    import time
-
-    time.sleep(seconds)

@@ -31,8 +31,9 @@ source can stall the other.  N UDP streams therefore cost N *file
 descriptors*, not N reader threads.
 
 Flow control is cooperative too: a pump step delivers output with the
-non-blocking ``DOS.try_write`` (which may overshoot the downstream buffer's
-capacity by one transform's worth of output) and the scheduler simply stops
+non-blocking ``DOS.try_write``/``try_write_many`` (which may overshoot the
+downstream buffer's capacity by one pump step's worth of output — up to a
+``pump_budget`` of transformed chunks) and the scheduler simply stops
 pumping an element while its downstream buffer sits at or above capacity —
 the classic high-water-mark pattern, with no blocking and therefore no
 scheduler deadlock.

@@ -11,12 +11,30 @@ thread-safe bounded byte FIFO with:
   distinguish "no data yet" from "no data ever again",
 * ``wait_until_empty`` used by the pause protocol to drain in-flight data
   before a stream is disconnected.
+
+Data-path design (the hot path of every chain hop):
+
+* **Chunk deque, not a coalescing bytearray.**  ``write`` appends the
+  caller's ``bytes`` object to a deque without copying it; a read whose
+  ``max_bytes`` covers the head chunk pops the same object back out —
+  the aligned fast path moves a chunk through the buffer with *zero*
+  byte copies.  Only a read smaller than the head chunk slices (lazy
+  coalescing happens never; a short read leaves the remainder queued).
+* **Batch APIs.**  :meth:`write_chunks` and :meth:`read_chunks` move many
+  queued chunks per lock acquisition, so a filter pump pays one lock
+  round-trip per *batch* instead of per chunk.
+* **Waiter-gated notifies.**  Every condition keeps a count of actual
+  waiters and signals with ``notify()`` only when that count is non-zero,
+  so the uncontended fast path never touches a waiter queue — the same
+  idiom as ``ControlThread.wait_idle``.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from collections import deque
+from time import monotonic as _monotonic
+from typing import Deque, Iterable, List, Optional
 
 from .exceptions import BrokenStreamError, StreamClosedError, StreamTimeoutError
 
@@ -40,11 +58,17 @@ class StreamBuffer:
             raise ValueError("capacity must be positive or None")
         self._capacity = capacity
         self._name = name or "StreamBuffer"
-        self._data = bytearray()
+        self._chunks: Deque[bytes] = deque()
+        self._size = 0
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._empty = threading.Condition(self._lock)
+        # Waiter counts gate every notify: with no waiter registered the
+        # fast path skips the condition entirely.
+        self._readers_waiting = 0
+        self._writers_waiting = 0
+        self._drain_waiting = 0
         self._eof = False
         self._broken = False
         self._bytes_in = 0
@@ -73,16 +97,16 @@ class StreamBuffer:
     def available(self) -> int:
         """Number of bytes currently buffered (the paper's ``available()``)."""
         with self._lock:
-            return len(self._data)
+            return self._size
 
     def is_empty(self) -> bool:
         with self._lock:
-            return not self._data
+            return self._size == 0
 
     def at_eof(self) -> bool:
         """True when the writer closed the buffer and all data was consumed."""
         with self._lock:
-            return self._eof and not self._data
+            return self._eof and self._size == 0
 
     @property
     def closed_for_writing(self) -> bool:
@@ -100,6 +124,11 @@ class StreamBuffer:
         closed for writing, :class:`BrokenStreamError` if the reader side
         was torn down, and :class:`StreamTimeoutError` on timeout.
 
+        A ``bytes`` payload that fits the available room is queued by
+        reference — no copy is made; it becomes the unit an aligned read
+        pops back out.  Only a write squeezed through a nearly full bounded
+        buffer slices the payload into the room available.
+
         With ``force=True`` the capacity bound is ignored and the call never
         blocks: the bytes are appended even if the buffer overshoots its
         capacity.  Cooperative schedulers use this so a pump step can never
@@ -108,37 +137,80 @@ class StreamBuffer:
         """
         if not data:
             return 0
-        view = memoryview(bytes(data))
-        written = 0
+        if not isinstance(data, bytes):
+            data = bytes(data)
         with self._lock:
-            while written < len(view):
-                if self._broken:
-                    raise BrokenStreamError(f"{self._name}: reader side is gone")
-                if self._eof:
-                    raise StreamClosedError(f"{self._name}: buffer closed for writing")
-                if self._capacity is None or force:
-                    room = len(view) - written
-                else:
-                    room = self._capacity - len(self._data)
-                if room <= 0:
-                    if not self._not_full.wait(timeout):
-                        raise StreamTimeoutError(
-                            f"{self._name}: timed out waiting for buffer space"
-                        )
+            return self._write_locked(data, timeout, force)
+
+    def write_chunks(self, chunks: Iterable[bytes], timeout: Optional[float] = None,
+                     force: bool = False) -> int:
+        """Append many chunks under a single lock acquisition.
+
+        Each chunk is queued exactly as :meth:`write` would queue it (by
+        reference, preserving chunk identity for the aligned read path);
+        the blocking, timeout, closed and broken semantics are per chunk
+        and identical to :meth:`write`.  Returns the total bytes written.
+        """
+        total = 0
+        with self._lock:
+            for data in chunks:
+                if not data:
                     continue
-                chunk = view[written:written + room]
-                self._data.extend(chunk)
-                written += len(chunk)
-                self._bytes_in += len(chunk)
-                self._not_empty.notify_all()
+                if not isinstance(data, bytes):
+                    data = bytes(data)
+                total += self._write_locked(data, timeout, force)
+        return total
+
+    def _write_locked(self, data: bytes, timeout: Optional[float],
+                      force: bool) -> int:
+        """Queue one ``bytes`` payload; caller holds the lock."""
+        written = 0
+        total = len(data)
+        while written < total:
+            if self._broken:
+                raise BrokenStreamError(f"{self._name}: reader side is gone")
+            if self._eof:
+                raise StreamClosedError(f"{self._name}: buffer closed for writing")
+            if self._capacity is None or force:
+                room = total - written
+            else:
+                room = self._capacity - self._size
+            if room <= 0:
+                self._writers_waiting += 1
+                try:
+                    woken = self._not_full.wait(timeout)
+                finally:
+                    self._writers_waiting -= 1
+                if not woken:
+                    raise StreamTimeoutError(
+                        f"{self._name}: timed out waiting for buffer space"
+                    )
+                continue
+            if written == 0 and room >= total:
+                chunk = data  # fast path: queue the caller's object, no copy
+            else:
+                chunk = data[written:written + room]
+            self._chunks.append(chunk)
+            self._size += len(chunk)
+            written += len(chunk)
+            self._bytes_in += len(chunk)
+            if self._readers_waiting:
+                self._not_empty.notify()
+        if self._writers_waiting and (
+                self._capacity is None or self._size < self._capacity):
+            # Chained wake: room remains and another writer is parked (the
+            # read-side notify wakes only one writer at a time).
+            self._not_full.notify()
         return written
 
     def close_for_writing(self) -> None:
         """Mark end-of-stream.  Readers drain remaining data, then see EOF."""
         with self._lock:
             self._eof = True
-            self._not_empty.notify_all()
-            self._empty.notify_all()
+            if self._readers_waiting:
+                self._not_empty.notify_all()
+            if self._drain_waiting:
+                self._empty.notify_all()
 
     def mark_broken(self) -> None:
         """Mark the buffer as broken: blocked writers and readers are woken
@@ -146,14 +218,25 @@ class StreamBuffer:
         with self._lock:
             self._broken = True
             self._eof = True
-            self._not_empty.notify_all()
-            self._not_full.notify_all()
-            self._empty.notify_all()
+            if self._readers_waiting:
+                self._not_empty.notify_all()
+            if self._writers_waiting:
+                self._not_full.notify_all()
+            if self._drain_waiting:
+                self._empty.notify_all()
 
     # ------------------------------------------------------------------ read
 
     def read(self, max_bytes: int = 65536, timeout: Optional[float] = None) -> bytes:
         """Read up to ``max_bytes``, blocking until data is available.
+
+        Returns ``min(max_bytes, available)`` bytes, exactly as the old
+        coalescing buffer did.  When a single queued chunk satisfies the
+        read it is popped and returned *as the very object the writer
+        queued* — the zero-copy aligned path; only a read that straddles
+        chunk boundaries (or splits a chunk) coalesces, lazily, at read
+        time.  Callers moving bulk data use :meth:`read_chunks`, which
+        never coalesces.
 
         Returns ``b""`` once the buffer is closed for writing and fully
         drained (end of stream).  Raises :class:`StreamTimeoutError` when no
@@ -162,18 +245,110 @@ class StreamBuffer:
         if max_bytes <= 0:
             return b""
         with self._lock:
-            while not self._data:
+            while not self._chunks:
                 if self._eof:
                     return b""
-                if not self._not_empty.wait(timeout):
+                self._readers_waiting += 1
+                try:
+                    woken = self._not_empty.wait(timeout)
+                finally:
+                    self._readers_waiting -= 1
+                if not woken:
                     raise StreamTimeoutError(f"{self._name}: read timed out")
-            chunk = bytes(self._data[:max_bytes])
-            del self._data[:max_bytes]
+            head = self._chunks[0]
+            hlen = len(head)
+            if hlen == max_bytes or (hlen < max_bytes and len(self._chunks) == 1):
+                self._chunks.popleft()
+                chunk = head  # aligned fast path: no copy, no slice
+            elif hlen > max_bytes:
+                chunk = head[:max_bytes]
+                self._chunks[0] = head[max_bytes:]
+            else:
+                parts: List[bytes] = []
+                taken = 0
+                while self._chunks and taken < max_bytes:
+                    head = self._chunks[0]
+                    room = max_bytes - taken
+                    if len(head) <= room:
+                        self._chunks.popleft()
+                        parts.append(head)
+                        taken += len(head)
+                    else:
+                        parts.append(head[:room])
+                        self._chunks[0] = head[room:]
+                        taken += room
+                chunk = b"".join(parts)
+            self._size -= len(chunk)
             self._bytes_out += len(chunk)
-            self._not_full.notify_all()
-            if not self._data:
-                self._empty.notify_all()
+            self._after_read_locked()
             return chunk
+
+    def read_chunks(self, max_bytes: int = 65536, timeout: Optional[float] = None,
+                    max_chunk: Optional[int] = None) -> List[bytes]:
+        """Pop whole queued chunks totalling at most ``max_bytes``.
+
+        The batch counterpart of :meth:`read`: one lock acquisition moves
+        as many whole chunks as fit the byte budget (always at least one
+        piece once data is available, splitting the head chunk if it alone
+        exceeds the budget).  ``max_chunk`` additionally caps the size of
+        each returned piece — a filter uses it to keep transform units no
+        larger than its ``chunk_size``, exactly as single-chunk reads did.
+
+        Returns ``[]`` only at end of stream.  Raises
+        :class:`StreamTimeoutError` when no data arrives in time.
+        """
+        if max_bytes <= 0:
+            return []
+        with self._lock:
+            while not self._chunks:
+                if self._eof:
+                    return []
+                self._readers_waiting += 1
+                try:
+                    woken = self._not_empty.wait(timeout)
+                finally:
+                    self._readers_waiting -= 1
+                if not woken:
+                    raise StreamTimeoutError(f"{self._name}: read timed out")
+            chunks: List[bytes] = []
+            taken = 0
+            while self._chunks and taken < max_bytes:
+                head = self._chunks[0]
+                allowance = max_bytes - taken
+                if max_chunk is not None and max_chunk < allowance:
+                    allowance = max_chunk
+                if len(head) <= allowance:
+                    self._chunks.popleft()
+                    piece = head
+                elif not chunks or (max_chunk is not None
+                                    and len(head) > max_chunk
+                                    and allowance == max_chunk):
+                    # Split when the caller would otherwise get nothing, or
+                    # when the per-piece cap (not the byte budget) is what
+                    # the head exceeds — a filter batching a large upstream
+                    # chunk keeps slicing full-size pieces off it rather
+                    # than degrading to one piece per call.
+                    piece = head[:allowance]
+                    self._chunks[0] = head[allowance:]
+                else:
+                    break  # next whole chunk doesn't fit; leave it queued
+                chunks.append(piece)
+                taken += len(piece)
+            self._size -= taken
+            self._bytes_out += taken
+            self._after_read_locked()
+            return chunks
+
+    def _after_read_locked(self) -> None:
+        """Post-consumption signalling; caller holds the lock."""
+        if self._writers_waiting:
+            self._not_full.notify()
+        if not self._chunks:
+            if self._drain_waiting:
+                self._empty.notify_all()
+        elif self._readers_waiting:
+            # Chained wake: data remains and another reader is parked.
+            self._not_empty.notify()
 
     def read_exactly(self, nbytes: int, timeout: Optional[float] = None) -> bytes:
         """Read exactly ``nbytes``; returns a short result only at EOF."""
@@ -185,20 +360,39 @@ class StreamBuffer:
                 break
             parts.append(chunk)
             remaining -= len(chunk)
+        if len(parts) == 1:
+            return parts[0]
         return b"".join(parts)
 
     def peek(self, max_bytes: int = 65536) -> bytes:
         """Return buffered data without consuming it (never blocks)."""
+        if max_bytes <= 0:
+            return b""
         with self._lock:
-            return bytes(self._data[:max_bytes])
+            if not self._chunks:
+                return b""
+            head = self._chunks[0]
+            if len(head) >= max_bytes or len(self._chunks) == 1:
+                return head[:max_bytes]
+            parts: List[bytes] = []
+            remaining = max_bytes
+            for chunk in self._chunks:
+                if remaining <= 0:
+                    break
+                parts.append(chunk[:remaining])
+                remaining -= len(chunk)
+            return b"".join(parts)
 
     def clear(self) -> int:
         """Discard all buffered data, returning the number of bytes dropped."""
         with self._lock:
-            dropped = len(self._data)
-            del self._data[:]
-            self._not_full.notify_all()
-            self._empty.notify_all()
+            dropped = self._size
+            self._chunks.clear()
+            self._size = 0
+            if self._writers_waiting:
+                self._not_full.notify_all()
+            if self._drain_waiting:
+                self._empty.notify_all()
             return dropped
 
     # ----------------------------------------------------------------- drain
@@ -210,7 +404,7 @@ class StreamBuffer:
         """
         deadline = None if timeout is None else _monotonic() + timeout
         with self._lock:
-            while self._data:
+            while self._chunks:
                 if self._eof and self._broken:
                     return False
                 remaining = None
@@ -218,7 +412,12 @@ class StreamBuffer:
                     remaining = deadline - _monotonic()
                     if remaining <= 0:
                         return False
-                if not self._empty.wait(remaining):
+                self._drain_waiting += 1
+                try:
+                    woken = self._empty.wait(remaining)
+                finally:
+                    self._drain_waiting -= 1
+                if not woken:
                     return False
             return True
 
@@ -230,9 +429,3 @@ class StreamBuffer:
             f"<StreamBuffer {self._name!r} size={self.available()} "
             f"capacity={self._capacity} eof={self._eof}>"
         )
-
-
-def _monotonic() -> float:
-    import time
-
-    return time.monotonic()

@@ -105,6 +105,57 @@ class TestCallableEndpoints:
         assert sink.data() == b""
         control.shutdown()
 
+    def test_cooperative_produce_not_called_again_after_none(self):
+        """produce() need not be repeatable after signalling exhaustion:
+        the cooperative pump must latch the None instead of re-probing."""
+        from repro.core.endpoints import SourceEndPoint
+        from repro.runtime import EventEngine
+
+        class OneShotSource(SourceEndPoint):
+            cooperative_capable = True
+            produce_nonblocking = True
+
+            def __init__(self):
+                super().__init__(name="one-shot")
+                self._items = [b"a", b"b", b"c"]
+                self._done = False
+
+            def produce(self):
+                if self._done:
+                    raise AssertionError("produce() called after None")
+                if not self._items:
+                    self._done = True
+                    return None
+                return self._items.pop(0)
+
+        engine = EventEngine()
+        source = OneShotSource()
+        sink = CollectorSink()
+        control = null_proxy(source, sink, engine=engine)
+        assert control.wait_for_completion(timeout=5.0)
+        assert source.error is None
+        assert sink.data() == b"abc"
+        control.shutdown()
+        engine.shutdown()
+
+    def test_iterator_error_mid_batch_keeps_produced_items(self):
+        """An iterator raising after N items must not lose those items to
+        the source's batch accumulator — the per-item path delivered each
+        of them before erroring, and the batched path must too."""
+        def gen():
+            for i in range(10):
+                yield f"item{i};".encode()
+            raise RuntimeError("iterator exploded")
+
+        source = IterableSource(gen())
+        sink = CollectorSink()
+        control = null_proxy(source, sink)
+        assert control.wait_for_completion(timeout=5.0)
+        assert isinstance(source.error, RuntimeError)
+        assert source.items_produced == 10
+        assert sink.data() == b"".join(f"item{i};".encode() for i in range(10))
+        control.shutdown()
+
 
 class TestSocketEndpoints:
     def test_proxy_between_real_sockets(self):

@@ -30,6 +30,17 @@ class TrailerFilter(Filter):
         return b"<END>"
 
 
+class MarkerExplodingFilter(Filter):
+    """Passes chunks through until it sees the marker, then raises."""
+
+    type_name = "marker-exploding"
+
+    def transform(self, chunk):
+        if chunk == b"BOOM":
+            raise RuntimeError("boom")
+        return chunk
+
+
 class TestFilterLifecycle:
     def test_cannot_start_twice(self):
         f = Filter()
@@ -97,6 +108,37 @@ class TestFilterDataPath:
         up.close()
         assert f.wait_finished(timeout=5.0)
         assert down.read(100) == b"payload"
+
+    def test_mid_batch_transform_error_keeps_prior_outputs(self):
+        """A transform failing at chunk k of a batch must not discard the
+        outputs of chunks 1..k-1 (the per-chunk loop delivered those)."""
+        f = MarkerExplodingFilter()
+        up, down = self._wire(f)
+        # Queue the whole batch before starting so one budgeted read
+        # drains all three chunks in a single pump/loop iteration.
+        up.write(b"first")
+        up.write(b"second")
+        up.write(b"BOOM")
+        f.start()
+        assert f.wait_finished(timeout=5.0)
+        assert isinstance(f.error, RuntimeError)
+        assert down.read_exactly(11, timeout=2.0) == b"firstsecond"
+
+    def test_mid_batch_transform_error_keeps_prior_outputs_cooperative(self):
+        class StubEngine:
+            def notify_element(self, element):
+                pass
+
+        f = MarkerExplodingFilter()
+        up, down = self._wire(f)
+        up.write(b"first")
+        up.write(b"second")
+        up.write(b"BOOM")
+        f.bind_engine(StubEngine())
+        while not f.finished:
+            f.pump()
+        assert isinstance(f.error, RuntimeError)
+        assert down.read_exactly(11, timeout=2.0) == b"firstsecond"
 
     def test_custom_transform_applied(self):
         f = DoublingFilter()

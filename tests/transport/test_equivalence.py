@@ -10,6 +10,7 @@ transport can change where packets travel, never what arrives.
 
 import pytest
 
+import repro.core.filter as core_filter
 from repro.media import AudioPacketizer, ToneSource
 from repro.proxies import FecAudioProxyConfig, FecAudioProxy, WirelessAudioReceiver
 from repro.transport import get_transport
@@ -75,6 +76,19 @@ def test_fec_audio_round_trip_is_transport_invariant():
             assert pcm == reference_pcm, (label, reference_label)
     # Sanity: the stream actually carried the tone.
     assert reference_pcm and any(b != 0 for b in reference_pcm)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_round_trip_is_invariant_under_pump_budget(engine, monkeypatch):
+    """Multi-chunk batching is a throughput optimisation, not a semantic
+    one: the wire payloads and the reconstructed PCM must be identical
+    whether filters move one chunk per pump step or a whole budget."""
+    packets = _audio_packets()
+    wire_batched, pcm_batched = _round_trip("loopback", engine, packets)
+    monkeypatch.setattr(core_filter, "DEFAULT_PUMP_BUDGET", 1)
+    wire_unbatched, pcm_unbatched = _round_trip("loopback", engine, packets)
+    assert wire_unbatched == wire_batched
+    assert pcm_unbatched == pcm_batched
 
 
 @pytest.mark.parametrize("transport_name", TRANSPORTS)
