@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""CI gate for the observability plane.
+
+Boots a proxy in-process with ``REPRO_METRICS_ADDR`` set (ephemeral port),
+runs an FEC-audio chain to quiescence under the engine named by
+``REPRO_ENGINE`` (default: both engines in sequence), then asserts:
+
+1. ``/healthz`` answers ``{"status": "ok"}``;
+2. ``/metrics`` parses under a promtool-style line grammar (every HELP /
+   TYPE / sample line matches exposition format 0.0.4);
+3. the scrape's per-element byte and chunk totals equal the quiesced
+   chain's own ``ChainSnapshot`` counters, exactly.
+
+Fails (exit 1) on any violation.  Run as:
+``PYTHONPATH=src python benchmarks/check_metrics_endpoint.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import urllib.request
+
+os.environ.setdefault("REPRO_METRICS_ADDR", "127.0.0.1:0")
+
+from repro.core import CollectorSink, IterableSource, Proxy  # noqa: E402
+from repro.filters import FecDecoderFilter, FecEncoderFilter  # noqa: E402
+from repro.media import AudioPacketizer, ToneSource  # noqa: E402
+from repro.obs.exporter import default_server  # noqa: E402
+
+_HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+_TYPE_RE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+    r"(counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>[+-]?Inf|NaN|[+-]?[0-9.eE+-]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_STAT_METRICS = (
+    ("repro_stream_chunks_total", "chunks_in", "chunks_out"),
+    ("repro_stream_bytes_total", "bytes_in", "bytes_out"),
+)
+
+
+def fetch(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        if response.status != 200:
+            raise AssertionError(f"{url}: HTTP {response.status}")
+        return response.read()
+
+
+def validate_format(text: str) -> int:
+    """Validate every line against the exposition grammar; returns samples."""
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            assert _HELP_RE.match(line), f"bad HELP line: {line!r}"
+        elif line.startswith("# TYPE"):
+            assert _TYPE_RE.match(line), f"bad TYPE line: {line!r}"
+        elif line.startswith("#"):
+            raise AssertionError(f"unknown comment line: {line!r}")
+        else:
+            assert _SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+            samples += 1
+    assert samples > 0, "scrape contained no samples"
+    return samples
+
+
+def parse_samples(text: str) -> dict:
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        samples[(match.group("name"), frozenset(labels.items()))] = float(
+            match.group("value")
+        )
+    return samples
+
+
+def run_stream(engine_name: str, proxy_name: str):
+    """One FEC-audio chain run to quiescence; returns (proxy, control)."""
+    packets = AudioPacketizer(
+        ToneSource(duration=0.4), packet_duration_ms=20
+    ).packet_list()
+    proxy = Proxy(proxy_name, engine=engine_name)
+    control = proxy.add_stream(
+        IterableSource(
+            [p.pack() for p in packets], name="src", frame_output=True
+        ),
+        CollectorSink(name="sink"),
+        name="audio",
+        auto_start=False,
+    )
+    control.add(FecEncoderFilter(k=4, n=6, name="fec-enc"))
+    control.add(FecDecoderFilter(name="fec-dec"), position=1)
+    control.start()
+    assert control.wait_for_completion(timeout=30.0), "stream did not quiesce"
+    return proxy, control
+
+
+def check_engine(engine_name: str, base_url: str) -> int:
+    proxy_name = f"obs-check-{engine_name}"
+    proxy, control = run_stream(engine_name, proxy_name)
+    try:
+        snap = control.snapshot()
+        text = fetch(f"{base_url}/metrics").decode("utf-8")
+        sample_count = validate_format(text)
+        samples = parse_samples(text)
+
+        elements = [("source", snap.source_stats)]
+        elements += list(zip(snap.filter_names, snap.filter_stats))
+        elements.append(("sink", snap.sink_stats))
+        checked = 0
+        for element_name, stats in elements:
+            for metric, in_key, out_key in _STAT_METRICS:
+                for direction, key in (("in", in_key), ("out", out_key)):
+                    labels = frozenset(
+                        {
+                            "proxy": proxy_name,
+                            "stream": "audio",
+                            "element": element_name,
+                            "direction": direction,
+                        }.items()
+                    )
+                    scraped = samples.get((metric, labels))
+                    expected = stats[key]
+                    assert scraped == expected, (
+                        f"{engine_name}: {metric} {element_name}/{direction} "
+                        f"scraped {scraped} != snapshot {expected}"
+                    )
+                    checked += 1
+        print(
+            f"{engine_name:>8}: {sample_count} samples valid, "
+            f"{checked} totals match the chain snapshot"
+        )
+        return checked
+    finally:
+        proxy.shutdown()
+
+
+def main() -> int:
+    engines = [os.environ["REPRO_ENGINE"]] if os.environ.get(
+        "REPRO_ENGINE"
+    ) else ["threaded", "event"]
+
+    # Booting the first proxy starts the env-selected default server.
+    bootstrap = Proxy("obs-check-bootstrap")
+    server = default_server()
+    assert server is not None, "REPRO_METRICS_ADDR did not start a server"
+    base_url = server.url
+    bootstrap.shutdown()
+
+    health = json.loads(fetch(f"{base_url}/healthz"))
+    assert health == {"status": "ok"}, f"unexpected /healthz body: {health}"
+    print(f"/healthz ok at {base_url}")
+
+    for engine_name in engines:
+        check_engine(engine_name, base_url)
+    print("OK: /metrics format valid and consistent with chain snapshots")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as failure:
+        print(f"FAIL: {failure}")
+        sys.exit(1)

@@ -12,6 +12,7 @@ primary contribution:
 ``repro.fec``        (n, k) block erasure codes over GF(2^8)
 ``repro.media``      PCM audio, WAV, GOP video, packetisation
 ``repro.net``        simulated WaveLAN, loss models, traces, Figure 7 stats
+``repro.obs``        fleet observability: metrics, /metrics, events, replay
 ``repro.rapidware``  observer/responder raplets and adaptation policies
 ``repro.pavilion``   collaborative browsing substrate (leadership, browsers)
 ``repro.proxies``    composed proxies: FEC audio (Figure 6/7), transcoding
@@ -27,6 +28,7 @@ from . import (
     filters,
     media,
     net,
+    obs,
     pavilion,
     proxies,
     rapidware,
@@ -67,6 +69,7 @@ __all__ = [
     "fec",
     "media",
     "net",
+    "obs",
     "rapidware",
     "pavilion",
     "proxies",

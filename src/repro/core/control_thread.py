@@ -24,6 +24,14 @@ import threading
 import time
 from typing import Callable, List, Optional, Sequence, Union
 
+from ..obs.events import (
+    EVENT_SPLICE_INSERT,
+    EVENT_SPLICE_REMOVE,
+    EVENT_STREAM_START,
+    EVENT_STREAM_STOP,
+    get_event_log,
+    new_correlation_id,
+)
 from ..runtime import ExecutionEngine, resolve_engine
 from ..streams import StreamClosedError
 from ..transport.base import Transport, resolve_transport
@@ -92,10 +100,20 @@ class ControlThread:
         self._lock = threading.RLock()
         self._idle_cond = threading.Condition()
         self._idle_waiters = 0
+        #: Idle-waiter wakeups delivered (plain int: only ever incremented
+        #: on the gated waiters-present branch, never on the bare data path).
+        self.idle_wakeups = 0
+        #: Correlation id stamped on every event this stream emits.
+        self.correlation_id = new_correlation_id()
         self._started = False
         self._shutdown = False
         if auto_start:
             self.start()
+
+    def _emit_event(self, event: str, **fields) -> None:
+        """Append one control-plane event to the process event log."""
+        get_event_log().emit(event, stream=self.name,
+                             cid=self.correlation_id, **fields)
 
     # ----------------------------------------------------------------- setup
 
@@ -118,6 +136,9 @@ class ControlThread:
                 element.add_activity_listener(self._on_element_activity)
                 self.engine.start_element(element)
             self._started = True
+        self._emit_event(EVENT_STREAM_START,
+                         engine=getattr(self.engine, "name", ""),
+                         filters=[f.name for f in self.filters])
 
     # -------------------------------------------------------------- transport
 
@@ -255,7 +276,9 @@ class ControlThread:
             filter_obj.add_activity_listener(self._on_element_activity)
             self.engine.start_element(filter_obj)
             self._filters.insert(position, filter_obj)
-            return position
+        self._emit_event(EVENT_SPLICE_INSERT, filter=filter_obj.name,
+                         type=filter_obj.type_name, position=position)
+        return position
 
     def remove(self, ref: FilterRef, timeout: Optional[float] = None,
                stop_filter: bool = True) -> Filter:
@@ -308,6 +331,8 @@ class ControlThread:
                 self._filters.pop(position)
         if stop_filter:
             self.engine.stop_element(filter_obj)
+        self._emit_event(EVENT_SPLICE_REMOVE, filter=filter_obj.name,
+                         type=filter_obj.type_name, position=position)
         return filter_obj
 
     def replace(self, ref: FilterRef, new_filter: Filter,
@@ -377,6 +402,7 @@ class ControlThread:
         # observes a non-zero count and notifies.
         if not self._idle_waiters:
             return
+        self.idle_wakeups += 1
         with self._idle_cond:
             self._idle_cond.notify_all()
 
@@ -439,6 +465,9 @@ class ControlThread:
                 return
             self._shutdown = True
             elements = [self.source, *self._filters, self.sink]
+        if self._started:
+            self._emit_event(EVENT_STREAM_STOP,
+                             filters=[f.name for f in elements[1:-1]])
         for element in elements:
             self.engine.stop_element(element, timeout=timeout)
         for element in elements:

@@ -416,6 +416,8 @@ class Filter:
                     raise
                 finally:
                     self.stats.record_input_batch(in_bytes, in_chunks)
+                    if in_chunks >= self.pump_budget:
+                        self.stats.record_budget_exhausted()
                 self._emit_units(outputs)
             finally:
                 self._busy = False
@@ -495,6 +497,8 @@ class Filter:
                         self._queue_outputs(self.transform(chunk))
                 finally:
                     self.stats.record_input_batch(in_bytes, in_chunks)
+                    if in_chunks >= self.pump_budget:
+                        self.stats.record_budget_exhausted()
                     self._busy = False
                 self._flush_pending()
                 return True

@@ -12,6 +12,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Union
 
+from ..obs.exporter import ensure_default_server
+from ..obs.metrics import register_proxy
 from ..runtime import ExecutionEngine, resolve_engine
 from ..transport.base import Transport, resolve_transport
 from .control_thread import ControlThread
@@ -50,6 +52,11 @@ class Proxy:
         self._streams: Dict[str, ControlThread] = {}
         self._lock = threading.RLock()
         self._shutdown = False
+        # Fleet observability: make this proxy visible to scrape-time
+        # collectors and bring up the /metrics server if the environment
+        # asks for one (REPRO_METRICS_ADDR; both are no-ops otherwise).
+        register_proxy(self)
+        ensure_default_server()
 
     @property
     def engine(self) -> ExecutionEngine:

@@ -22,6 +22,11 @@ class FilterStats:
     in-flight increment by one chunk, which the consumers (the control
     plane's status displays and post-quiescence assertions) tolerate by
     design.
+
+    ``budget_exhausted`` counts pump steps whose batched read returned a
+    full ``pump_budget`` of chunks — the element had more input waiting
+    than one step could move, the per-element backlog signal the metrics
+    exporter surfaces.
     """
 
     chunks_in: int = 0
@@ -31,6 +36,7 @@ class FilterStats:
     packets_in: int = 0
     packets_out: int = 0
     errors: int = 0
+    budget_exhausted: int = 0
 
     def record_input(self, nbytes: int, packets: int = 0) -> None:
         self.chunks_in += 1
@@ -57,6 +63,9 @@ class FilterStats:
     def record_error(self) -> None:
         self.errors += 1
 
+    def record_budget_exhausted(self) -> None:
+        self.budget_exhausted += 1
+
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of the counters (safe to serialise)."""
         return {
@@ -67,7 +76,20 @@ class FilterStats:
             "packets_in": self.packets_in,
             "packets_out": self.packets_out,
             "errors": self.errors,
+            "budget_exhausted": self.budget_exhausted,
         }
+
+
+#: The fields a serialised ChainSnapshot must carry (see ``from_dict``).
+_SNAPSHOT_FIELDS = (
+    "stream_name",
+    "filter_names",
+    "filter_types",
+    "filter_stats",
+    "source_stats",
+    "sink_stats",
+    "running",
+)
 
 
 @dataclass
@@ -96,12 +118,27 @@ class ChainSnapshot:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ChainSnapshot":
+        """Deserialise a :meth:`to_dict` payload — losslessly.
+
+        A payload missing any snapshot field raises :class:`ValueError`
+        naming the missing fields, so a truncated or mis-versioned control
+        message fails loudly instead of silently reading as an empty,
+        stopped stream.  ``from_dict(to_dict(s)) == s`` for every snapshot.
+        """
+        missing = [name for name in _SNAPSHOT_FIELDS if name not in payload]
+        if missing:
+            raise ValueError(
+                f"chain snapshot payload is missing fields: {', '.join(missing)}"
+            )
         return cls(
-            stream_name=str(payload.get("stream_name", "")),
-            filter_names=[str(v) for v in payload.get("filter_names", [])],
-            filter_types=[str(v) for v in payload.get("filter_types", [])],
-            filter_stats=[dict(v) for v in payload.get("filter_stats", [])],
-            source_stats=dict(payload.get("source_stats", {})),
-            sink_stats=dict(payload.get("sink_stats", {})),
-            running=bool(payload.get("running", False)),
+            stream_name=str(payload["stream_name"]),
+            filter_names=[str(v) for v in payload["filter_names"]],
+            filter_types=[str(v) for v in payload["filter_types"]],
+            filter_stats=[
+                {str(k): int(v) for k, v in stats.items()}
+                for stats in payload["filter_stats"]
+            ],
+            source_stats={str(k): int(v) for k, v in payload["source_stats"].items()},
+            sink_stats={str(k): int(v) for k, v in payload["sink_stats"].items()},
+            running=bool(payload["running"]),
         )

@@ -1,0 +1,120 @@
+"""Observability: metrics, event log, exporter, measured loss, trace replay.
+
+The fleet-facing surface of the proxy (ROADMAP open item 5).  Three parts
+are dependency-free and imported eagerly — the process-wide
+:class:`MetricsRegistry` (:mod:`repro.obs.metrics`), the structured JSONL
+:class:`EventLog` (:mod:`repro.obs.events`), and the Prometheus-text
+exporter (:mod:`repro.obs.exporter`).  The measured-loss plane
+(:mod:`repro.obs.loss`) and trace-replay harness (:mod:`repro.obs.replay`)
+sit *above* the core and rapidware layers, so they load lazily (PEP 562) —
+``repro.core`` imports this package for metrics/events without a cycle.
+
+Environment:
+
+* ``REPRO_METRICS_ADDR=host:port`` — serve ``/metrics`` + ``/healthz``
+  (port 0 binds ephemerally); started by the first ``Proxy``.
+* ``REPRO_EVENT_LOG=path`` — tee events to a JSONL file (``-`` = stderr).
+"""
+
+from .events import (
+    EVENT_FEC_POLICY_CHANGE,
+    EVENT_LOG_ENV_VAR,
+    EVENT_SPLICE_INSERT,
+    EVENT_SPLICE_REMOVE,
+    EVENT_STREAM_START,
+    EVENT_STREAM_STOP,
+    EVENT_TRANSPORT_ERROR,
+    EventLog,
+    configure_event_log,
+    get_event_log,
+    new_correlation_id,
+)
+from .exporter import (
+    METRICS_ADDR_ENV_VAR,
+    MetricsServer,
+    default_server,
+    ensure_default_server,
+    parse_metrics_addr,
+    render,
+    shutdown_default_server,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsError,
+    MetricsRegistry,
+    default_registry,
+    register_channel,
+    register_engine,
+    register_proxy,
+)
+
+#: Lazily loaded symbols (they import core/rapidware, which import us).
+_LAZY = {
+    "LossEstimator": "loss",
+    "MeasuredLossObserver": "loss",
+    "LossSchedule": "replay",
+    "ReplayStepRecord": "replay",
+    "TraceReplayResult": "replay",
+    "TraceReplaySession": "replay",
+    "replay_schedule": "replay",
+    "replay_trace": "replay",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "EVENT_FEC_POLICY_CHANGE",
+    "EVENT_LOG_ENV_VAR",
+    "EVENT_SPLICE_INSERT",
+    "EVENT_SPLICE_REMOVE",
+    "EVENT_STREAM_START",
+    "EVENT_STREAM_STOP",
+    "EVENT_TRANSPORT_ERROR",
+    "EventLog",
+    "configure_event_log",
+    "get_event_log",
+    "new_correlation_id",
+    "METRICS_ADDR_ENV_VAR",
+    "MetricsServer",
+    "default_server",
+    "ensure_default_server",
+    "parse_metrics_addr",
+    "render",
+    "shutdown_default_server",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsError",
+    "MetricsRegistry",
+    "default_registry",
+    "register_channel",
+    "register_engine",
+    "register_proxy",
+    "LossEstimator",
+    "MeasuredLossObserver",
+    "LossSchedule",
+    "ReplayStepRecord",
+    "TraceReplayResult",
+    "TraceReplaySession",
+    "replay_schedule",
+    "replay_trace",
+]

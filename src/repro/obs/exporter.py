@@ -1,0 +1,205 @@
+"""Prometheus text-format exporter over a stdlib HTTP server thread.
+
+``render`` turns a :class:`~repro.obs.metrics.MetricsRegistry` into
+exposition-format 0.0.4 text; :class:`MetricsServer` serves it on
+``/metrics`` (plus a ``/healthz`` JSON liveness probe) from a daemon
+``ThreadingHTTPServer``.  Activation follows the house env-var idiom:
+``REPRO_METRICS_ADDR=host:port`` (port ``0`` binds an ephemeral port) and
+:func:`ensure_default_server` — called from ``Proxy.__init__`` — starts the
+process-wide server at most once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .metrics import MetricFamily, MetricsRegistry, default_registry
+
+METRICS_ADDR_ENV_VAR = "REPRO_METRICS_ADDR"
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_family(family: MetricFamily) -> str:
+    lines = []
+    if family.help_text:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help_text)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for pairs, value in family.samples:
+        suffix = ""
+        label_pairs = []
+        for key, val in pairs:
+            if key == "__suffix__":
+                suffix = val
+            else:
+                label_pairs.append((key, val))
+        name = family.name + suffix
+        if label_pairs:
+            rendered = ",".join(
+                f'{key}="{_escape_label_value(val)}"' for key, val in label_pairs
+            )
+            lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+        else:
+            lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def render(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry's full scrape, as exposition-format text."""
+    registry = registry if registry is not None else default_registry()
+    blocks = [_render_family(family) for family in registry.collect()]
+    return "\n".join(blocks) + "\n" if blocks else ""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            try:
+                body = render(self.server.registry).encode("utf-8")
+            except Exception as exc:  # noqa: BLE001 - report, don't crash server
+                self.send_error(500, explain=str(exc))
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/healthz":
+            body = json.dumps({"status": "ok"}).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Scrapes are frequent and boring; keep them off stderr."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    registry: MetricsRegistry
+
+
+class MetricsServer:
+    """Serve ``/metrics`` and ``/healthz`` from a daemon thread."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._server = _Server((host, port), _Handler)
+        self._server.registry = registry if registry is not None else default_registry()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved if ephemeral)."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+
+def parse_metrics_addr(addr: str) -> Tuple[str, int]:
+    """``"host:port"`` / ``":port"`` / ``"port"`` -> ``(host, port)``."""
+    addr = addr.strip()
+    if ":" in addr:
+        host, _, port_text = addr.rpartition(":")
+        host = host or "127.0.0.1"
+    else:
+        host, port_text = "127.0.0.1", addr
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid {METRICS_ADDR_ENV_VAR} value {addr!r}: expected host:port"
+        ) from None
+    return host, port
+
+
+_default_server: Optional[MetricsServer] = None
+_default_lock = threading.Lock()
+
+
+def ensure_default_server() -> Optional[MetricsServer]:
+    """Start the process-wide server if ``REPRO_METRICS_ADDR`` asks for one.
+
+    Idempotent and cheap when the variable is unset; called from
+    ``Proxy.__init__`` so any process that hosts a proxy exports metrics
+    without code changes.
+    """
+    global _default_server
+    addr = os.environ.get(METRICS_ADDR_ENV_VAR, "").strip()
+    if not addr:
+        return None
+    with _default_lock:
+        if _default_server is None:
+            host, port = parse_metrics_addr(addr)
+            _default_server = MetricsServer(host, port).start()
+        return _default_server
+
+
+def default_server() -> Optional[MetricsServer]:
+    """The process-wide server, if one has been started."""
+    with _default_lock:
+        return _default_server
+
+
+def shutdown_default_server() -> None:
+    """Stop and forget the process-wide server (test hygiene)."""
+    global _default_server
+    with _default_lock:
+        if _default_server is not None:
+            _default_server.stop()
+            _default_server = None

@@ -1,0 +1,364 @@
+"""Trace replay: drive a live proxy with loss recorded in a packet trace.
+
+The inproc simulation generates loss from a distance model; this harness
+generates it from *data* — a :class:`~repro.net.trace.PacketTrace` recorded
+by an earlier run (or built synthetically) is reduced to a
+:class:`LossSchedule` of per-window loss rates, and those rates are applied
+to a real transport channel's receive path while a live proxy streams
+sequenced media through it.  The :class:`~repro.obs.loss.LossEstimator` on
+the receiving side measures the induced loss, a
+:class:`~repro.obs.loss.MeasuredLossObserver` publishes it, and the
+standard :class:`~repro.rapidware.responders.FecResponder` adapts the
+chain — the full measured-loss control loop, end to end, on ``loopback``
+or ``udp``.
+
+Dropping at the receive hook (rather than replaying exact per-sequence
+drops) is deliberate: once the responder inserts FEC, the wire carries
+parity packets the original trace never saw, so only a *rate* transfers
+from the recording to the replay.  The drop RNG is seeded for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core import CallableSource, ControlThread, Proxy
+from ..media import MediaPacket
+from ..net.trace import EVENT_LOST, EVENT_SENT, PacketTrace
+from ..rapidware.events import EventBus
+from ..rapidware.policy import AdaptationLimits, FecPolicy
+from ..rapidware.responders import FecResponder
+from ..transport import TransportSink
+from .loss import LossEstimator, MeasuredLossObserver
+
+
+class LossSchedule:
+    """Per-window loss rates derived from a trace (or given directly)."""
+
+    def __init__(self, rates: List[float], window_s: float = 1.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.rates = [min(1.0, max(0.0, float(rate))) for rate in rates]
+        self.window_s = float(window_s)
+
+    @classmethod
+    def from_rates(cls, rates: List[float], window_s: float = 1.0) -> "LossSchedule":
+        return cls(list(rates), window_s)
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: PacketTrace,
+        window_s: float = 1.0,
+        receiver: Optional[str] = None,
+    ) -> "LossSchedule":
+        """Reduce a packet trace to per-window loss rates.
+
+        Each window's rate is ``lost / sent`` over the trace events falling
+        inside it (``sent`` defaulting to the window's lost+delivered count
+        for traces that only recorded outcomes).
+        """
+        sent: dict = {}
+        lost: dict = {}
+        outcomes: dict = {}
+        horizon = 0
+        for event in trace.events:
+            if receiver is not None and event.receiver not in ("", receiver):
+                continue
+            index = int(event.time_s // window_s)
+            horizon = max(horizon, index + 1)
+            if event.event == EVENT_SENT:
+                sent[index] = sent.get(index, 0) + 1
+            elif event.event == EVENT_LOST:
+                lost[index] = lost.get(index, 0) + 1
+                outcomes[index] = outcomes.get(index, 0) + 1
+            else:
+                outcomes[index] = outcomes.get(index, 0) + 1
+        rates = []
+        for index in range(horizon):
+            denominator = sent.get(index) or outcomes.get(index, 0)
+            rates.append(lost.get(index, 0) / denominator if denominator else 0.0)
+        return cls(rates, window_s)
+
+    def rate_at(self, time_s: float) -> float:
+        """The loss rate in effect at ``time_s`` (0 outside the schedule)."""
+        if time_s < 0 or not self.rates:
+            return 0.0
+        index = int(time_s // self.window_s)
+        return self.rates[index] if index < len(self.rates) else 0.0
+
+    def __len__(self) -> int:
+        return len(self.rates)
+
+
+@dataclass
+class ReplayStepRecord:
+    """What happened during one schedule window of a replay."""
+
+    window: int
+    time_s: float
+    applied_loss_rate: float
+    measured_loss_rate: float
+    fec_active: bool
+    fec_code: Optional["tuple[int, int]"]
+    packets_delivered: int
+    packets_dropped: int
+
+
+@dataclass
+class TraceReplayResult:
+    """The full record of one trace replay run."""
+
+    steps: List[ReplayStepRecord] = field(default_factory=list)
+    insertions: int = 0
+    removals: int = 0
+    upgrades: int = 0
+    final_fec_active: bool = False
+
+    def max_code(self) -> Optional["tuple[int, int]"]:
+        """The strongest (n, k) the responder reached, by parity count."""
+        best = None
+        for step in self.steps:
+            if step.fec_code is None:
+                continue
+            parity = step.fec_code[1] - step.fec_code[0]
+            if best is None or parity > best[1] - best[0]:
+                best = step.fec_code
+        return best
+
+    def fec_activation_window(self) -> Optional[int]:
+        for step in self.steps:
+            if step.fec_active:
+                return step.window
+        return None
+
+
+class TraceReplaySession:
+    """A live proxied stream whose receive path drops per a loss schedule.
+
+    The chain is the adaptive-session shape — queue-fed
+    :class:`~repro.core.endpoints.CallableSource` through the proxy to a
+    :class:`~repro.transport.endpoints.TransportSink` multicasting on a
+    channel — but the receiving member is instrumented: every delivered
+    payload is either dropped (seeded RNG at the current schedule rate) or
+    handed to the :class:`LossEstimator`, and the measured-loss observer /
+    FEC responder pair closes the loop.
+    """
+
+    def __init__(
+        self,
+        transport: str = "loopback",
+        engine=None,
+        channel_name: str = "trace-replay",
+        receiver_name: str = "replay-receiver",
+        policy: Optional[FecPolicy] = None,
+        limits: Optional[AdaptationLimits] = None,
+        observer_min_sample: int = 10,
+        drop_seed: int = 23,
+    ) -> None:
+        self.proxy = Proxy("trace-replay-proxy", engine=engine, transport=transport)
+        self.channel = self.proxy.open_channel(channel_name)
+        self.estimator = LossEstimator()
+        self._rng = random.Random(drop_seed)
+        self._rate = 0.0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        # Callback-only member: payloads reach _on_payload (where the
+        # schedule drops or the estimator measures) and are never queued.
+        self.channel_receiver = self.channel.join(
+            receiver_name, on_receive=self._on_payload, queue_payloads=False
+        )
+
+        import queue as queue_module
+        import threading
+
+        self._queue: "queue_module.Queue[Optional[bytes]]" = queue_module.Queue()
+        self._source_done = threading.Event()
+        self._enqueued_packets = 0
+        self._next_sequence = 0
+        self._source = CallableSource(
+            self._pull,
+            name="replay-feed",
+            frame_output=True,
+        )
+        self._sink = TransportSink(
+            self.channel, name="replay-sender", expect_frames=True
+        )
+        self.control: ControlThread = self.proxy.add_stream(
+            self._source, self._sink, name="replay", auto_start=True
+        )
+
+        self.bus = EventBus()
+        effective_policy = policy or FecPolicy()
+        self.observer = MeasuredLossObserver(
+            self.estimator,
+            self.bus,
+            receiver_name=receiver_name,
+            degraded_threshold=effective_policy.insert_threshold,
+            min_sample_packets=observer_min_sample,
+        )
+        self.responder = FecResponder(
+            self.control,
+            self.bus,
+            policy=effective_policy,
+            limits=limits or AdaptationLimits(min_interval_s=0.0),
+        )
+
+    # -- receive path ----------------------------------------------------------
+
+    def _on_payload(self, payload: bytes) -> None:
+        if self._rate > 0.0 and self._rng.random() < self._rate:
+            self.packets_dropped += 1
+            return
+        self.packets_delivered += 1
+        self.estimator.observe(payload)
+
+    def set_loss_rate(self, rate: float) -> None:
+        self._rate = min(1.0, max(0.0, float(rate)))
+
+    # -- stream feeding --------------------------------------------------------
+
+    def _pull(self) -> Optional[bytes]:
+        item = self._queue.get()
+        return None if item is None else item
+
+    def enqueue_media(
+        self, count: int, payload_bytes: int = 160, timestamp_step_ms: int = 20
+    ) -> None:
+        """Feed ``count`` synthetic sequenced media packets to the stream."""
+        for _ in range(count):
+            packet = MediaPacket(
+                sequence=self._next_sequence,
+                timestamp_ms=self._next_sequence * timestamp_step_ms,
+                payload=bytes([self._next_sequence % 251] * payload_bytes),
+            )
+            self._queue.put(packet.pack())
+            self._next_sequence += 1
+            self._enqueued_packets += 1
+
+    def enqueue_packets(self, packets: List[MediaPacket]) -> None:
+        """Feed pre-built media packets (e.g. a recorded stream)."""
+        for packet in packets:
+            self._queue.put(packet.pack())
+            self._enqueued_packets += 1
+            self._next_sequence = max(self._next_sequence, packet.sequence + 1)
+
+    def _fed_through(self) -> bool:
+        """True once every enqueued packet has cleared the source."""
+        if not self._queue.empty():
+            return False
+        return self._source.items_produced >= self._enqueued_packets
+
+    def wait_quiescent(self, timeout: float = 10.0) -> bool:
+        return self.control.wait_idle(timeout=timeout, extra=self._fed_through)
+
+    def drain_receiver(self, settle_rounds: int = 3, timeout: float = 5.0) -> int:
+        """Pull everything off the receive path (UDP drains on poll).
+
+        Loops until the receiver's delivery count holds still for
+        ``settle_rounds`` consecutive polls; push transports (loopback)
+        settle immediately, socket transports get the kernel buffer pulled.
+        """
+        deadline = time.monotonic() + timeout
+        last = -1
+        stable = 0
+        while stable < settle_rounds and time.monotonic() < deadline:
+            self.channel_receiver.pending()  # drains the socket if any
+            count = self.channel_receiver.packets_received
+            if count == last:
+                stable += 1
+                time.sleep(0.005)
+            else:
+                stable = 0
+                last = count
+        return self.channel_receiver.packets_received
+
+    # -- replay loop -----------------------------------------------------------
+
+    def run(
+        self,
+        schedule: LossSchedule,
+        packets_per_window: int = 60,
+        quiesce_timeout: float = 30.0,
+    ) -> TraceReplayResult:
+        """Play every schedule window through the live chain."""
+        result = TraceReplayResult()
+        now_s = 0.0
+        for window, rate in enumerate(schedule.rates):
+            self.set_loss_rate(rate)
+            before_delivered = self.packets_delivered
+            before_dropped = self.packets_dropped
+            self.enqueue_media(packets_per_window)
+            if not self.wait_quiescent(timeout=quiesce_timeout):
+                raise RuntimeError("the replay stream failed to quiesce")
+            self.drain_receiver()
+            self.observer.observe(now_s)
+            step = ReplayStepRecord(
+                window=window,
+                time_s=now_s,
+                applied_loss_rate=rate,
+                measured_loss_rate=self.observer.last_loss_rate,
+                fec_active=self.responder.fec_active,
+                fec_code=self.responder.current_code,
+                packets_delivered=self.packets_delivered - before_delivered,
+                packets_dropped=self.packets_dropped - before_dropped,
+            )
+            result.steps.append(step)
+            now_s += schedule.window_s
+        result.insertions = self.responder.insertions
+        result.removals = self.responder.removals
+        result.upgrades = self.responder.upgrades
+        result.final_fec_active = self.responder.fec_active
+        return result
+
+    # -- teardown --------------------------------------------------------------
+
+    def finish(self, timeout: float = 30.0) -> None:
+        self._source_done.set()
+        self._queue.put(None)
+        self.control.wait_for_completion(timeout=timeout)
+
+    def shutdown(self) -> None:
+        self._source_done.set()
+        self._queue.put(None)
+        self.proxy.shutdown()
+
+
+def replay_schedule(
+    schedule: LossSchedule,
+    transport: str = "loopback",
+    engine=None,
+    policy: Optional[FecPolicy] = None,
+    limits: Optional[AdaptationLimits] = None,
+    packets_per_window: int = 60,
+    drop_seed: int = 23,
+) -> TraceReplayResult:
+    """Replay a loss schedule through a fresh session (convenience)."""
+    session = TraceReplaySession(
+        transport=transport,
+        engine=engine,
+        policy=policy,
+        limits=limits,
+        drop_seed=drop_seed,
+    )
+    try:
+        result = session.run(schedule, packets_per_window=packets_per_window)
+        session.finish()
+    finally:
+        session.shutdown()
+    return result
+
+
+def replay_trace(
+    trace: PacketTrace,
+    window_s: float = 1.0,
+    receiver: Optional[str] = None,
+    **session_options,
+) -> TraceReplayResult:
+    """Reduce a recorded trace to a schedule and replay it (convenience)."""
+    schedule = LossSchedule.from_trace(trace, window_s=window_s, receiver=receiver)
+    return replay_schedule(schedule, **session_options)

@@ -24,6 +24,7 @@ from ..filters import (
     FecEncoderFilter,
     VideoBFrameDropFilter,
 )
+from ..obs.events import EVENT_FEC_POLICY_CHANGE, get_event_log
 from .events import (
     EVENT_BANDWIDTH,
     EVENT_DEVICE_JOINED,
@@ -123,6 +124,7 @@ class FecResponder(ResponderRaplet):
         self.bus.publish(Event(event_type=EVENT_FILTER_INSERTED, source=self.name,
                                time_s=now_s,
                                data={"filter": encoder.name, "k": k, "n": n}))
+        self._log_policy_change("insert", k=k, n=n, filter=encoder.name)
         return True
 
     def _remove(self, now_s: float) -> bool:
@@ -138,6 +140,7 @@ class FecResponder(ResponderRaplet):
         self.limits.record_action(now_s)
         self.bus.publish(Event(event_type=EVENT_FILTER_REMOVED, source=self.name,
                                time_s=now_s, data={"filter": removed.name}))
+        self._log_policy_change("remove", filter=removed.name)
         return True
 
     def _change_code(self, k: int, n: int, now_s: float) -> bool:
@@ -155,7 +158,16 @@ class FecResponder(ResponderRaplet):
                                time_s=now_s,
                                data={"filter": new_encoder.name, "k": k, "n": n,
                                      "replaced": True}))
+        self._log_policy_change("change-code", k=k, n=n,
+                                filter=new_encoder.name)
         return True
+
+    def _log_policy_change(self, action: str, **fields) -> None:
+        """Record one FEC policy transition in the process event log."""
+        get_event_log().emit(
+            EVENT_FEC_POLICY_CHANGE, stream=self.control.name,
+            cid=getattr(self.control, "correlation_id", ""),
+            action=action, responder=self.name, **fields)
 
 
 class TranscoderResponder(ResponderRaplet):

@@ -98,6 +98,24 @@ class AdaptiveAudioSession:
             self.control, self.bus, policy=policy,
             limits=limits or AdaptationLimits(min_interval_s=1.0))
 
+        # The measured-loss plane: real transports (udp, loopback) have no
+        # loss oracle, so a LossEstimator on the channel receiver's delivery
+        # hook measures loss from FEC group gaps and media sequence gaps,
+        # and a MeasuredLossObserver publishes the same EVENT_LOSS_RATE the
+        # simulated observer does — the FecResponder drives off either.
+        self.loss_estimator = None
+        self.measured_observer = None
+        if not self._simulated:
+            # Imported lazily: repro.obs.loss imports this package.
+            from ..obs.loss import LossEstimator, MeasuredLossObserver
+
+            self.loss_estimator = LossEstimator()
+            self.loss_estimator.attach(channel_receiver)
+            self.measured_observer = MeasuredLossObserver(
+                self.loss_estimator, self.bus, receiver_name=receiver_name,
+                degraded_threshold=(policy or FecPolicy()).insert_threshold,
+                min_sample_packets=observer_min_sample)
+
         self._highest_enqueued_sequence = -1
 
     # -- stream feeding ----------------------------------------------------------
@@ -142,13 +160,16 @@ class AdaptiveAudioSession:
     def observe(self, now_s: float) -> None:
         """Run every observer once (responders react synchronously).
 
-        A no-op under non-simulated transports: only the inproc receiver
-        carries the loss statistics and distance the observers read.
+        Under the simulated transport the oracle observers run (the inproc
+        receiver carries exact loss statistics and distance); under real
+        transports the measured-loss observer runs instead, driven by the
+        :class:`~repro.obs.loss.LossEstimator` on the receive path.
         """
-        if not self._simulated:
-            return
-        self.migration_observer.observe(now_s)
-        self.loss_observer.observe(now_s)
+        if self._simulated:
+            self.migration_observer.observe(now_s)
+            self.loss_observer.observe(now_s)
+        elif self.measured_observer is not None:
+            self.measured_observer.observe(now_s)
 
     def move_receiver(self, distance_m: float) -> None:
         """Move the simulated receiver (a no-op on other transports)."""

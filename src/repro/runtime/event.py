@@ -53,6 +53,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from ..obs.metrics import register_engine as _obs_register_engine
 from .base import EngineError, ExecutionEngine
 
 #: Fallback wakeup period for the scheduler.  Every state change that can
@@ -103,6 +104,15 @@ class EventEngine(ExecutionEngine):
         self._wakeup_send: Optional[socket.socket] = None
         self._wakeup_recv: Optional[socket.socket] = None
         self._selecting = False
+        # Scheduler metrics: plain ints written only by the scheduler
+        # thread (GIL-atomic reads from the scrape-time collector may lag
+        # an in-flight round, which dashboards tolerate by design).
+        self._metric_rounds = 0
+        self._metric_pumps = 0
+        self._metric_timer_fires = 0
+        self._metric_selector_wakeups = 0
+        self._metric_scan_all_rounds = 0
+        _obs_register_engine(self)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -294,6 +304,31 @@ class EventEngine(ExecutionEngine):
         scheduler = self._scheduler
         return scheduler is not None and scheduler.is_alive()
 
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges for the scrape-time engine collector.
+
+        Counter reads are lock-free (scheduler-thread-private plain ints);
+        the depth gauges are read under the condition since the dirty set
+        and timer heap are mutated by notifiers as well as the scheduler.
+        """
+        with self._cond:
+            gauges = {
+                "dirty_depth": len(self._dirty),
+                "gated_depth": len(self._gated),
+                "managed_elements": len(self._elements),
+                "pending_timers": len(self._timers),
+            }
+        return {
+            "counters": {
+                "scheduler_rounds": self._metric_rounds,
+                "elements_pumped": self._metric_pumps,
+                "timer_fires": self._metric_timer_fires,
+                "selector_wakeups": self._metric_selector_wakeups,
+                "scan_all_rounds": self._metric_scan_all_rounds,
+            },
+            "gauges": gauges,
+        }
+
     # -------------------------------------------------------------- scheduler
 
     def _ensure_scheduler(self) -> None:
@@ -305,18 +340,21 @@ class EventEngine(ExecutionEngine):
 
     def _loop(self) -> None:
         while True:
+            self._metric_rounds += 1
             with self._cond:
                 if self._stopping:
                     return
                 if self._scan_all:
                     candidates = list(self._elements)
                     self._scan_all = False
+                    self._metric_scan_all_rounds += 1
                 else:
                     candidates = list(self._dirty | self._gated)
                 self._dirty.clear()
             now = time.monotonic()
             while self._timers and self._timers[0][0] <= now:
                 candidates.append(heapq.heappop(self._timers)[2])
+                self._metric_timer_fires += 1
             progress = False
             finished = []
             for element in candidates:
@@ -327,6 +365,7 @@ class EventEngine(ExecutionEngine):
                     if self._ready(element):
                         self._gated.discard(element)
                         self._resume_selectable_fd(element)
+                        self._metric_pumps += 1
                         progress = element.pump() or progress
                         # A pump that consumed input or delivered output
                         # re-marks the affected elements through the stream
@@ -396,6 +435,7 @@ class EventEngine(ExecutionEngine):
                         self._drain_wakeup()
                     else:
                         self._dirty.add(key.data)
+                        self._metric_selector_wakeups += 1
                 if not woken and sleep_s >= self._heartbeat_s:
                     self._scan_all = True  # lost-wakeup safety net, as above
                 self._wake = False

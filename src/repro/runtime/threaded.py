@@ -9,6 +9,7 @@ streams its per-element isolation beats the event engine's shared scheduler.
 
 from __future__ import annotations
 
+from ..obs.metrics import register_engine as _obs_register_engine
 from .base import ExecutionEngine
 
 
@@ -17,5 +18,19 @@ class ThreadedEngine(ExecutionEngine):
 
     name = "threaded"
 
+    def __init__(self) -> None:
+        #: Worker threads launched over this engine's lifetime (plain int,
+        #: written only under the callers' composition locks).
+        self.elements_started = 0
+        _obs_register_engine(self)
+
     def start_element(self, element) -> None:
         element.start()
+        self.elements_started += 1
+
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges for the scrape-time engine collector."""
+        return {
+            "counters": {"elements_started": self.elements_started},
+            "gauges": {},
+        }

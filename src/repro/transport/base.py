@@ -43,6 +43,8 @@ from abc import ABC, abstractmethod
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
+from ..obs.metrics import register_channel as _obs_register_channel
+
 #: Environment variable consulted by :func:`get_transport` when no explicit
 #: transport is requested.
 TRANSPORT_ENV_VAR = "REPRO_TRANSPORT"
@@ -236,7 +238,13 @@ class DatagramChannel(ABC):
         self.name = name
         self.packets_sent = 0
         self.bytes_sent = 0
+        #: Datagrams a best-effort transport dropped at send time (socket
+        #: errors on UDP); queue-backed transports never increment it.
+        self.send_errors = 0
         self._closed = False
+        # Fleet observability: scrape-time collectors walk live channels
+        # through a WeakSet, so registration costs nothing after __init__.
+        _obs_register_channel(self)
 
     @abstractmethod
     def join(self, member: str, **options) -> DatagramReceiver:
@@ -262,6 +270,14 @@ class DatagramChannel(ABC):
     @abstractmethod
     def members(self) -> List[str]:
         """Names of the current members."""
+
+    def local_receivers(self) -> List[DatagramReceiver]:
+        """Receivers this process hosts for the channel (for metrics).
+
+        Transports that track members in-process override this; the base
+        returns an empty list so remote-only channels stay scrape-safe.
+        """
+        return []
 
     def close(self) -> None:
         """End the stream: signal end-of-stream to every member (idempotent)."""

@@ -112,6 +112,10 @@ class InprocChannel(DatagramChannel):
         with self._lock:
             return self._receivers[member]
 
+    def local_receivers(self) -> List[InprocReceiver]:
+        with self._lock:
+            return list(self._receivers.values())
+
     def send(self, data: bytes) -> int:
         if self._closed:
             raise TransportError(f"channel {self.name!r}: send after close")

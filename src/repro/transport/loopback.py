@@ -70,6 +70,10 @@ class LoopbackChannel(DatagramChannel):
         with self._lock:
             return self._receivers[member]
 
+    def local_receivers(self) -> List[LoopbackReceiver]:
+        with self._lock:
+            return list(self._receivers.values())
+
     def send(self, data: bytes) -> int:
         data = bytes(data)
         with self._lock:

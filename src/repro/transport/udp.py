@@ -42,6 +42,7 @@ import struct
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.events import EVENT_TRANSPORT_ERROR, get_event_log
 from ..streams.framing import FRAME_MAGIC, HEADER_SIZE, MAX_FRAME_SIZE
 from .base import (
     DatagramChannel,
@@ -283,6 +284,10 @@ class UdpChannel(DatagramChannel):
         with self._lock:
             return self._receivers[member]
 
+    def local_receivers(self) -> List[UdpReceiver]:
+        with self._lock:
+            return list(self._receivers.values())
+
     # -- transmission ----------------------------------------------------------
 
     def _destinations(self) -> List[UdpAddress]:
@@ -297,8 +302,16 @@ class UdpChannel(DatagramChannel):
             try:
                 self._send_socket.sendto(wire, address)
                 sent += 1
-            except OSError:
-                continue  # an unreachable member must not break the others
+            except OSError as exc:
+                # An unreachable member must not break the others, but the
+                # drop is observable: counted for /metrics and logged as a
+                # structured event for post-hoc diagnosis.
+                self.send_errors += 1
+                get_event_log().emit(
+                    EVENT_TRANSPORT_ERROR, stream=self.name,
+                    transport="udp", address=f"{address[0]}:{address[1]}",
+                    error=str(exc))
+                continue
         return sent
 
     def send(self, data: bytes) -> int:

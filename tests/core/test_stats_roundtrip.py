@@ -1,0 +1,90 @@
+"""Property tests pinning ChainSnapshot.to_dict / from_dict as inverses."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stats import ChainSnapshot, FilterStats, _SNAPSHOT_FIELDS
+
+counters = st.integers(min_value=0, max_value=2**40)
+
+stat_dicts = st.fixed_dictionaries({
+    "chunks_in": counters,
+    "chunks_out": counters,
+    "bytes_in": counters,
+    "bytes_out": counters,
+    "packets_in": counters,
+    "packets_out": counters,
+    "errors": counters,
+    "budget_exhausted": counters,
+})
+
+names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N"), whitelist_characters="-_."
+    ),
+    min_size=0,
+    max_size=24,
+)
+
+
+@st.composite
+def snapshots(draw):
+    count = draw(st.integers(min_value=0, max_value=5))
+    return ChainSnapshot(
+        stream_name=draw(names),
+        filter_names=[draw(names) for _ in range(count)],
+        filter_types=[draw(names) for _ in range(count)],
+        filter_stats=[draw(stat_dicts) for _ in range(count)],
+        source_stats=draw(stat_dicts),
+        sink_stats=draw(stat_dicts),
+        running=draw(st.booleans()),
+    )
+
+
+class TestRoundTrip:
+    @given(snapshots())
+    @settings(max_examples=100, deadline=None)
+    def test_from_dict_inverts_to_dict(self, snapshot):
+        assert ChainSnapshot.from_dict(snapshot.to_dict()) == snapshot
+
+    @given(snapshots())
+    @settings(max_examples=50, deadline=None)
+    def test_to_dict_is_json_safe(self, snapshot):
+        import json
+
+        payload = json.loads(json.dumps(snapshot.to_dict()))
+        assert ChainSnapshot.from_dict(payload) == snapshot
+
+    @given(snapshots(), st.sampled_from(sorted(_SNAPSHOT_FIELDS)))
+    @settings(max_examples=50, deadline=None)
+    def test_missing_field_raises(self, snapshot, field):
+        payload = snapshot.to_dict()
+        del payload[field]
+        with pytest.raises(ValueError, match=field):
+            ChainSnapshot.from_dict(payload)
+
+    def test_missing_fields_all_named(self):
+        with pytest.raises(ValueError) as excinfo:
+            ChainSnapshot.from_dict({"stream_name": "s"})
+        message = str(excinfo.value)
+        for field in _SNAPSHOT_FIELDS:
+            if field != "stream_name":
+                assert field in message
+
+    def test_live_snapshot_round_trips(self):
+        stats = FilterStats()
+        stats.record_input_batch(100, 3, packets=2)
+        stats.record_output(40, packets=1)
+        stats.record_error()
+        stats.record_budget_exhausted()
+        snapshot = ChainSnapshot(
+            stream_name="live",
+            filter_names=["f"],
+            filter_types=["passthrough"],
+            filter_stats=[stats.snapshot()],
+            source_stats=FilterStats().snapshot(),
+            sink_stats=FilterStats().snapshot(),
+            running=True,
+        )
+        assert ChainSnapshot.from_dict(snapshot.to_dict()) == snapshot
+        assert snapshot.filter_stats[0]["budget_exhausted"] == 1

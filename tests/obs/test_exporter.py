@@ -1,0 +1,175 @@
+"""Exporter tests: exposition format, escaping, and the HTTP server."""
+
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro.obs.exporter import (
+    CONTENT_TYPE,
+    MetricsServer,
+    parse_metrics_addr,
+    render,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Promtool-style line shapes for exposition format 0.0.4.
+_HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+_TYPE_RE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" (?:[+-]?Inf|NaN|[+-]?[0-9.eE+-]+)$"
+)
+
+
+def validate_exposition(text):
+    """Assert every line of a scrape matches the exposition grammar."""
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            assert _HELP_RE.match(line), line
+        elif line.startswith("# TYPE"):
+            assert _TYPE_RE.match(line), line
+        else:
+            assert _SAMPLE_RE.match(line), line
+
+
+class TestRender:
+    def test_plain_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "a demo counter").inc(3)
+        text = render(registry)
+        assert "# HELP demo_total a demo counter" in text
+        assert "# TYPE demo_total counter" in text
+        assert "demo_total 3" in text
+        validate_exposition(text)
+
+    def test_labelled_samples_and_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", label_names=("path",))
+        counter.labels(path='we"ird\\na\nme').inc()
+        text = render(registry)
+        assert 'path="we\\"ird\\\\na\\nme"' in text
+        validate_exposition(text)
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("help_total", "line one\nline two")
+        text = render(registry)
+        assert "# HELP help_total line one\\nline two" in text
+        validate_exposition(text)
+
+    def test_histogram_rendering(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("sizes", buckets=(10, 100))
+        histogram.observe(5)
+        histogram.observe(50)
+        text = render(registry)
+        assert 'sizes_bucket{le="10"} 1' in text
+        assert 'sizes_bucket{le="100"} 2' in text
+        assert 'sizes_bucket{le="+Inf"} 2' in text
+        assert "sizes_sum 55" in text
+        assert "sizes_count 2" in text
+        validate_exposition(text)
+
+    def test_float_and_special_values(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("floaty")
+        gauge.set(2.5)
+        assert "floaty 2.5" in render(registry)
+        gauge.set(float("inf"))
+        assert "floaty +Inf" in render(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render(MetricsRegistry()) == ""
+
+    def test_default_registry_scrape_validates(self):
+        from repro.core import CollectorSink, IterableSource, Proxy
+
+        proxy = Proxy("exporter-validate-proxy")
+        try:
+            control = proxy.add_stream(
+                IterableSource([b"data"], name="src"),
+                CollectorSink(name="sink"),
+                name="s",
+            )
+            control.wait_for_completion(timeout=10.0)
+            validate_exposition(render())
+        finally:
+            proxy.shutdown()
+
+
+class TestMetricsServer:
+    @pytest.fixture
+    def server(self):
+        registry = MetricsRegistry()
+        registry.counter("served_total", "served").inc(9)
+        server = MetricsServer(registry=registry).start()
+        yield server
+        server.stop()
+
+    def test_serves_metrics(self, server):
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            body = response.read().decode("utf-8")
+        assert "served_total 9" in body
+        validate_exposition(body)
+
+    def test_serves_healthz(self, server):
+        with urllib.request.urlopen(f"{server.url}/healthz", timeout=5) as response:
+            assert response.status == 200
+            assert json.loads(response.read()) == {"status": "ok"}
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope", timeout=5)
+        assert excinfo.value.code == 404
+
+    def test_start_is_idempotent(self, server):
+        assert server.start() is server
+
+
+class TestParseMetricsAddr:
+    def test_host_and_port(self):
+        assert parse_metrics_addr("0.0.0.0:9100") == ("0.0.0.0", 9100)
+
+    def test_port_only_forms(self):
+        assert parse_metrics_addr(":9100") == ("127.0.0.1", 9100)
+        assert parse_metrics_addr("9100") == ("127.0.0.1", 9100)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_metrics_addr("not-a-port")
+
+
+class TestEnvActivation:
+    def test_unset_env_is_noop(self, monkeypatch):
+        from repro.obs import exporter
+
+        monkeypatch.delenv(exporter.METRICS_ADDR_ENV_VAR, raising=False)
+        assert exporter.ensure_default_server() is None
+
+    def test_env_starts_server_once(self, monkeypatch):
+        from repro.obs import exporter
+
+        exporter.shutdown_default_server()
+        monkeypatch.setenv(exporter.METRICS_ADDR_ENV_VAR, "127.0.0.1:0")
+        try:
+            first = exporter.ensure_default_server()
+            assert first is not None
+            assert exporter.ensure_default_server() is first
+            assert exporter.default_server() is first
+            with urllib.request.urlopen(
+                f"{first.url}/healthz", timeout=5
+            ) as response:
+                assert response.status == 200
+        finally:
+            exporter.shutdown_default_server()
+        assert exporter.default_server() is None

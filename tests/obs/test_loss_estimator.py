@@ -1,0 +1,207 @@
+"""LossEstimator and MeasuredLossObserver unit tests."""
+
+import pytest
+
+from repro.fec.packets import FLAG_PARITY, FecPacket
+from repro.media import MediaPacket
+from repro.obs.loss import LossEstimator, MeasuredLossObserver
+from repro.rapidware import EVENT_LOSS_RATE, EventBus
+from repro.rapidware.events import SEVERITY_CRITICAL, SEVERITY_INFO
+
+
+def media_payload(sequence):
+    return MediaPacket(
+        sequence=sequence, timestamp_ms=sequence * 20, payload=b"a" * 32
+    ).pack()
+
+
+def fec_payload(group_id, index, k=4, n=6):
+    flags = FLAG_PARITY if index >= k else 0
+    return FecPacket(
+        group_id=group_id, index=index, k=k, n=n, payload=b"b" * 32, flags=flags
+    ).pack()
+
+
+class TestSequenceSignal:
+    def test_no_loss_on_contiguous_sequences(self):
+        estimator = LossEstimator()
+        for sequence in range(20):
+            estimator.observe(media_payload(sequence))
+        assert estimator.sequence_loss_rate() == 0.0
+        assert estimator.loss_rate() == 0.0
+        assert estimator.media_packets == 20
+
+    def test_gaps_measure_loss(self):
+        estimator = LossEstimator()
+        for sequence in range(40):
+            if sequence % 4 == 0:
+                continue  # drop every 4th packet
+            estimator.observe(media_payload(sequence))
+        assert estimator.sequence_loss_rate() == pytest.approx(0.25, abs=0.05)
+
+    def test_duplicates_do_not_inflate(self):
+        estimator = LossEstimator()
+        for _ in range(3):
+            for sequence in range(10):
+                estimator.observe(media_payload(sequence))
+        assert estimator.sequence_loss_rate() == 0.0
+
+    def test_window_slides(self):
+        estimator = LossEstimator(window_sequences=16)
+        estimator.observe(media_payload(0))  # ancient packet
+        for sequence in range(1000, 1016):
+            estimator.observe(media_payload(sequence))
+        # The ancient packet has slid out: the window covers only the
+        # contiguous tail, so no loss is reported.
+        assert estimator.sequence_loss_rate() == 0.0
+
+    def test_below_two_sequences_is_none(self):
+        estimator = LossEstimator()
+        assert estimator.sequence_loss_rate() is None
+        estimator.observe(media_payload(0))
+        assert estimator.sequence_loss_rate() is None
+
+
+class TestFecGroupSignal:
+    def test_complete_groups_measure_zero(self):
+        estimator = LossEstimator(seal_margin=1)
+        for group in range(5):
+            for index in range(6):
+                estimator.observe(fec_payload(group, index))
+        assert estimator.groups_sealed >= 4
+        assert estimator.fec_loss_rate() == 0.0
+
+    def test_missing_indices_measure_loss(self):
+        estimator = LossEstimator(seal_margin=1)
+        for group in range(6):
+            for index in range(6):
+                if index < 3:  # half of each group lost
+                    estimator.observe(fec_payload(group, index))
+        rate = estimator.fec_loss_rate()
+        assert rate == pytest.approx(0.5, abs=0.01)
+
+    def test_fec_signal_preferred_over_sequence(self):
+        estimator = LossEstimator(seal_margin=1)
+        for sequence in range(10):
+            estimator.observe(media_payload(sequence))
+        for group in range(4):
+            for index in range(6):
+                if index != 0:
+                    estimator.observe(fec_payload(group, index))
+        assert estimator.loss_rate() == estimator.fec_loss_rate()
+        assert estimator.loss_rate() > 0.0
+
+    def test_unsealed_groups_report_none(self):
+        estimator = LossEstimator(seal_margin=4)
+        for index in range(6):
+            estimator.observe(fec_payload(0, index))
+        assert estimator.fec_loss_rate() is None
+
+
+class TestClassification:
+    def test_garbage_counts_unparsed(self):
+        estimator = LossEstimator()
+        estimator.observe(b"\x00\x01garbage")
+        assert estimator.unparsed_packets == 1
+        assert estimator.loss_rate() == 0.0
+
+    def test_uncoded_fec_packet_reads_inner_media(self):
+        from repro.fec.packets import FLAG_UNCODED
+
+        estimator = LossEstimator()
+        inner = media_payload(7)
+        wrapped = FecPacket(
+            group_id=0, index=0, k=4, n=6, payload=inner, flags=FLAG_UNCODED
+        ).pack()
+        estimator.observe(wrapped)
+        assert estimator.media_packets == 1
+
+    def test_attach_chains_on_receive(self):
+        class FakeReceiver:
+            on_receive = None
+
+        received = []
+        receiver = FakeReceiver()
+        receiver.on_receive = received.append
+        estimator = LossEstimator()
+        estimator.attach(receiver)
+        payload = media_payload(0)
+        receiver.on_receive(payload)
+        assert estimator.packets_observed == 1
+        assert received == [payload]
+
+    def test_snapshot_keys(self):
+        estimator = LossEstimator()
+        estimator.observe(media_payload(0))
+        snapshot = estimator.snapshot()
+        assert set(snapshot) >= {
+            "packets_observed",
+            "fec_packets",
+            "media_packets",
+            "unparsed_packets",
+            "groups_sealed",
+            "loss_rate",
+        }
+
+
+class TestMeasuredLossObserver:
+    def test_gates_on_min_sample(self):
+        estimator = LossEstimator()
+        observer = MeasuredLossObserver(
+            estimator, EventBus(), min_sample_packets=10
+        )
+        for sequence in range(5):
+            estimator.observe(media_payload(sequence))
+        assert observer.measure(1.0) == []
+        for sequence in range(5, 12):
+            estimator.observe(media_payload(sequence))
+        published = observer.measure(2.0)
+        assert len(published) == 1
+        assert published[0].event_type == EVENT_LOSS_RATE
+        assert published[0].value("measured") is True
+
+    def test_severity_tracks_thresholds(self):
+        estimator = LossEstimator()
+        observer = MeasuredLossObserver(
+            estimator,
+            EventBus(),
+            min_sample_packets=1,
+            smoothing=1.0,
+            critical_threshold=0.10,
+        )
+        for sequence in range(20):
+            estimator.observe(media_payload(sequence))
+        assert observer.measure(1.0)[0].severity == SEVERITY_INFO
+        for sequence in range(100, 200):
+            if sequence % 2 == 0:
+                estimator.observe(media_payload(sequence))
+        assert observer.measure(2.0)[0].severity == SEVERITY_CRITICAL
+
+    def test_smoothing_damps_spikes(self):
+        estimator = LossEstimator()
+        observer = MeasuredLossObserver(
+            estimator, EventBus(), min_sample_packets=1, smoothing=0.5
+        )
+        for sequence in range(0, 40, 2):  # 50% loss
+            estimator.observe(media_payload(sequence))
+        observer.measure(1.0)
+        assert 0.0 < observer.last_loss_rate < observer.raw_loss_rate + 1e-9
+        assert observer.last_loss_rate == pytest.approx(
+            0.5 * observer.raw_loss_rate, abs=1e-9
+        )
+
+    def test_validates_parameters(self):
+        estimator = LossEstimator()
+        with pytest.raises(ValueError):
+            MeasuredLossObserver(estimator, EventBus(), degraded_threshold=0.5,
+                                 critical_threshold=0.1)
+        with pytest.raises(ValueError):
+            MeasuredLossObserver(estimator, EventBus(), smoothing=0.0)
+
+    def test_estimator_windows_validate(self):
+        with pytest.raises(ValueError):
+            LossEstimator(window_groups=0)
+        with pytest.raises(ValueError):
+            LossEstimator(window_sequences=1)
+        with pytest.raises(ValueError):
+            LossEstimator(seal_margin=0)

@@ -1,0 +1,134 @@
+"""Trace-replay tests: the measured-loss control loop, end to end.
+
+The acceptance behaviour for the measured plane: when the replayed loss
+rate rises, the adaptive FEC policy must *strengthen* (insert, then grow
+the code's parity); when the link clears, it must *settle* (the code
+weakens again).  Exercised on both real transports and both engines.
+"""
+
+import pytest
+
+from repro.net.trace import EVENT_LOST, EVENT_SENT, PacketTrace
+from repro.obs.replay import (
+    LossSchedule,
+    TraceReplaySession,
+    replay_trace,
+)
+
+
+class TestLossSchedule:
+    def test_rates_are_clamped(self):
+        schedule = LossSchedule([-0.5, 0.5, 1.5])
+        assert schedule.rates == [0.0, 0.5, 1.0]
+
+    def test_rate_at(self):
+        schedule = LossSchedule([0.1, 0.2], window_s=2.0)
+        assert schedule.rate_at(0.0) == 0.1
+        assert schedule.rate_at(1.9) == 0.1
+        assert schedule.rate_at(2.0) == 0.2
+        assert schedule.rate_at(99.0) == 0.0
+        assert schedule.rate_at(-1.0) == 0.0
+
+    def test_from_trace_buckets_by_window(self):
+        trace = PacketTrace()
+        for i in range(10):
+            trace.record(EVENT_SENT, i, time_s=0.1 * i)
+        for i in range(5):  # half of window 0 lost
+            trace.record(EVENT_LOST, i, time_s=0.1 * i)
+        for i in range(10, 20):
+            trace.record(EVENT_SENT, i, time_s=1.0 + 0.05 * (i - 10))
+        schedule = LossSchedule.from_trace(trace, window_s=1.0)
+        assert len(schedule) == 2
+        assert schedule.rates[0] == pytest.approx(0.5)
+        assert schedule.rates[1] == 0.0
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            LossSchedule([0.1], window_s=0.0)
+
+
+def run_replay(transport, engine=None):
+    session = TraceReplaySession(transport=transport, engine=engine,
+                                 observer_min_sample=10)
+    try:
+        schedule = LossSchedule([0.0, 0.3, 0.3, 0.3, 0.0, 0.0, 0.0, 0.0])
+        result = session.run(schedule, packets_per_window=60)
+        session.finish()
+    finally:
+        session.shutdown()
+    return result
+
+
+def assert_adapts_and_settles(result):
+    # Clean leading window: no FEC yet.
+    assert not result.steps[0].fec_active
+    # The policy reacted to measured loss: FEC inserted during the lossy
+    # phase, and the measured rate the responder acted on was nonzero.
+    lossy = [s for s in result.steps if s.applied_loss_rate > 0]
+    assert any(step.fec_active for step in lossy)
+    assert result.insertions >= 1
+    assert max(step.measured_loss_rate for step in lossy) > 0.0
+    # Strength rose with loss: the strongest code carries real parity.
+    strongest = result.max_code()
+    assert strongest is not None
+    k, n = strongest
+    assert n > k
+    # Settling: after the clean tail, either FEC is gone or the code has
+    # weakened from its peak (smoothing keeps a weak code briefly).
+    final = result.steps[-1]
+    assert final.measured_loss_rate < max(
+        step.measured_loss_rate for step in lossy
+    )
+    if final.fec_active:
+        assert final.fec_code[1] - final.fec_code[0] < n - k
+    else:
+        assert result.removals >= 1
+
+
+class TestReplayAdaptation:
+    def test_loopback_fec_reacts_to_measured_loss(self):
+        assert_adapts_and_settles(run_replay("loopback"))
+
+    def test_udp_fec_reacts_to_measured_loss(self):
+        assert_adapts_and_settles(run_replay("udp"))
+
+    @pytest.mark.parametrize("engine_name", ["threaded", "event"])
+    def test_both_engines_close_the_loop(self, engine_name):
+        result = run_replay("loopback", engine=engine_name)
+        assert result.insertions >= 1
+
+    def test_clean_replay_never_inserts(self):
+        session = TraceReplaySession(transport="loopback",
+                                     observer_min_sample=10)
+        try:
+            result = session.run(LossSchedule([0.0, 0.0, 0.0]),
+                                 packets_per_window=40)
+            session.finish()
+        finally:
+            session.shutdown()
+        assert result.insertions == 0
+        assert not result.final_fec_active
+        assert all(s.measured_loss_rate == 0.0 for s in result.steps)
+
+    def test_drop_seed_reproduces_runs(self):
+        def one_run():
+            session = TraceReplaySession(transport="loopback", drop_seed=99,
+                                         observer_min_sample=10)
+            try:
+                result = session.run(LossSchedule([0.0, 0.4, 0.4]),
+                                     packets_per_window=50)
+                session.finish()
+            finally:
+                session.shutdown()
+            return [(s.packets_delivered, s.packets_dropped)
+                    for s in result.steps]
+
+        assert one_run() == one_run()
+
+    def test_replay_trace_convenience(self):
+        trace = PacketTrace()
+        for i in range(30):
+            trace.record(EVENT_SENT, i, time_s=0.03 * i)
+        result = replay_trace(trace, window_s=1.0, packets_per_window=30)
+        assert len(result.steps) == 1
+        assert result.insertions == 0
