@@ -470,13 +470,17 @@ class ControlThread:
                              filters=[f.name for f in elements[1:-1]])
         for element in elements:
             self.engine.stop_element(element, timeout=timeout)
-        for element in elements:
+        # Close sink-to-source, DIS before DOS: closing a DIS wakes any
+        # writer blocked on its full buffer, so an upstream DOS close can
+        # never deadlock behind a write that holds the DOS lock (e.g. a
+        # stalled consumer at teardown).
+        for element in reversed(elements):
             try:
-                element.dos.close()
+                element.dis.close()
             except Exception:  # noqa: BLE001 - best effort teardown
                 pass
             try:
-                element.dis.close()
+                element.dos.close()
             except Exception:  # noqa: BLE001
                 pass
         if self._owns_engine:

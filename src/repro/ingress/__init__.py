@@ -1,0 +1,86 @@
+"""repro.ingress — an HTTP/WebSocket front door onto composable proxies.
+
+The paper's proxies assume both endpoints already speak the framework's
+stream abstractions.  This package removes that assumption: ordinary
+network clients (``curl``, a browser, any WebSocket library) connect
+over HTTP/1.1 and each streaming connection becomes one real stream in
+a :class:`~repro.core.proxy.Proxy`, flowing through the same filter
+chains — FEC encoders, transcoders, rate monitors — as every other
+stream.
+
+Layers, bottom to top:
+
+* :mod:`~repro.ingress.http` / :mod:`~repro.ingress.websocket` —
+  stdlib-only wire codecs (chunked HTTP/1.1 and RFC 6455);
+* :mod:`~repro.ingress.bridge` — :class:`IngressStreamBridge`, pairing
+  a push-style :class:`IngressSource` with a pull-style
+  :class:`IngressSink` around one proxy stream, with awaitable
+  back-pressure in both directions;
+* :mod:`~repro.ingress.server` — :class:`IngressServer`, routing
+  ``POST /stream`` and WebSocket upgrades onto fresh bridges.
+
+The servers run on any engine (the bridge endpoints work threaded or
+cooperative), but pair naturally with ``REPRO_ENGINE=asyncio`` where
+the ingress event loop and the filter scheduler share one process
+without a thread per stream.
+"""
+
+from .bridge import (
+    DEFAULT_MAX_ITEMS,
+    IngressSink,
+    IngressSource,
+    IngressStreamBridge,
+)
+from .http import (
+    CHUNKED_EOF,
+    HttpProtocolError,
+    HttpRequest,
+    encode_chunk,
+    encode_response_head,
+    read_body,
+    read_request,
+)
+from .server import IngressServer
+from .websocket import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    FrameParser,
+    WebSocketProtocolError,
+    accept_key,
+    close_payload,
+    encode_frame,
+)
+
+__all__ = [
+    # bridge
+    "DEFAULT_MAX_ITEMS",
+    "IngressSource",
+    "IngressSink",
+    "IngressStreamBridge",
+    # http codec
+    "HttpProtocolError",
+    "HttpRequest",
+    "read_request",
+    "read_body",
+    "encode_chunk",
+    "CHUNKED_EOF",
+    "encode_response_head",
+    # websocket codec
+    "OP_CONT",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "WebSocketProtocolError",
+    "accept_key",
+    "encode_frame",
+    "close_payload",
+    "FrameParser",
+    # server
+    "IngressServer",
+]

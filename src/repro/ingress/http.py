@@ -1,0 +1,208 @@
+"""A minimal stdlib HTTP/1.1 codec for the ingress front door.
+
+aiohttp is deliberately not a dependency — the container bakes in only
+the scientific toolchain — so the front door speaks just enough
+HTTP/1.1 itself: request-line and header parsing on the way in, chunked
+transfer framing in both directions (the streaming transport a proxy
+front door actually needs), and status-line/header assembly on the way
+out.  Everything operates on ``asyncio.StreamReader`` /
+``StreamWriter`` pairs from ``asyncio.start_server``.
+
+Limits are deliberately tight (this is a demo-grade ingress, not a
+hardened reverse proxy): header blocks over ``MAX_HEADER_BYTES`` and
+chunks over ``MAX_CHUNK_BYTES`` abort the connection with
+:class:`HttpProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "HttpProtocolError",
+    "HttpRequest",
+    "read_request",
+    "read_body",
+    "encode_chunk",
+    "CHUNKED_EOF",
+    "encode_response_head",
+    "REASONS",
+]
+
+#: Upper bound on the request line plus all headers.
+MAX_HEADER_BYTES = 32 * 1024
+#: Upper bound on one chunked-transfer chunk (and on Content-Length bodies
+#: read in one piece per read call).
+MAX_CHUNK_BYTES = 4 * 1024 * 1024
+
+#: Terminator of a chunked-transfer body (zero-size chunk, no trailers).
+CHUNKED_EOF = b"0\r\n\r\n"
+
+#: The subset of reason phrases the ingress routes actually emit.
+REASONS: Dict[int, str] = {
+    200: "OK",
+    101: "Switching Protocols",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+
+class HttpProtocolError(Exception):
+    """The peer sent something the minimal codec refuses to parse."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request head (the body stays on the reader)."""
+
+    method: str
+    target: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: str = "") -> str:
+        """A header value by case-insensitive name (``default`` if absent)."""
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def path(self) -> str:
+        """The request target without its query string."""
+        return self.target.split("?", 1)[0]
+
+    @property
+    def wants_websocket(self) -> bool:
+        """True when the request asks to upgrade to a WebSocket."""
+        return ("websocket" in self.header("upgrade").lower()
+                and "upgrade" in self.header("connection").lower())
+
+    @property
+    def chunked(self) -> bool:
+        """True when the body uses chunked transfer encoding."""
+        return "chunked" in self.header("transfer-encoding").lower()
+
+    @property
+    def content_length(self) -> Optional[int]:
+        """The declared body length, or None when absent/chunked."""
+        value = self.header("content-length")
+        if not value or self.chunked:
+            return None
+        try:
+            length = int(value)
+        except ValueError as exc:
+            raise HttpProtocolError(f"bad Content-Length: {value!r}") from exc
+        if length < 0:
+            raise HttpProtocolError(f"bad Content-Length: {value!r}")
+        return length
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request head off ``reader``.
+
+    Returns None when the client closed the connection cleanly before
+    sending anything; raises :class:`HttpProtocolError` on malformed or
+    oversized input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpProtocolError("connection closed mid-header") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpProtocolError("header block too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpProtocolError("header block too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpProtocolError("undecodable header block") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpProtocolError(f"bad request line: {lines[0]!r}")
+    method, target, version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpProtocolError(f"bad header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return HttpRequest(method=method.upper(), target=target,
+                       version=version, headers=headers)
+
+
+async def _read_chunked(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+    """Yield the data chunks of a chunked-transfer body."""
+    while True:
+        try:
+            size_line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise HttpProtocolError("connection closed mid-chunk") from exc
+        size_text = size_line.strip().split(b";", 1)[0]  # ignore extensions
+        try:
+            size = int(size_text, 16)
+        except ValueError as exc:
+            raise HttpProtocolError(f"bad chunk size: {size_line!r}") from exc
+        if size > MAX_CHUNK_BYTES:
+            raise HttpProtocolError(f"chunk of {size} bytes exceeds limit")
+        if size == 0:
+            # Trailer section: skip to the blank line.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    return
+        try:
+            data = await reader.readexactly(size + 2)  # chunk + CRLF
+        except asyncio.IncompleteReadError as exc:
+            raise HttpProtocolError("connection closed mid-chunk") from exc
+        yield data[:-2]
+
+
+async def read_body(request: HttpRequest,
+                    reader: asyncio.StreamReader,
+                    chunk_size: int = 65536) -> AsyncIterator[bytes]:
+    """Yield the request body as it arrives (chunked or Content-Length).
+
+    A request with neither ``Transfer-Encoding: chunked`` nor a
+    ``Content-Length`` yields nothing (this server never assumes
+    read-until-close bodies).
+    """
+    if request.chunked:
+        async for chunk in _read_chunked(reader):
+            if chunk:
+                yield chunk
+        return
+    length = request.content_length
+    if not length:
+        return
+    remaining = length
+    while remaining > 0:
+        try:
+            data = await reader.readexactly(min(chunk_size, remaining))
+        except asyncio.IncompleteReadError as exc:
+            raise HttpProtocolError("connection closed mid-body") from exc
+        remaining -= len(data)
+        yield data
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame for ``data`` (b"" encodes the EOF frame)."""
+    if not data:
+        return CHUNKED_EOF
+    return b"%x\r\n%s\r\n" % (len(data), data)
+
+
+def encode_response_head(status: int,
+                         headers: Iterable[Tuple[str, str]] = ()) -> bytes:
+    """A status line plus headers, ready to write before any body bytes."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

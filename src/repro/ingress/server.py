@@ -1,0 +1,309 @@
+"""The HTTP/WebSocket front door: real network clients as proxy streams.
+
+:class:`IngressServer` listens with ``asyncio.start_server`` and turns
+each streaming client into one proxy stream via
+:class:`~repro.ingress.bridge.IngressStreamBridge`:
+
+* ``POST /stream`` — the request body (chunked transfer or
+  Content-Length) flows through the proxy's filter chain and the chain's
+  output streams back as the chunked response, concurrently, so a client
+  can pipe audio in and read the proxied result with plain ``curl``;
+* ``GET /stream`` with ``Upgrade: websocket`` — each binary message in
+  becomes one chain payload; each chain output payload comes back as one
+  binary message;
+* ``GET /healthz`` — liveness JSON; ``GET /`` — a usage page.
+
+A client disconnect mid-stream aborts its bridge — the proxy stream is
+torn down exactly as when a mobile receiver leaves the wireless cell,
+and every other client's stream keeps running.  Per-stream filters come
+from the server's ``filter_factory`` so each client gets fresh filter
+instances (FEC state is per-stream).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Iterable, Optional
+
+from .bridge import DEFAULT_MAX_ITEMS, IngressStreamBridge
+from .http import (
+    CHUNKED_EOF,
+    HttpProtocolError,
+    HttpRequest,
+    encode_chunk,
+    encode_response_head,
+    read_body,
+    read_request,
+)
+from .websocket import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    FrameParser,
+    WebSocketProtocolError,
+    accept_key,
+    close_payload,
+    encode_frame,
+)
+
+__all__ = ["IngressServer"]
+
+_INDEX_BODY = b"""\
+repro ingress: composable proxy filters behind HTTP.
+
+  POST /stream   request body -> filter chain -> chunked response
+  GET  /stream   (Upgrade: websocket) binary message <-> chain payload
+  GET  /healthz  liveness
+
+Example:
+  curl -s -N --data-binary @file http://HOST:PORT/stream
+"""
+
+
+class IngressServer:
+    """Serve a proxy's filter chains to HTTP and WebSocket clients.
+
+    ``filter_factory`` is called once per connecting client and returns
+    the fresh filter instances for that client's chain (default: an
+    unfiltered passthrough stream).  ``frame_stream`` selects framed
+    (packet) chains, for filters such as the FEC pair that operate on
+    packets rather than raw bytes.
+    """
+
+    def __init__(self, proxy, host: str = "127.0.0.1", port: int = 0,
+                 filter_factory: Optional[Callable[[], Iterable]] = None,
+                 frame_stream: bool = False,
+                 max_pending: int = DEFAULT_MAX_ITEMS,
+                 max_buffered: int = DEFAULT_MAX_ITEMS) -> None:
+        self.proxy = proxy
+        self.host = host
+        self._requested_port = port
+        self.filter_factory = filter_factory or (lambda: ())
+        self.frame_stream = frame_stream
+        self.max_pending = max_pending
+        self.max_buffered = max_buffered
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._client_seq = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the ephemeral port once started)."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting clients (idempotent)."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self._requested_port)
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening sockets (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------- routing
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpProtocolError:
+                await self._respond(writer, 400, b"bad request\n")
+                return
+            if request is None:
+                return
+            if request.path == "/healthz":
+                await self._respond(
+                    writer, 200, b'{"status": "ok"}\n',
+                    content_type="application/json")
+            elif request.path == "/" and request.method == "GET":
+                await self._respond(writer, 200, _INDEX_BODY)
+            elif request.path == "/stream":
+                if request.wants_websocket:
+                    await self._serve_websocket(request, reader, writer)
+                elif request.method == "POST":
+                    await self._serve_post(request, reader, writer)
+                elif request.method == "GET":
+                    await self._respond(
+                        writer, 426, b"use POST or a websocket upgrade\n",
+                        extra_headers=(("Upgrade", "websocket"),))
+                else:
+                    await self._respond(writer, 405, b"method not allowed\n")
+            else:
+                await self._respond(writer, 404, b"not found\n")
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished; bridges were aborted by their handlers
+        except asyncio.CancelledError:
+            return  # server teardown; end the handler task quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       body: bytes, content_type: str = "text/plain",
+                       extra_headers: Iterable = ()) -> None:
+        headers = [("Content-Type", content_type),
+                   ("Content-Length", str(len(body))),
+                   ("Connection", "close"), *extra_headers]
+        writer.write(encode_response_head(status, headers) + body)
+        await writer.drain()
+
+    def _make_bridge(self, kind: str) -> IngressStreamBridge:
+        self._client_seq += 1
+        return IngressStreamBridge(
+            self.proxy, name=f"{kind}-{self._client_seq}",
+            filters=self.filter_factory(),
+            frame_stream=self.frame_stream,
+            max_pending=self.max_pending,
+            max_buffered=self.max_buffered)
+
+    # ---------------------------------------------------------- POST route
+
+    async def _serve_post(self, request: HttpRequest,
+                          reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """Stream the request body through a chain into the response.
+
+        Feeding the body and emitting the response run as concurrent
+        tasks: with both directions bounded (``max_pending`` items in,
+        ``max_buffered`` out) a sequential read-all-then-respond loop
+        would deadlock on any body larger than the two queues — exactly
+        the scenario a streaming proxy exists for.
+        """
+        bridge = self._make_bridge("http")
+        writer.write(encode_response_head(200, [
+            ("Content-Type", "application/octet-stream"),
+            ("Transfer-Encoding", "chunked"),
+            ("Connection", "close")]))
+
+        async def feed() -> None:
+            async for chunk in read_body(request, reader):
+                if not await bridge.send(chunk, timeout=30.0):
+                    return
+            bridge.close_input()
+
+        async def emit() -> None:
+            while True:
+                payload = await bridge.receive()
+                if payload is None:
+                    break
+                writer.write(encode_chunk(payload))
+                await writer.drain()  # TCP back-pressure from the client
+            writer.write(CHUNKED_EOF)
+            await writer.drain()
+
+        try:
+            await asyncio.gather(feed(), emit())
+        except (ConnectionError, asyncio.IncompleteReadError,
+                HttpProtocolError, TimeoutError):
+            # Disconnect (or a malformed tail) mid-stream: drop the
+            # stream, exactly like a receiver leaving the cell.
+            bridge.abort()
+            raise
+        finally:
+            bridge.abort()  # idempotent; normal completion cleans up too
+
+    # ----------------------------------------------------- WebSocket route
+
+    async def _serve_websocket(self, request: HttpRequest,
+                               reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        """One WebSocket client <-> one proxy stream, full duplex."""
+        key = request.header("sec-websocket-key")
+        if not key:
+            await self._respond(writer, 400, b"missing Sec-WebSocket-Key\n")
+            return
+        writer.write(encode_response_head(101, [
+            ("Upgrade", "websocket"),
+            ("Connection", "Upgrade"),
+            ("Sec-WebSocket-Accept", accept_key(key))]))
+        await writer.drain()
+
+        bridge = self._make_bridge("ws")
+        parser = FrameParser(require_masked=True)
+        send_lock = asyncio.Lock()  # pongs and payloads share the socket
+
+        async def pump_in() -> None:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    bridge.close_input()
+                    return
+                for opcode, payload in parser.feed(data):
+                    if opcode in (OP_BINARY, OP_TEXT):
+                        await bridge.send(payload, timeout=30.0)
+                    elif opcode == OP_PING:
+                        async with send_lock:
+                            writer.write(encode_frame(OP_PONG, payload))
+                            await writer.drain()
+                    elif opcode == OP_CLOSE:
+                        bridge.close_input()
+                        return
+                    # OP_PONG: heartbeat reply, nothing to do
+
+        async def pump_out() -> None:
+            while True:
+                payload = await bridge.receive()
+                if payload is None:
+                    break
+                async with send_lock:
+                    writer.write(encode_frame(OP_BINARY, payload))
+                    # drain() under the lock: a slow reader back-pressures
+                    # us here, receive() stops draining the sink, and the
+                    # engine parks the upstream chain on its high-water
+                    # mark — bounded memory end to end.
+                    await writer.drain()
+            async with send_lock:
+                writer.write(encode_frame(OP_CLOSE, close_payload()))
+                await writer.drain()
+
+        try:
+            await asyncio.gather(pump_in(), pump_out())
+        except (ConnectionError, asyncio.IncompleteReadError,
+                WebSocketProtocolError, TimeoutError):
+            bridge.abort()
+            raise
+        finally:
+            bridge.abort()
+
+    # ----------------------------------------------------------- inspection
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (used by tests and the example)."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "frame_stream": self.frame_stream,
+            "proxy": getattr(self.proxy, "name", None),
+            "clients_seen": self._client_seq,
+        }
+
+
+def _json_default(obj):  # pragma: no cover - debugging aid
+    return repr(obj)
+
+
+def describe_json(server: IngressServer) -> str:
+    """The server summary as JSON text (debugging/ops convenience)."""
+    return json.dumps(server.describe(), default=_json_default)

@@ -3,13 +3,16 @@
 An :class:`ExecutionEngine` owns *how* the elements of a filter chain run —
 it decouples the composition layer (:mod:`repro.core.control_thread`) from
 the concurrency model, exactly as :mod:`repro.fec.backend` decouples the
-erasure code from its field algebra.  Two engines ship with the repo:
+erasure code from its field algebra.  Three engines ship with the repo:
 
 * :class:`~repro.runtime.threaded.ThreadedEngine` — one worker thread per
   chain element, the paper's original model and the reference semantics;
 * :class:`~repro.runtime.event.EventEngine` — a single-threaded cooperative
   scheduler that pumps filters only when their DIS reports readiness, for
-  proxies hosting hundreds of concurrent streams.
+  proxies hosting hundreds of concurrent streams;
+* :class:`~repro.runtime.asyncio_engine.AsyncioEngine` — the same
+  cooperative pump step hosted on an ``asyncio`` event loop, for proxies
+  embedded in asyncio applications.
 
 Engines are held in a process-wide registry of factories.  Selection, in
 priority order:
@@ -58,8 +61,11 @@ class ExecutionEngine(ABC):
         element.stop(timeout=timeout)
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Release engine-wide resources (idempotent; elements must already
-        be stopped by their ControlThreads)."""
+        """Release engine-wide resources.
+
+        Idempotent; elements must already be stopped by their
+        ControlThreads.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -117,6 +117,7 @@ class EventEngine(ExecutionEngine):
     # ------------------------------------------------------------- lifecycle
 
     def start_element(self, element) -> None:
+        """Adopt ``element``: pump cooperatively, or thread if it blocks."""
         if getattr(element, "cooperative_capable", True):
             with self._cond:
                 # Refuse before binding: a half-bound element could never be
@@ -146,6 +147,7 @@ class EventEngine(ExecutionEngine):
             element.start()
 
     def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the scheduler thread and close the selector (idempotent)."""
         with self._cond:
             self._stopping = True
             self._wake = True
@@ -301,6 +303,7 @@ class EventEngine(ExecutionEngine):
 
     @property
     def scheduler_alive(self) -> bool:
+        """Whether the scheduler thread is currently running."""
         scheduler = self._scheduler
         return scheduler is not None and scheduler.is_alive()
 
@@ -441,15 +444,14 @@ class EventEngine(ExecutionEngine):
                 self._wake = False
 
     def _sleep_s(self) -> float:
-        """How long the idle scheduler may sleep: the heartbeat, shortened
-        to the nearest timer-wheel deadline."""
+        """Idle sleep budget: the heartbeat, cut to the next timer deadline."""
         if not self._timers:
             return self._heartbeat_s
         return min(self._heartbeat_s,
                    max(self._timers[0][0] - time.monotonic(), 0.0))
 
     def _ready(self, element) -> bool:
-        """Would pumping ``element`` make progress right now?"""
+        """Decide whether pumping ``element`` would make progress right now."""
         if element.stop_requested:
             return True
         if element.held:

@@ -25,6 +25,7 @@ class ThreadedEngine(ExecutionEngine):
         _obs_register_engine(self)
 
     def start_element(self, element) -> None:
+        """Launch ``element``'s dedicated worker thread."""
         element.start()
         self.elements_started += 1
 

@@ -8,8 +8,22 @@ This package reproduces the paper's detachable Java I/O streams in Python:
 * :class:`~repro.streams.buffer.StreamBuffer` — the bounded byte buffer held
   at the DIS side;
 * :mod:`~repro.streams.framing` — length-prefixed packet framing so
-  packet-oriented filters (FEC, transcoders) can ride on byte streams.
+  packet-oriented filters (FEC, transcoders) can ride on byte streams;
+* :mod:`~repro.streams.awaitable` — asyncio adapters that turn the
+  streams' ``subscribe()`` callbacks into awaitable readiness, so
+  coroutine code (the asyncio engine, the ingress front door) can wait
+  on a DIS/DOS without blocking a thread.
 """
+
+from .awaitable import (
+    DEFAULT_RECHECK_S,
+    AsyncStreamEvent,
+    read_async,
+    read_chunks_async,
+    wait_readable,
+    wait_writable,
+    write_async,
+)
 
 from .buffer import DEFAULT_CAPACITY, StreamBuffer
 from .detachable import (
@@ -64,4 +78,11 @@ __all__ = [
     "FRAME_MAGIC",
     "HEADER_SIZE",
     "MAX_FRAME_SIZE",
+    "DEFAULT_RECHECK_S",
+    "AsyncStreamEvent",
+    "wait_readable",
+    "wait_writable",
+    "read_async",
+    "read_chunks_async",
+    "write_async",
 ]

@@ -1,0 +1,200 @@
+"""Awaitable readiness for detachable streams.
+
+The detachable streams were built for threads: readers block on a
+condition variable, and non-blocking callers poll ``available()`` or hang
+a ``subscribe()`` listener.  This module adds the third idiom — *awaiting*
+— so asyncio code (the :mod:`repro.ingress` front door, application
+coroutines running next to an :class:`~repro.runtime.AsyncioEngine`) can
+wait for stream readiness without burning a thread per stream.
+
+The bridge is deliberately thin: :class:`AsyncStreamEvent` turns any
+object with ``subscribe()``/``unsubscribe()`` (a DIS, a DOS, a transport
+receiver) into an ``asyncio.Event`` that is set — threadsafely, from
+whatever thread fired the listener — whenever the subject reports an
+event.  The helpers built on it (:func:`wait_readable`,
+:func:`read_async`, :func:`read_chunks_async`, :func:`write_async`)
+follow the classic subscribe → recheck → await pattern so a notification
+landing between the predicate check and the await is never lost.
+
+Nothing here changes the streams themselves: the condition-variable path
+and the listener path are untouched, and the two can be mixed freely
+(e.g. a threaded filter writing into a DOS that an asyncio reader
+awaits).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional
+
+from .exceptions import StreamTimeoutError
+
+__all__ = [
+    "AsyncStreamEvent",
+    "wait_readable",
+    "wait_writable",
+    "read_async",
+    "read_chunks_async",
+    "write_async",
+]
+
+#: Upper bound on one predicate re-check interval while awaiting.  Every
+#: relevant state change fires a listener, so this is a lost-wakeup safety
+#: net (the awaitable twin of the engines' scheduler heartbeat).
+DEFAULT_RECHECK_S = 0.5
+
+
+class AsyncStreamEvent:
+    """Bridge a ``subscribe()``-style subject onto an ``asyncio.Event``.
+
+    The subject's listeners fire on arbitrary threads (a filter pump, a
+    transport delivery thread); the event must only be touched on its
+    loop.  ``call_soon_threadsafe`` does the marshalling, and a closed
+    loop during teardown is swallowed — the waiter is gone anyway.
+
+    Use as a context manager so the listener is always unsubscribed::
+
+        with AsyncStreamEvent(dis) as ev:
+            while not predicate():
+                await ev.wait()
+    """
+
+    def __init__(self, subject,
+                 loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._subject = subject
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._event = asyncio.Event()
+        self._subscribed = False
+
+    def __enter__(self) -> "AsyncStreamEvent":
+        self._subject.subscribe(self._notify)
+        self._subscribed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Unsubscribe from the subject (idempotent)."""
+        if self._subscribed:
+            self._subject.unsubscribe(self._notify)
+            self._subscribed = False
+
+    def _notify(self) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._event.set)
+        except RuntimeError:
+            pass  # loop closed while the stream was tearing down
+
+    def set(self) -> None:
+        """Set the event directly (loop thread only)."""
+        self._event.set()
+
+    async def wait(self, timeout: Optional[float] = DEFAULT_RECHECK_S) -> None:
+        """Wait until notified, or until ``timeout`` elapses, then reset.
+
+        Waking on timeout is deliberate: callers re-check their predicate
+        each wake, so a lost notification degrades to a bounded hiccup
+        instead of a hang.
+        """
+        if timeout is None:
+            await self._event.wait()
+        else:
+            try:
+                await asyncio.wait_for(self._event.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        self._event.clear()
+
+
+async def _await_predicate(subject, predicate: Callable[[], bool],
+                           timeout: Optional[float]) -> bool:
+    """subscribe → recheck → await until ``predicate()`` or ``timeout``."""
+    if predicate():
+        return True
+    loop = asyncio.get_running_loop()
+    deadline = None if timeout is None else loop.time() + timeout
+    with AsyncStreamEvent(subject, loop=loop) as event:
+        while True:
+            # Re-check *after* subscribing: an event fired in between
+            # would otherwise be lost.
+            if predicate():
+                return True
+            wait_s = DEFAULT_RECHECK_S
+            if deadline is not None:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    return predicate()
+                wait_s = min(wait_s, remaining)
+            await event.wait(wait_s)
+
+
+async def wait_readable(dis, timeout: Optional[float] = None) -> bool:
+    """Await until ``dis`` has buffered bytes or has reached EOF.
+
+    Returns ``True`` when a read would make progress (data buffered, or
+    EOF so a read returns ``b""`` immediately); ``False`` on timeout.
+    """
+    return await _await_predicate(
+        dis, lambda: dis.available() > 0 or dis.at_eof(), timeout)
+
+
+async def wait_writable(dos, timeout: Optional[float] = None) -> bool:
+    """Await until a ``try_write`` on ``dos`` would be accepted.
+
+    Writable means: attached to a sink whose buffer is under capacity
+    (``try_write`` force-delivers, so at-capacity only means *waiting
+    would be polite*, not that the write would fail — this helper is the
+    polite path).  Returns ``False`` on timeout.
+    """
+    def _writable() -> bool:
+        if not dos.connected:
+            return False
+        sink = dos.sink
+        if sink is None:
+            return False
+        capacity = sink.buffer.capacity
+        return capacity is None or sink.available() < capacity
+
+    return await _await_predicate(dos, _writable, timeout)
+
+
+async def read_async(dis, max_bytes: int = 65536,
+                     timeout: Optional[float] = None) -> bytes:
+    """Awaitable :meth:`DetachableInputStream.read`.
+
+    Waits for readability without blocking the loop, then drains with the
+    stream's own non-blocking read.  Returns ``b""`` at EOF; raises
+    :class:`~repro.streams.exceptions.StreamTimeoutError` on timeout,
+    mirroring the blocking API.
+    """
+    if not await wait_readable(dis, timeout):
+        raise StreamTimeoutError("read_async timed out")
+    return dis.read(max_bytes, timeout=0)
+
+
+async def read_chunks_async(dis, max_bytes: int = 65536,
+                            timeout: Optional[float] = None,
+                            max_chunk: Optional[int] = None) -> List[bytes]:
+    """Awaitable :meth:`DetachableInputStream.read_chunks`.
+
+    Returns whole buffered chunks (``[]`` only at EOF); raises
+    :class:`~repro.streams.exceptions.StreamTimeoutError` on timeout.
+    """
+    if not await wait_readable(dis, timeout):
+        raise StreamTimeoutError("read_chunks_async timed out")
+    return dis.read_chunks(max_bytes, timeout=0, max_chunk=max_chunk)
+
+
+async def write_async(dos, data: bytes,
+                      timeout: Optional[float] = None) -> bool:
+    """Write ``data`` to ``dos``, awaiting downstream room first.
+
+    The cooperative twin of the blocking ``write``: waits until the sink
+    buffer is under capacity (back-pressure as an await, not a blocked
+    thread), then delivers with ``try_write``.  Returns ``False`` when the
+    stream stayed detached or over capacity for the whole ``timeout``.
+    """
+    if not await wait_writable(dos, timeout):
+        return False
+    return dos.try_write(data)

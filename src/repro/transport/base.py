@@ -197,6 +197,7 @@ class DatagramReceiver(ABC):
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
         return self._closed
 
     # -- readiness hooks -------------------------------------------------------
@@ -209,6 +210,7 @@ class DatagramReceiver(ABC):
             self._listeners.append(listener)
 
     def unsubscribe(self, listener: ReceiverListener) -> None:
+        """Remove a previously registered listener (missing is a no-op)."""
         self._listeners = [cb for cb in self._listeners if cb != listener]
 
     def _fire_listeners(self) -> None:
@@ -285,6 +287,7 @@ class DatagramChannel(ABC):
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
         return self._closed
 
     def _account(self, nbytes: int) -> None:

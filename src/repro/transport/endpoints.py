@@ -55,6 +55,7 @@ class TransportSource(SourceEndPoint):
     # -- engine integration ----------------------------------------------------
 
     def bind_engine(self, engine) -> "TransportSource":
+        """Bind to a cooperative engine and hook up receiver readiness."""
         super().bind_engine(engine)
         # Queue-backed receivers signal arrivals through this hook; for
         # socket-backed receivers it only fires on explicit state changes
@@ -67,11 +68,13 @@ class TransportSource(SourceEndPoint):
         return self.receiver.selectable_fileno()
 
     def wants_input_pump(self) -> bool:
+        """True when queued payloads (or EOF) make a pump worthwhile."""
         return self.receiver.pending() > 0 or self.receiver.at_eof()
 
     # -- production ------------------------------------------------------------
 
     def produce(self) -> Optional[bytes]:
+        """Emit the next received payload (None at end-of-stream)."""
         if self.cooperative:
             # Never block: emit a queued payload, EOF, or nothing (b"" is
             # skipped by the pump and the engine re-parks us until the
@@ -90,6 +93,7 @@ class TransportSource(SourceEndPoint):
         return None
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Stop producing and detach from the receiver's readiness hook."""
         super().stop(timeout=timeout)
         self.receiver.unsubscribe(self._notify_engine)
 
@@ -119,9 +123,11 @@ class TransportSink(SinkEndPoint):
         self.close_channel_on_eof = close_channel_on_eof
 
     def consume(self, data: bytes) -> None:
+        """Multicast one packet onto the channel."""
         self.channel.send(data)
 
     def finalize(self):
+        """Propagate chain end-of-stream by closing the channel."""
         result = super().finalize()
         if self.close_channel_on_eof and not self.channel.closed:
             self.channel.close()

@@ -75,12 +75,14 @@ class InprocChannel(DatagramChannel):
 
     @property
     def access_point(self) -> AccessPoint:
+        """The simulated LAN's access point (sender side)."""
         return self.wlan.access_point
 
     def join(self, member: str, distance_m: Optional[float] = None,
              loss_model: Optional[LossModel] = None,
              seed: Optional[int] = None, on_receive=None,
              queue_payloads: bool = True, **_options) -> InprocReceiver:
+        """Add a member with the simulation's receiver options."""
         with self._lock:
             if member in self._receivers:
                 raise TransportError(
@@ -98,6 +100,7 @@ class InprocChannel(DatagramChannel):
             return receiver
 
     def leave(self, member: str) -> None:
+        """Remove a member from channel and simulation (missing is a no-op)."""
         with self._lock:
             receiver = self._receivers.pop(member, None)
         self.access_point.remove_receiver(member)
@@ -105,18 +108,22 @@ class InprocChannel(DatagramChannel):
             receiver._mark_eof()
 
     def members(self) -> List[str]:
+        """Names of the current members."""
         with self._lock:
             return sorted(self._receivers)
 
     def receiver(self, member: str) -> InprocReceiver:
+        """Look up a member's receiving end (KeyError when absent)."""
         with self._lock:
             return self._receivers[member]
 
     def local_receivers(self) -> List[InprocReceiver]:
+        """Receivers this process hosts (all of them, for inproc)."""
         with self._lock:
             return list(self._receivers.values())
 
     def send(self, data: bytes) -> int:
+        """Multicast through the simulated LAN; returns members targeted."""
         if self._closed:
             raise TransportError(f"channel {self.name!r}: send after close")
         record = self.access_point.multicast(bytes(data))
@@ -124,6 +131,7 @@ class InprocChannel(DatagramChannel):
         return len(record.delivered_to) + len(record.lost_by)
 
     def send_to(self, member: str, data: bytes) -> bool:
+        """Unicast through the simulated LAN; True when the member exists."""
         if self._closed:
             raise TransportError(f"channel {self.name!r}: send after close")
         try:
@@ -134,6 +142,7 @@ class InprocChannel(DatagramChannel):
         return True
 
     def close(self) -> None:
+        """End the stream: every member observes EOF after draining."""
         with self._lock:
             if self._closed:
                 return
@@ -186,6 +195,7 @@ class InprocTransport(MemoryStreamServiceMixin, Transport):
                      wlan: Optional[WirelessLAN] = None,
                      seed: Optional[int] = None,
                      **_options) -> InprocChannel:
+        """Create (or look up) a channel with stable per-channel seeding."""
         with self._channel_lock:
             channel = self._channels.get(name)
             if channel is None:
@@ -200,6 +210,7 @@ class InprocTransport(MemoryStreamServiceMixin, Transport):
             return channel
 
     def close(self) -> None:
+        """Close every channel and listener (idempotent)."""
         with self._channel_lock:
             channels = list(self._channels.values())
             self._channels.clear()

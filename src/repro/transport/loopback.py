@@ -57,24 +57,29 @@ class LoopbackChannel(DatagramChannel):
             return receiver
 
     def leave(self, member: str) -> None:
+        """Remove a member (missing is a no-op); it observes EOF."""
         with self._lock:
             receiver = self._receivers.pop(member, None)
         if receiver is not None:
             receiver._mark_eof()
 
     def members(self) -> List[str]:
+        """Names of the current members."""
         with self._lock:
             return sorted(self._receivers)
 
     def receiver(self, member: str) -> LoopbackReceiver:
+        """Look up a member's receiving end (KeyError when absent)."""
         with self._lock:
             return self._receivers[member]
 
     def local_receivers(self) -> List[LoopbackReceiver]:
+        """Receivers this process hosts (all of them, for loopback)."""
         with self._lock:
             return list(self._receivers.values())
 
     def send(self, data: bytes) -> int:
+        """Enqueue one datagram at every member; returns members targeted."""
         data = bytes(data)
         with self._lock:
             if self._closed:
@@ -86,6 +91,7 @@ class LoopbackChannel(DatagramChannel):
         return len(receivers)
 
     def send_to(self, member: str, data: bytes) -> bool:
+        """Enqueue one datagram at a single member; True when it exists."""
         with self._lock:
             if self._closed:
                 raise TransportError(f"channel {self.name!r}: send after close")
@@ -97,6 +103,7 @@ class LoopbackChannel(DatagramChannel):
         return True
 
     def close(self) -> None:
+        """End the stream: every member observes EOF after draining."""
         with self._lock:
             if self._closed:
                 return
@@ -161,16 +168,20 @@ class MemoryStreamConnection(StreamConnection):
         self._closed = False
 
     def send(self, data: bytes) -> None:
+        """Deliver every byte of ``data`` to the peer."""
         self._outbound.put(data)
 
     def recv(self, max_bytes: int = 65536,
              timeout: Optional[float] = None) -> bytes:
+        """Read up to ``max_bytes``; empty bytes only at end-of-stream."""
         return self._inbound.get(max_bytes, timeout)
 
     def close_sending(self) -> None:
+        """Half-close: signal end-of-stream to the peer, keep receiving."""
         self._outbound.close()
 
     def close(self) -> None:
+        """Close both directions (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -197,6 +208,7 @@ class MemoryStreamListener(StreamListener):
 
     @property
     def address(self) -> str:
+        """The string address peers pass to ``connect``."""
         return self._address
 
     def _offer(self, server_end: MemoryStreamConnection) -> None:
@@ -208,6 +220,7 @@ class MemoryStreamListener(StreamListener):
             self._cond.notify_all()
 
     def accept(self, timeout: Optional[float] = None) -> MemoryStreamConnection:
+        """Wait for one inbound connection (TransportTimeoutError on timeout)."""
         deadline = None if timeout is None else _monotonic() + timeout
         with self._cond:
             while not self._pending:
@@ -226,13 +239,14 @@ class MemoryStreamListener(StreamListener):
             return self._pending.popleft()
 
     def close(self) -> None:
+        """Stop accepting; blocked accepts raise TransportError."""
         with self._cond:
             self._closed = True
             self._cond.notify_all()
 
 
 class MemoryStreamServiceMixin:
-    """listen()/connect() over in-memory pipes, keyed by string address."""
+    """Stream service over in-memory pipes, keyed by string address."""
 
     def __init__(self) -> None:
         self._listeners: Dict[str, MemoryStreamListener] = {}
@@ -240,6 +254,7 @@ class MemoryStreamServiceMixin:
         self._listener_seq = 0
 
     def listen(self, address=None) -> MemoryStreamListener:
+        """Open a listener (``None`` picks a fresh string address)."""
         with self._listener_lock:
             if address is None:
                 self._listener_seq += 1
@@ -252,6 +267,7 @@ class MemoryStreamServiceMixin:
             return listener
 
     def connect(self, address) -> MemoryStreamConnection:
+        """Connect to a listener's address, returning the client end."""
         with self._listener_lock:
             listener = self._listeners.get(address)
         if listener is None:
@@ -280,6 +296,7 @@ class LoopbackTransport(MemoryStreamServiceMixin, Transport):
         self._channel_lock = threading.Lock()
 
     def open_channel(self, name: str = "default", **_options) -> LoopbackChannel:
+        """Create (or look up) the named lossless channel."""
         with self._channel_lock:
             channel = self._channels.get(name)
             if channel is None:
@@ -288,6 +305,7 @@ class LoopbackTransport(MemoryStreamServiceMixin, Transport):
             return channel
 
     def close(self) -> None:
+        """Close every channel and listener (idempotent)."""
         with self._channel_lock:
             channels = list(self._channels.values())
             self._channels.clear()

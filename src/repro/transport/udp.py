@@ -137,22 +137,27 @@ class UdpReceiver(DatagramReceiver):
     # -- host-facing API (drain-first variants) --------------------------------
 
     def poll(self) -> Optional[bytes]:
+        """Drain the socket, then return the next payload (non-blocking)."""
         self._drain_socket()
         return super().poll()
 
     def pending(self) -> int:
+        """Drain the socket, then count the unread payloads."""
         self._drain_socket()
         return super().pending()
 
     def at_eof(self) -> bool:
+        """Drain the socket, then report end-of-stream."""
         self._drain_socket()
         return super().at_eof()
 
     def take(self) -> List[bytes]:
+        """Drain the socket, then return everything delivered so far."""
         self._drain_socket()
         return super().take()
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Return the next payload, blocking in ``select`` up to ``timeout``."""
         deadline = None if timeout is None else _monotonic() + timeout
         while True:
             self._drain_socket()
@@ -177,12 +182,14 @@ class UdpReceiver(DatagramReceiver):
                     f"receiver {self.name!r}: recv timed out")
 
     def selectable_fileno(self) -> Optional[int]:
+        """The receiver socket's fd, for the event engine's selector."""
         try:
             return self._socket.fileno()
         except OSError:  # pragma: no cover - closed socket
             return None
 
     def close(self) -> None:
+        """Stop receiving and close the bound socket."""
         super().close()
         try:
             self._socket.close()
@@ -270,6 +277,7 @@ class UdpChannel(DatagramChannel):
             self._members[member] = (address[0], int(address[1]))
 
     def leave(self, member: str) -> None:
+        """Remove a member, closing its local receiver if there is one."""
         with self._lock:
             self._members.pop(member, None)
             receiver = self._receivers.pop(member, None)
@@ -277,14 +285,17 @@ class UdpChannel(DatagramChannel):
             receiver.close()
 
     def members(self) -> List[str]:
+        """Names of the current members, local and remote."""
         with self._lock:
             return sorted(set(self._members) | set(self._receivers))
 
     def receiver(self, member: str) -> UdpReceiver:
+        """Look up a locally joined member's receiver (KeyError when absent)."""
         with self._lock:
             return self._receivers[member]
 
     def local_receivers(self) -> List[UdpReceiver]:
+        """Receivers this process hosts (remote members have none here)."""
         with self._lock:
             return list(self._receivers.values())
 
@@ -315,6 +326,7 @@ class UdpChannel(DatagramChannel):
         return sent
 
     def send(self, data: bytes) -> int:
+        """Transmit one framed datagram per member (or one, multicast)."""
         if self._closed:
             raise TransportError(f"channel {self.name!r}: send after close")
         wire = encode_datagram(data)
@@ -328,6 +340,7 @@ class UdpChannel(DatagramChannel):
         return sent
 
     def send_to(self, member: str, data: bytes) -> bool:
+        """Unicast one framed datagram to a member; True when sent."""
         if self._closed:
             raise TransportError(f"channel {self.name!r}: send after close")
         if self.multicast_group is not None:
@@ -383,9 +396,11 @@ class TcpStreamConnection(StreamConnection):
 
     @property
     def socket(self) -> socket.socket:
+        """The underlying connected TCP socket."""
         return self._socket
 
     def send(self, data: bytes) -> None:
+        """Deliver every byte of ``data`` (TransportError on socket error)."""
         try:
             self._socket.sendall(bytes(data))
         except OSError as exc:
@@ -393,6 +408,7 @@ class TcpStreamConnection(StreamConnection):
 
     def recv(self, max_bytes: int = 65536,
              timeout: Optional[float] = None) -> bytes:
+        """Read up to ``max_bytes``; empty bytes only at end-of-stream."""
         try:
             self._socket.settimeout(timeout)
             return self._socket.recv(max_bytes)
@@ -402,6 +418,7 @@ class TcpStreamConnection(StreamConnection):
             return b""  # connection reset / closed under us: end of stream
 
     def close_sending(self) -> None:
+        """Half-close: TCP FIN to the peer, keep receiving."""
         try:
             self._socket.shutdown(socket.SHUT_WR)
         except OSError:
@@ -415,6 +432,7 @@ class TcpStreamConnection(StreamConnection):
             pass
 
     def close(self) -> None:
+        """Close both directions (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -424,6 +442,7 @@ class TcpStreamConnection(StreamConnection):
             pass
 
     def fileno(self) -> Optional[int]:
+        """The connected socket's fd (None once closed)."""
         try:
             return self._socket.fileno()
         except OSError:  # pragma: no cover - closed socket
@@ -443,9 +462,11 @@ class TcpStreamListener(StreamListener):
 
     @property
     def address(self) -> UdpAddress:
+        """The bound ``(host, port)`` peers pass to ``connect``."""
         return self._socket.getsockname()
 
     def accept(self, timeout: Optional[float] = None) -> TcpStreamConnection:
+        """Wait for one inbound TCP connection."""
         try:
             self._socket.settimeout(timeout)
             conn, _peer = self._socket.accept()
@@ -456,6 +477,7 @@ class TcpStreamListener(StreamListener):
         return TcpStreamConnection(conn)
 
     def close(self) -> None:
+        """Stop accepting (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -479,6 +501,7 @@ class UdpTransport(Transport):
     def open_channel(self, name: str = "default",
                      multicast_group: Optional[UdpAddress] = None,
                      multicast_ttl: int = 1, **_options) -> UdpChannel:
+        """Create (or look up) the named channel (optionally IP multicast)."""
         with self._channel_lock:
             channel = self._channels.get(name)
             if channel is None:
@@ -489,12 +512,14 @@ class UdpTransport(Transport):
             return channel
 
     def listen(self, address=None) -> TcpStreamListener:
+        """Open a TCP listener (``None`` binds an ephemeral local port)."""
         listener = TcpStreamListener(address)
         with self._channel_lock:
             self._listeners.append(listener)
         return listener
 
     def connect(self, address) -> TcpStreamConnection:
+        """Open a TCP connection to a listener's address."""
         try:
             sock = socket.create_connection(address)
         except OSError as exc:
@@ -503,6 +528,7 @@ class UdpTransport(Transport):
         return TcpStreamConnection(sock)
 
     def close(self) -> None:
+        """Close every channel, receiver and listener (idempotent)."""
         with self._channel_lock:
             channels = list(self._channels.values())
             self._channels.clear()

@@ -1,0 +1,179 @@
+"""Unit tests for the stdlib HTTP/1.1 ingress codec."""
+
+import asyncio
+
+import pytest
+
+from repro.ingress.http import (
+    CHUNKED_EOF,
+    MAX_CHUNK_BYTES,
+    HttpProtocolError,
+    HttpRequest,
+    encode_chunk,
+    encode_response_head,
+    read_body,
+    read_request,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def feed_reader(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+async def collect_body(request, reader):
+    return [chunk async for chunk in read_body(request, reader)]
+
+
+class TestReadRequest:
+    def test_parses_request_line_and_headers(self):
+        async def scenario():
+            reader = feed_reader(
+                b"POST /stream?x=1 HTTP/1.1\r\n"
+                b"Host: example\r\n"
+                b"Content-Length: 5\r\n\r\nhello")
+            request = await read_request(reader)
+            assert request.method == "POST"
+            assert request.target == "/stream?x=1"
+            assert request.path == "/stream"
+            assert request.version == "HTTP/1.1"
+            assert request.header("host") == "example"
+            assert request.header("HOST") == "example"  # case-insensitive
+            assert request.content_length == 5
+
+        run(scenario())
+
+    def test_clean_close_returns_none(self):
+        async def scenario():
+            assert await read_request(feed_reader(b"")) is None
+
+        run(scenario())
+
+    def test_mid_header_close_raises(self):
+        async def scenario():
+            with pytest.raises(HttpProtocolError):
+                await read_request(feed_reader(b"GET / HTTP/1.1\r\nHos"))
+
+        run(scenario())
+
+    def test_bad_request_line_raises(self):
+        async def scenario():
+            with pytest.raises(HttpProtocolError):
+                await read_request(feed_reader(b"NOT A REQUEST\r\n\r\n"))
+
+        run(scenario())
+
+    def test_bad_header_line_raises(self):
+        async def scenario():
+            with pytest.raises(HttpProtocolError):
+                await read_request(
+                    feed_reader(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"))
+
+        run(scenario())
+
+    def test_websocket_upgrade_detection(self):
+        request = HttpRequest(
+            method="GET", target="/stream", version="HTTP/1.1",
+            headers={"upgrade": "websocket", "connection": "keep-alive, Upgrade"})
+        assert request.wants_websocket
+        plain = HttpRequest(method="GET", target="/", version="HTTP/1.1")
+        assert not plain.wants_websocket
+
+    def test_bad_content_length_raises(self):
+        request = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                              headers={"content-length": "nope"})
+        with pytest.raises(HttpProtocolError):
+            request.content_length
+        negative = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                               headers={"content-length": "-3"})
+        with pytest.raises(HttpProtocolError):
+            negative.content_length
+
+
+class TestReadBody:
+    def test_content_length_body(self):
+        async def scenario():
+            request = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                                  headers={"content-length": "11"})
+            reader = feed_reader(b"hello world")
+            assert b"".join(await collect_body(request, reader)) == b"hello world"
+
+        run(scenario())
+
+    def test_chunked_body_round_trip(self):
+        async def scenario():
+            parts = [b"alpha", b"beta", b"gamma"]
+            wire = b"".join(encode_chunk(p) for p in parts) + CHUNKED_EOF
+            request = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                                  headers={"transfer-encoding": "chunked"})
+            assert await collect_body(request, feed_reader(wire)) == parts
+
+        run(scenario())
+
+    def test_chunk_extensions_and_trailers_are_skipped(self):
+        async def scenario():
+            wire = (b"5;ext=1\r\nhello\r\n"
+                    b"0\r\nTrailer: x\r\n\r\n")
+            request = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                                  headers={"transfer-encoding": "chunked"})
+            assert await collect_body(request, feed_reader(wire)) == [b"hello"]
+
+        run(scenario())
+
+    def test_truncated_chunk_raises(self):
+        async def scenario():
+            request = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                                  headers={"transfer-encoding": "chunked"})
+            with pytest.raises(HttpProtocolError):
+                await collect_body(request, feed_reader(b"5\r\nhel"))
+
+        run(scenario())
+
+    def test_bad_chunk_size_raises(self):
+        async def scenario():
+            request = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                                  headers={"transfer-encoding": "chunked"})
+            with pytest.raises(HttpProtocolError):
+                await collect_body(request, feed_reader(b"zz\r\nhello\r\n"))
+
+        run(scenario())
+
+    def test_oversized_chunk_raises(self):
+        async def scenario():
+            size = MAX_CHUNK_BYTES + 1
+            request = HttpRequest(method="POST", target="/", version="HTTP/1.1",
+                                  headers={"transfer-encoding": "chunked"})
+            with pytest.raises(HttpProtocolError):
+                await collect_body(
+                    request, feed_reader(b"%x\r\n" % size, eof=False))
+
+        run(scenario())
+
+    def test_no_body_headers_yields_nothing(self):
+        async def scenario():
+            request = HttpRequest(method="GET", target="/", version="HTTP/1.1")
+            assert await collect_body(request, feed_reader(b"ignored")) == []
+
+        run(scenario())
+
+
+class TestEncoding:
+    def test_encode_chunk_round_trips_framing(self):
+        assert encode_chunk(b"hello") == b"5\r\nhello\r\n"
+        assert encode_chunk(b"") == CHUNKED_EOF
+
+    def test_response_head_format(self):
+        head = encode_response_head(200, [("Content-Type", "text/plain")])
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: text/plain\r\n" in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_unknown_status_still_encodes(self):
+        assert encode_response_head(299).startswith(b"HTTP/1.1 299 ")

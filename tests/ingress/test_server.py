@@ -1,0 +1,354 @@
+"""End-to-end tests for the ingress server over real sockets.
+
+Every test binds an ephemeral port, speaks raw HTTP/1.1 or RFC 6455
+through ``asyncio.open_connection`` (no client library needed — the
+codec under ``repro.ingress`` covers both roles) and runs whatever
+execution engine ``REPRO_ENGINE`` selects, so the CI matrix exercises
+the ingress path on all three engines.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import Proxy
+from repro.filters import UppercaseFilter
+from repro.ingress import IngressServer
+from repro.ingress.http import CHUNKED_EOF, encode_chunk
+from repro.ingress.websocket import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    FrameParser,
+    encode_frame,
+)
+
+WS_KEY = "dGhlIHNhbXBsZSBub25jZQ=="
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60.0))
+
+
+async def started_server(filters=lambda: [UppercaseFilter(name="up")],
+                         **kwargs):
+    proxy = Proxy("ingress-e2e")
+    server = IngressServer(proxy, filter_factory=filters, **kwargs)
+    await server.start()
+    return proxy, server
+
+
+async def simple_get(port, target, extra=b""):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"GET %s HTTP/1.1\r\nHost: t\r\n%s\r\n"
+                 % (target.encode(), extra))
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    return response
+
+
+async def ws_connect(port):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"GET /stream HTTP/1.1\r\nHost: t\r\n"
+                 b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                 b"Sec-WebSocket-Key: " + WS_KEY.encode() + b"\r\n"
+                 b"Sec-WebSocket-Version: 13\r\n\r\n")
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    assert b" 101 " in head.split(b"\r\n")[0], head
+    return reader, writer
+
+
+async def ws_read_messages(reader, parser):
+    """Read until the server's Close frame; return the data messages."""
+    messages = []
+    while True:
+        data = await reader.read(65536)
+        if not data:
+            return messages
+        for opcode, payload in parser.feed(data):
+            if opcode == OP_CLOSE:
+                return messages
+            messages.append((opcode, payload))
+
+
+class TestRoutes:
+    def test_healthz(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                response = await simple_get(server.port, "/healthz")
+                assert b" 200 " in response.split(b"\r\n")[0]
+                assert b'"status": "ok"' in response
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_index_and_404_and_405(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                index = await simple_get(server.port, "/")
+                assert b" 200 " in index.split(b"\r\n")[0]
+                assert b"/stream" in index
+                missing = await simple_get(server.port, "/nope")
+                assert b" 404 " in missing.split(b"\r\n")[0]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"DELETE /stream HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                denied = await reader.read()
+                writer.close()
+                assert b" 405 " in denied.split(b"\r\n")[0]
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_plain_get_stream_suggests_upgrade(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                response = await simple_get(server.port, "/stream")
+                assert b" 426 " in response.split(b"\r\n")[0]
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_malformed_request_gets_400(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"garbage\r\n\r\n")
+                await writer.drain()
+                response = await reader.read()
+                writer.close()
+                assert b" 400 " in response.split(b"\r\n")[0]
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+
+class TestPostStream:
+    def test_chunked_body_round_trip(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"POST /stream HTTP/1.1\r\nHost: t\r\n"
+                             b"Transfer-Encoding: chunked\r\n\r\n")
+                parts = [f"part-{i};".encode() for i in range(30)]
+                for part in parts:
+                    writer.write(encode_chunk(part))
+                writer.write(CHUNKED_EOF)
+                await writer.drain()
+                response = await reader.read()
+                writer.close()
+                assert b" 200 " in response.split(b"\r\n")[0]
+                for part in parts:
+                    assert part.upper() in response
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_content_length_body_round_trip(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                body = b"hello content length"
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"POST /stream HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Length: %d\r\n\r\n%s"
+                             % (len(body), body))
+                await writer.drain()
+                response = await reader.read()
+                writer.close()
+                assert body.upper() in response
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_client_disconnect_mid_stream_frees_the_proxy(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                # Open a chunked POST, send a little, then vanish without
+                # the terminating chunk.
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"POST /stream HTTP/1.1\r\nHost: t\r\n"
+                             b"Transfer-Encoding: chunked\r\n\r\n")
+                writer.write(encode_chunk(b"doomed"))
+                await writer.drain()
+                writer.close()
+
+                # The server must shrug it off: a fresh client still gets
+                # a complete round trip.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"POST /stream HTTP/1.1\r\nHost: t\r\n"
+                             b"Transfer-Encoding: chunked\r\n\r\n")
+                writer.write(encode_chunk(b"survivor"))
+                writer.write(CHUNKED_EOF)
+                await writer.drain()
+                response = await reader.read()
+                writer.close()
+                assert b"SURVIVOR" in response
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+
+class TestWebSocket:
+    def test_echo_through_filter_chain(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                reader, writer = await ws_connect(server.port)
+                sent = [f"message {i}".encode() for i in range(10)]
+                for payload in sent:
+                    writer.write(encode_frame(OP_BINARY, payload, mask=True))
+                writer.write(encode_frame(OP_CLOSE, mask=True))
+                await writer.drain()
+                messages = await ws_read_messages(reader, FrameParser())
+                writer.close()
+                assert [p for _, p in messages] == [s.upper() for s in sent]
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_ping_gets_pong(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                reader, writer = await ws_connect(server.port)
+                writer.write(encode_frame(OP_PING, b"hb", mask=True))
+                writer.write(encode_frame(OP_CLOSE, mask=True))
+                await writer.drain()
+                messages = await ws_read_messages(reader, FrameParser())
+                writer.close()
+                assert (OP_PONG, b"hb") in messages
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_slow_reader_is_backpressured_not_ballooned(self):
+        async def scenario():
+            # Tiny ingress queues: a client that writes 200 messages but
+            # only starts reading after a pause forces the server to park
+            # the chain (sink full -> engine gates -> source full -> TCP).
+            proxy, server = await started_server(max_pending=4,
+                                                 max_buffered=4)
+            try:
+                reader, writer = await ws_connect(server.port)
+                sent = [b"x" * 512 + b"-%03d" % i for i in range(200)]
+
+                async def write_all():
+                    for payload in sent:
+                        writer.write(encode_frame(OP_BINARY, payload,
+                                                  mask=True))
+                        await writer.drain()  # blocks once TCP backs up
+                    writer.write(encode_frame(OP_CLOSE, mask=True))
+                    await writer.drain()
+
+                async def read_all_after_pause():
+                    await asyncio.sleep(0.3)  # let the pipeline jam first
+                    return await ws_read_messages(reader, FrameParser())
+
+                _, messages = await asyncio.gather(write_all(),
+                                                   read_all_after_pause())
+                writer.close()
+                payloads = [p for _, p in messages]
+                assert payloads == [s.upper() for s in sent]
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_ws_disconnect_mid_stream_frees_the_proxy(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                _, writer = await ws_connect(server.port)
+                writer.write(encode_frame(OP_BINARY, b"doomed", mask=True))
+                await writer.drain()
+                writer.close()  # vanish without a Close frame
+
+                reader, writer = await ws_connect(server.port)
+                writer.write(encode_frame(OP_BINARY, b"alive", mask=True))
+                writer.write(encode_frame(OP_CLOSE, mask=True))
+                await writer.drain()
+                messages = await ws_read_messages(reader, FrameParser())
+                writer.close()
+                assert (OP_BINARY, b"ALIVE") in messages
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_missing_key_is_rejected(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                response = await simple_get(
+                    server.port, "/stream",
+                    extra=b"Upgrade: websocket\r\nConnection: Upgrade\r\n")
+                assert b" 400 " in response.split(b"\r\n")[0]
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_resolves_and_stop_is_idempotent(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                assert server.port != 0
+                assert server.describe()["port"] == server.port
+            finally:
+                await server.stop()
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())
+
+    def test_start_is_idempotent(self):
+        async def scenario():
+            proxy, server = await started_server()
+            try:
+                port = server.port
+                await server.start()
+                assert server.port == port
+            finally:
+                await server.stop()
+                proxy.shutdown()
+
+        run(scenario())

@@ -1,0 +1,107 @@
+"""Unit tests for the stdlib RFC 6455 WebSocket codec."""
+
+import struct
+
+import pytest
+
+from repro.ingress.websocket import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_TEXT,
+    FrameParser,
+    WebSocketProtocolError,
+    accept_key,
+    close_payload,
+    encode_frame,
+)
+
+
+class TestHandshake:
+    def test_accept_key_matches_rfc_sample(self):
+        # RFC 6455 §1.3 worked example.
+        assert (accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+                == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=")
+
+    def test_accept_key_strips_whitespace(self):
+        key = "dGhlIHNhbXBsZSBub25jZQ=="
+        assert accept_key(f"  {key} ") == accept_key(key)
+
+
+class TestEncodeParse:
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536, 100000])
+    def test_round_trip_all_length_encodings(self, size):
+        payload = bytes(i % 256 for i in range(size))
+        wire = encode_frame(OP_BINARY, payload)
+        assert FrameParser().feed(wire) == [(OP_BINARY, payload)]
+
+    def test_masked_round_trip(self):
+        wire = encode_frame(OP_TEXT, b"masked hello", mask=True)
+        parser = FrameParser(require_masked=True)
+        assert parser.feed(wire) == [(OP_TEXT, b"masked hello")]
+
+    def test_server_rejects_unmasked_client_frame(self):
+        wire = encode_frame(OP_BINARY, b"oops", mask=False)
+        with pytest.raises(WebSocketProtocolError):
+            FrameParser(require_masked=True).feed(wire)
+
+    def test_incremental_byte_at_a_time_parse(self):
+        wire = encode_frame(OP_BINARY, b"dribble", mask=True)
+        parser = FrameParser()
+        messages = []
+        for i in range(len(wire)):
+            messages += parser.feed(wire[i:i + 1])
+        assert messages == [(OP_BINARY, b"dribble")]
+
+    def test_multiple_frames_in_one_feed(self):
+        wire = (encode_frame(OP_BINARY, b"one")
+                + encode_frame(OP_PING, b"hb")
+                + encode_frame(OP_BINARY, b"two"))
+        assert FrameParser().feed(wire) == [
+            (OP_BINARY, b"one"), (OP_PING, b"hb"), (OP_BINARY, b"two")]
+
+    def test_fragmented_message_is_reassembled(self):
+        wire = (encode_frame(OP_TEXT, b"Hel", fin=False)
+                + encode_frame(OP_CONT, b"lo ", fin=False)
+                + encode_frame(OP_CONT, b"World", fin=True))
+        assert FrameParser().feed(wire) == [(OP_TEXT, b"Hello World")]
+
+    def test_control_frame_interleaves_with_fragments(self):
+        wire = (encode_frame(OP_BINARY, b"ab", fin=False)
+                + encode_frame(OP_PING, b"now")
+                + encode_frame(OP_CONT, b"cd", fin=True))
+        assert FrameParser().feed(wire) == [
+            (OP_PING, b"now"), (OP_BINARY, b"abcd")]
+
+    def test_continuation_without_start_raises(self):
+        with pytest.raises(WebSocketProtocolError):
+            FrameParser().feed(encode_frame(OP_CONT, b"lost", fin=True))
+
+    def test_new_data_frame_mid_message_raises(self):
+        parser = FrameParser()
+        parser.feed(encode_frame(OP_BINARY, b"ab", fin=False))
+        with pytest.raises(WebSocketProtocolError):
+            parser.feed(encode_frame(OP_BINARY, b"cd", fin=True))
+
+    def test_fragmented_control_frame_raises(self):
+        with pytest.raises(WebSocketProtocolError):
+            FrameParser().feed(encode_frame(OP_PING, b"x", fin=False))
+
+    def test_rsv_bits_raise(self):
+        wire = bytearray(encode_frame(OP_BINARY, b"x"))
+        wire[0] |= 0x40
+        with pytest.raises(WebSocketProtocolError):
+            FrameParser().feed(bytes(wire))
+
+    def test_oversized_control_payload_refused_at_encode(self):
+        with pytest.raises(WebSocketProtocolError):
+            encode_frame(OP_PING, b"x" * 126)
+
+    def test_close_payload_carries_code_and_reason(self):
+        payload = close_payload(1001, "going away")
+        (code,) = struct.unpack("!H", payload[:2])
+        assert code == 1001
+        assert payload[2:] == b"going away"
+        wire = encode_frame(OP_CLOSE, payload)
+        assert FrameParser().feed(wire) == [(OP_CLOSE, payload)]

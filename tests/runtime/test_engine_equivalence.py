@@ -1,5 +1,5 @@
-"""Engine equivalence: ThreadedEngine and EventEngine must be
-byte-identical on the integration scenarios.
+"""Engine equivalence: ThreadedEngine, EventEngine and AsyncioEngine must
+be byte-identical on the integration scenarios.
 
 Each scenario is run once per engine and the sink outputs compared — the
 execution runtime must be invisible in the data plane, exactly as the GF
@@ -20,7 +20,7 @@ from repro.filters import (
 from repro.media import AudioPacketizer, ToneSource, VideoSource
 from repro.runtime import get_engine
 
-ENGINES = ["threaded", "event"]
+ENGINES = ["threaded", "event", "asyncio"]
 
 
 def run_fec_audio_round_trip(engine_name):
@@ -69,7 +69,9 @@ class TestEngineEquivalence:
 
     def test_fec_audio_round_trip_identical_across_engines(self):
         outputs = {name: run_fec_audio_round_trip(name) for name in ENGINES}
-        assert outputs["threaded"] == outputs["event"]
+        reference = outputs[ENGINES[0]]
+        for name in ENGINES[1:]:
+            assert outputs[name] == reference, (name, ENGINES[0])
 
     @pytest.mark.parametrize("engine_name", ENGINES)
     def test_boundary_insertion_matches_input(self, engine_name):
@@ -79,4 +81,6 @@ class TestEngineEquivalence:
 
     def test_boundary_insertion_identical_across_engines(self):
         outputs = {name: run_boundary_insertion(name) for name in ENGINES}
-        assert outputs["threaded"] == outputs["event"]
+        reference = outputs[ENGINES[0]]
+        for name in ENGINES[1:]:
+            assert outputs[name] == reference, (name, ENGINES[0])

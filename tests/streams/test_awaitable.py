@@ -1,0 +1,184 @@
+"""Tests for the asyncio adapters over detachable streams.
+
+Each test drives its coroutine with ``asyncio.run`` so the suite needs
+no asyncio pytest plugin; threads play the role of the filter pumps that
+fire stream listeners in production.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.streams import (
+    AsyncStreamEvent,
+    StreamTimeoutError,
+    make_pipe,
+    read_async,
+    read_chunks_async,
+    wait_readable,
+    wait_writable,
+    write_async,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncStreamEvent:
+    def test_listener_sets_event_across_threads(self):
+        async def scenario():
+            dos, dis = make_pipe("ev")
+            with AsyncStreamEvent(dis) as event:
+                threading.Timer(0.05, lambda: dos.write(b"x")).start()
+                await asyncio.wait_for(event.wait(timeout=None), timeout=5.0)
+            assert dis.read(timeout=0) == b"x"
+            dos.close()
+
+        run(scenario())
+
+    def test_unsubscribes_on_exit(self):
+        async def scenario():
+            dos, dis = make_pipe("unsub")
+            event = AsyncStreamEvent(dis)
+            with event:
+                pass
+            # After exit the listener is gone: writing must not blow up and
+            # the event must stay unset.
+            dos.write(b"x")
+            await asyncio.sleep(0.01)
+            assert not event._event.is_set()
+            dos.close()
+
+        run(scenario())
+
+
+class TestWaitHelpers:
+    def test_wait_readable_immediate_when_buffered(self):
+        async def scenario():
+            dos, dis = make_pipe("ready")
+            dos.write(b"data")
+            assert await wait_readable(dis, timeout=1.0)
+            dos.close()
+
+        run(scenario())
+
+    def test_wait_readable_wakes_on_late_write(self):
+        async def scenario():
+            dos, dis = make_pipe("late")
+            threading.Timer(0.05, lambda: dos.write(b"late")).start()
+            start = time.monotonic()
+            assert await wait_readable(dis, timeout=5.0)
+            assert time.monotonic() - start < 4.0
+            assert dis.read(timeout=0) == b"late"
+            dos.close()
+
+        run(scenario())
+
+    def test_wait_readable_true_at_eof(self):
+        async def scenario():
+            dos, dis = make_pipe("eof")
+            dos.close()
+            assert await wait_readable(dis, timeout=1.0)
+            assert dis.read(timeout=0) == b""
+
+        run(scenario())
+
+    def test_wait_readable_times_out(self):
+        async def scenario():
+            _dos, dis = make_pipe("idle")
+            start = time.monotonic()
+            assert not await wait_readable(dis, timeout=0.1)
+            assert time.monotonic() - start < 2.0
+
+        run(scenario())
+
+    def test_wait_writable_blocks_until_reader_drains(self):
+        async def scenario():
+            dos, dis = make_pipe("tiny", capacity=8)
+            dos.write(b"x" * 8)  # buffer now full
+            assert not await wait_writable(dos, timeout=0.1)
+
+            def drain():
+                time.sleep(0.05)
+                dis.read(timeout=1.0)
+
+            threading.Thread(target=drain).start()
+            assert await wait_writable(dos, timeout=5.0)
+            dos.close()
+
+        run(scenario())
+
+
+class TestAsyncReadWrite:
+    def test_read_async_round_trip(self):
+        async def scenario():
+            dos, dis = make_pipe("rt")
+            threading.Timer(0.02, lambda: dos.write(b"hello")).start()
+            assert await read_async(dis, timeout=5.0) == b"hello"
+            dos.close()
+            assert await read_async(dis, timeout=5.0) == b""  # EOF
+
+        run(scenario())
+
+    def test_read_async_timeout_raises(self):
+        async def scenario():
+            _dos, dis = make_pipe("slow")
+            with pytest.raises(StreamTimeoutError):
+                await read_async(dis, timeout=0.1)
+
+        run(scenario())
+
+    def test_read_chunks_async_preserves_boundaries(self):
+        async def scenario():
+            dos, dis = make_pipe("chunks")
+            dos.write(b"one")
+            dos.write(b"two")
+            assert await read_chunks_async(dis, timeout=1.0) == [b"one", b"two"]
+            dos.close()
+            assert await read_chunks_async(dis, timeout=1.0) == []
+
+        run(scenario())
+
+    def test_write_async_applies_backpressure(self):
+        async def scenario():
+            dos, dis = make_pipe("bp", capacity=4)
+            assert await write_async(dos, b"aaaa", timeout=1.0)
+            # Full: the polite write must wait, then fail on timeout.
+            assert not await write_async(dos, b"bbbb", timeout=0.1)
+
+            def drain():
+                time.sleep(0.05)
+                dis.read(timeout=1.0)
+
+            threading.Thread(target=drain).start()
+            assert await write_async(dos, b"cccc", timeout=5.0)
+            dos.close()
+
+        run(scenario())
+
+    def test_async_reader_with_threaded_writer_stream(self):
+        # The mixed idiom the module exists for: a thread writes (as a
+        # filter pump would), a coroutine awaits and reads.
+        async def scenario():
+            dos, dis = make_pipe("mixed")
+            payload = [f"part-{i};".encode() for i in range(50)]
+
+            def writer():
+                for part in payload:
+                    dos.write(part)
+                    time.sleep(0.001)
+                dos.close()
+
+            threading.Thread(target=writer).start()
+            got = bytearray()
+            while True:
+                data = await read_async(dis, timeout=5.0)
+                if not data:
+                    break
+                got += data
+            assert bytes(got) == b"".join(payload)
+
+        run(scenario())

@@ -16,7 +16,7 @@ from repro.proxies import FecAudioProxyConfig, FecAudioProxy, WirelessAudioRecei
 from repro.transport import get_transport
 
 TRANSPORTS = ["inproc", "loopback", "udp"]
-ENGINES = ["threaded", "event"]
+ENGINES = ["threaded", "event", "asyncio"]
 
 
 def _audio_packets():

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Verify that relative links in the repo's markdown docs resolve.
+
+Scans ``README.md`` and every ``docs/*.md`` file for markdown links and
+checks that each **relative** target exists in the checkout (external
+``http(s)``/``mailto`` links are skipped — CI must not depend on the
+network). Fragment-only links and fragments on existing files are
+accepted without anchor validation; a missing *file* is what rots
+silently.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link). Run as::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown inline links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks, where link-looking text is just text.
+_FENCE_RE = re.compile(r"^(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> "list[str]":
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    files += sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md")))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def links_in(path: str) -> "list[tuple[int, str]]":
+    found = []
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if _FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK_RE.finditer(line):
+                found.append((lineno, match.group(1)))
+    return found
+
+
+def check_file(path: str) -> "list[str]":
+    errors = []
+    base = os.path.dirname(path)
+    for lineno, target in links_in(path):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):
+            continue  # same-file anchor
+        file_part = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, REPO_ROOT)
+            errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    all_errors = []
+    total_links = 0
+    for path in files:
+        total_links += len(links_in(path))
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error)
+    checked = ", ".join(os.path.relpath(f, REPO_ROOT) for f in files)
+    print(f"checked {total_links} links across {len(files)} files "
+          f"({checked}): {len(all_errors)} broken")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
