@@ -2,19 +2,27 @@
 """CI perf-floor gate for the stream data path.
 
 Fails (exit 1) when the E6 "chain of 4 filters" configuration moves data at
-less than ``FLOOR_RATIO`` of the plain ``queue.Queue`` baseline measured in
-the same process.  The committed full-mode table shows the chain at ~20% of
-the baseline; the 10% floor is deliberately generous so shared-runner noise
-cannot flake the build, while a gross data-path regression (per-chunk
-copies, per-chunk locking, unconditional wakeups creeping back in) still
-trips it.  Using the in-process baseline as the denominator normalises away
-the runner's absolute speed.
+less than the floor ratio of the plain ``queue.Queue`` baseline measured in
+the same process.  The committed full-mode table shows the chain at ~60% of
+the baseline (post zero-copy batch pump); the 25% floor leaves room for
+shared-runner noise while a gross data-path regression (per-chunk copies,
+per-chunk locking, re-fragmentation, unconditional wakeups creeping back
+in) still trips it.  Using the in-process baseline as the denominator
+normalises away the runner's absolute speed.
+
+``REPRO_PERF_FLOOR_PCT`` overrides the floor (as a percentage, e.g. ``10``
+for a noisy runner, ``40`` for a quiet one) without editing this file.
+
+Alongside the pass/fail verdict the gate writes ``BENCH_datapath.json``
+(override the path with ``REPRO_PERF_JSON``) with the measured rates, so CI
+can archive the data-path numbers per commit as a machine-readable artifact.
 
 Run as: ``PYTHONPATH=src python benchmarks/check_perf_floor.py``
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -28,8 +36,24 @@ from test_bench_e6_stream_overhead import (  # noqa: E402
     transfer_through_queue,
 )
 
-FLOOR_RATIO = 0.10
+DEFAULT_FLOOR_PCT = 25.0
 ATTEMPTS = 3
+
+
+def floor_ratio() -> float:
+    """The gating ratio: ``REPRO_PERF_FLOOR_PCT`` (percent) or the default."""
+    raw = os.environ.get("REPRO_PERF_FLOOR_PCT", "")
+    if raw:
+        try:
+            pct = float(raw)
+        except ValueError:
+            raise SystemExit(
+                f"REPRO_PERF_FLOOR_PCT={raw!r} is not a number")
+        if not 0 <= pct <= 100:
+            raise SystemExit(
+                f"REPRO_PERF_FLOOR_PCT={raw!r} must be between 0 and 100")
+        return pct / 100.0
+    return DEFAULT_FLOOR_PCT / 100.0
 
 
 def best_rate(func) -> float:
@@ -44,14 +68,36 @@ def best_rate(func) -> float:
     return best
 
 
+def write_report(path: str, payload: dict) -> None:
+    """Persist the measured rates for CI artifact upload."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def main() -> int:
+    floor = floor_ratio()
     queue_rate = best_rate(transfer_through_queue)
+    null_proxy_rate = best_rate(lambda: transfer_through_chain(0))
     chain_rate = best_rate(lambda: transfer_through_chain(4))
     ratio = chain_rate / queue_rate if queue_rate else 0.0
+    report = {
+        "transfer_bytes": TRANSFER_BYTES,
+        "attempts": ATTEMPTS,
+        "queue_baseline_mib_s": round(queue_rate, 1),
+        "null_proxy_mib_s": round(null_proxy_rate, 1),
+        "chain_of_4_mib_s": round(chain_rate, 1),
+        "chain_queue_ratio": round(ratio, 4),
+        "floor_ratio": floor,
+        "passed": ratio >= floor,
+    }
+    write_report(os.environ.get("REPRO_PERF_JSON", "BENCH_datapath.json"),
+                 report)
     print(f"queue.Queue baseline : {queue_rate:8.1f} MiB/s")
+    print(f"null proxy (0 filt.) : {null_proxy_rate:8.1f} MiB/s")
     print(f"chain of 4 filters   : {chain_rate:8.1f} MiB/s")
-    print(f"chain/queue ratio    : {ratio:8.3f}  (floor {FLOOR_RATIO:.2f})")
-    if ratio < FLOOR_RATIO:
+    print(f"chain/queue ratio    : {ratio:8.3f}  (floor {floor:.2f})")
+    if ratio < floor:
         print("FAIL: composed data path fell below the perf floor")
         return 1
     print("OK: data path above the perf floor")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import socket
 import threading
+from itertools import repeat as _repeat
 from time import monotonic as _monotonic
 from typing import Callable, Iterable, Iterator, List, Optional
 
@@ -27,6 +28,10 @@ from ..streams import (
     encode_frame,
 )
 from .filter import Filter
+
+#: Infinite second argument for ``map(isinstance, items, ...)`` — the
+#: C-speed all-bytes-like batch check (same idiom as the stream buffer).
+_REPEAT_BYTES_LIKE = _repeat((bytes, bytearray, memoryview))
 
 #: A pull-style source callback: returns the next chunk, or None at EOF.
 SourceCallable = Callable[[], Optional[bytes]]
@@ -83,9 +88,25 @@ class SourceEndPoint(EndPoint):
         """Return the next chunk/packet, or None when the source is exhausted."""
         raise NotImplementedError
 
+    def produce_many(self, max_items: int) -> Optional[List[bytes]]:
+        """Produce up to ``max_items`` items in one call, or None.
+
+        Returning None (the default) makes the run loop accumulate its
+        batch through per-item :meth:`produce` calls.  Sources whose
+        backlog is indexable (:class:`IterableSource` over a materialised
+        list) override this so a whole batch is drawn as one slice.  A
+        short or empty return does *not* signal exhaustion — the next
+        :meth:`produce` call decides that.
+        """
+        return None
+
     def _encode(self, item: bytes) -> bytes:
         """The wire form of one produced item (framed or raw bytes)."""
-        return encode_frame(item) if self.frame_output else bytes(item)
+        if self.frame_output:
+            return encode_frame(item)
+        if isinstance(item, (bytes, bytearray, memoryview)):
+            return item  # queued by reference, per the buffer's contract
+        return bytes(item)
 
     def _deliver_batch(self, batch: List[bytes], last_item: bytes) -> None:
         """Write an accumulated batch downstream with per-batch accounting."""
@@ -138,16 +159,37 @@ class SourceEndPoint(EndPoint):
                 batch = [self._encode(item)]
                 last_item = item
                 try:
-                    while (len(batch) < self.pump_budget
-                           and not self._stop_event.is_set()):
-                        item = self.produce()
-                        if item is None:
-                            exhausted = True
-                            break
-                        if not item:
-                            break
-                        batch.append(self._encode(item))
-                        last_item = item
+                    more = (self.produce_many(self.pump_budget - 1)
+                            if self.pump_budget > 1 else None)
+                    if more is not None:
+                        # Bulk draw: encode the slice in one pass (empty
+                        # items are skipped, as per-item draws do).  The
+                        # dominant all-bytes case extends at C speed.
+                        if more:
+                            last_item = more[-1]
+                            if self.frame_output:
+                                batch.extend(encode_frame(i)
+                                             for i in more if len(i))
+                            elif (all(map(isinstance, more, _REPEAT_BYTES_LIKE))
+                                  and 0 not in map(len, more)):
+                                batch.extend(more)
+                            else:
+                                batch.extend(
+                                    i if isinstance(i, (bytes, bytearray,
+                                                        memoryview))
+                                    else bytes(i)
+                                    for i in more if len(i))
+                    else:
+                        while (len(batch) < self.pump_budget
+                               and not self._stop_event.is_set()):
+                            item = self.produce()
+                            if item is None:
+                                exhausted = True
+                                break
+                            if not item:
+                                break
+                            batch.append(self._encode(item))
+                            last_item = item
                 except Exception:
                     # produce() failing mid-batch must not discard the items
                     # before it — the per-item path delivered each of those
@@ -272,13 +314,33 @@ class IterableSource(SourceEndPoint):
     def __init__(self, items: Iterable[bytes], name: Optional[str] = None,
                  frame_output: bool = False, pacing_s: float = 0.0) -> None:
         super().__init__(name=name, frame_output=frame_output, pacing_s=pacing_s)
-        self._iterator: Iterator[bytes] = iter(items)
+        # A materialised backlog is drawn by index so produce_many can hand
+        # out whole slices; any other iterable is drained item by item.
+        self._items = items if isinstance(items, (list, tuple)) else None
+        self._pos = 0
+        self._iterator: Optional[Iterator[bytes]] = (
+            None if self._items is not None else iter(items))
 
     def produce(self) -> Optional[bytes]:
+        if self._items is not None:
+            pos = self._pos
+            if pos >= len(self._items):
+                return None
+            self._pos = pos + 1
+            return self._items[pos]
         try:
             return next(self._iterator)
         except StopIteration:
             return None
+
+    def produce_many(self, max_items: int) -> Optional[List[bytes]]:
+        """One slice of the backlog when it is indexable (else None)."""
+        if self._items is None:
+            return None
+        pos = self._pos
+        batch = list(self._items[pos:pos + max_items])
+        self._pos = pos + len(batch)
+        return batch
 
 
 class CallableSource(SourceEndPoint):
@@ -368,6 +430,17 @@ class SinkEndPoint(EndPoint):
         """Handle one chunk (or one packet when ``expect_frames`` is True)."""
         raise NotImplementedError
 
+    def consume_many(self, items) -> None:
+        """Handle a whole batch of chunks/packets (the batched consume).
+
+        The default delivers the batch one :meth:`consume` call at a time;
+        sinks with a genuinely cheaper bulk path — a vectored transport
+        send, a pure discard — override this.
+        """
+        for data in items:
+            self.consume(data)
+            self.items_consumed += 1
+
     def transform(self, chunk: bytes):
         if self.expect_frames:
             for packet in self._sink_decoder.feed(chunk):
@@ -378,6 +451,31 @@ class SinkEndPoint(EndPoint):
             self.consume(chunk)
             self.items_consumed += 1
         return None
+
+    def transform_chunks(self, chunks, outputs) -> None:
+        """Deliver a whole input batch through :meth:`consume_many`.
+
+        Deframing happens across the batch first, so a sink with a bulk
+        consume (the transport sink's vectored send) receives the full
+        budget of packets in one call.  Stats match the per-chunk path.
+        """
+        if self.expect_frames:
+            packets = []
+            for chunk in chunks:
+                self._batch_in_bytes += len(chunk)
+                self._batch_in_chunks += 1
+                packets.extend(self._sink_decoder.feed(chunk))
+            if packets:
+                self.stats.record_input_batch(0, len(packets),
+                                              packets=len(packets))
+                self.consume_many(packets)
+        else:
+            # The whole batch is handed to consume_many at once, so it is
+            # accounted at once (a consume failing mid-batch was still
+            # *given* every chunk).
+            self._batch_in_bytes += sum(map(len, chunks))
+            self._batch_in_chunks += len(chunks)
+            self.consume_many(chunks)
 
     def finalize(self):
         self.eof_seen.set()
@@ -408,7 +506,9 @@ class CollectorSink(SinkEndPoint):
         self._items: List[bytes] = []
 
     def consume(self, data: bytes) -> None:
-        with self._lock:
+        if not isinstance(data, bytes):
+            data = bytes(data)  # materialise views: collected items outlive
+        with self._lock:       # the writer's buffers
             self._items.append(data)
 
     def items(self) -> List[bytes]:
@@ -437,7 +537,8 @@ class CallableSink(SinkEndPoint):
         self._callback = callback
 
     def consume(self, data: bytes) -> None:
-        self._callback(data)
+        # External callbacks are written against real ``bytes``.
+        self._callback(data if isinstance(data, bytes) else bytes(data))
 
 
 class SocketSink(SinkEndPoint):
@@ -476,3 +577,6 @@ class NullSink(SinkEndPoint):
 
     def consume(self, data: bytes) -> None:  # noqa: D401 - intentionally empty
         pass
+
+    def consume_many(self, items) -> None:
+        self.items_consumed += len(items)

@@ -61,7 +61,7 @@ BoundaryPredicate = Callable[[bytes], bool]
 #: outputs are delivered in one batched write, so the per-hop locking and
 #: wakeup costs amortize across the batch.  Resolved at construction time
 #: (not def-time) so tests can pin the unbatched path.
-DEFAULT_PUMP_BUDGET = 32
+DEFAULT_PUMP_BUDGET = 64
 
 _name_lock = threading.Lock()
 _name_counter = 0
@@ -112,15 +112,17 @@ class Filter:
         self.pump_budget = pump_budget
         self.propagate_eof = propagate_eof
 
-        # Size the input buffer to hold a full pump budget, so an upstream
-        # batch write never blocks halfway through an otherwise-roomy
-        # buffer (which would serialise the two hops chunk-by-chunk) —
-        # capped so large-chunk_size filters don't get a backpressure
-        # window big enough to hide real latency from the flow control.
+        # Size the input buffer to hold *two* full pump budgets: one batch
+        # being transformed and one the upstream hop deposits meanwhile, so
+        # neighbouring hops double-buffer instead of blocking in lock-step
+        # on every batch — capped so large-chunk_size filters don't get a
+        # backpressure window big enough to hide real latency from the
+        # flow control.
         self.dis = DetachableInputStream(
             name=f"{self.name}.dis",
             capacity=max(DEFAULT_CAPACITY,
-                         min(chunk_size * pump_budget, 8 * DEFAULT_CAPACITY)))
+                         min(2 * chunk_size * pump_budget,
+                             16 * DEFAULT_CAPACITY)))
         self.dos = DetachableOutputStream(name=f"{self.name}.dos")
         self.stats = FilterStats()
         self.error: Optional[BaseException] = None
@@ -137,6 +139,12 @@ class Filter:
         self._pending: Deque[bytes] = deque()
         self._on_start_done = False
         self._finalized = False
+
+        # Scratch counters written by transform_chunks as it consumes input,
+        # read by the run loop / pump in a ``finally`` so mid-batch errors
+        # account only the chunks actually handed to the transform.
+        self._batch_in_bytes = 0
+        self._batch_in_chunks = 0
 
         # Listeners notified after every unit of work (used by
         # ControlThread.wait_idle so completion waits are event-driven).
@@ -341,6 +349,29 @@ class Filter:
         """Transform one input chunk; the default filter is a passthrough."""
         return chunk
 
+    def transform_chunks(self, chunks: List[bytes], outputs) -> None:
+        """Transform one input batch, appending results onto ``outputs``.
+
+        The batched equivalent of calling :meth:`transform` per chunk, and
+        the hook a subclass overrides to *fuse* work across the batch (the
+        FEC filters run one vectorised encode/decode over every packet in
+        the pump budget instead of per-packet calls).  Implementations must
+        bump ``self._batch_in_bytes`` / ``self._batch_in_chunks`` as each
+        input chunk is consumed — the caller reads them in a ``finally`` so
+        a transform failing mid-batch accounts only the chunks it actually
+        saw, and the outputs appended so far are still delivered.
+        """
+        for chunk in chunks:
+            self._batch_in_bytes += len(chunk)
+            self._batch_in_chunks += 1
+            result = self.transform(chunk)
+            cls = result.__class__
+            if cls is bytes or cls is memoryview or cls is bytearray:
+                if len(result):  # dominant case: one chunk out, by reference
+                    outputs.append(result)
+            elif result is not None:
+                outputs.extend(self._normalize_outputs(result))
+
     def finalize(self) -> TransformResult:
         """Produce trailing output when the input stream ends."""
         return None
@@ -378,12 +409,17 @@ class Filter:
                 self._notify_activity()
 
     def _read_loop(self) -> None:
+        # The byte budget is chunk_size * pump_budget, but queued chunks are
+        # taken *whole* (no max_chunk): transforms are size-agnostic, and
+        # re-fragmenting a large upstream chunk to the local chunk_size cost
+        # a per-piece loop at every hop for nothing — it was the E6 64 KiB
+        # regression.  chunk_size sizes the budget; the writer's own chunk
+        # boundaries are the transform units.
         budget_bytes = self.chunk_size * self.pump_budget
         while not self._stop_event.is_set():
             try:
                 chunks = self.dis.read_chunks(budget_bytes,
-                                              timeout=self.read_timeout,
-                                              max_chunk=self.chunk_size)
+                                              timeout=self.read_timeout)
             except StreamTimeoutError:
                 continue
             if not chunks:
@@ -391,20 +427,9 @@ class Filter:
             self._busy = True
             try:
                 outputs: List[bytes] = []
-                in_bytes = in_chunks = 0
+                self._batch_in_bytes = self._batch_in_chunks = 0
                 try:
-                    for chunk in chunks:
-                        # Count input as consumed only up to (and including)
-                        # the chunk handed to transform, so an error mid-batch
-                        # does not report the discarded tail as processed.
-                        in_bytes += len(chunk)
-                        in_chunks += 1
-                        result = self.transform(chunk)
-                        if type(result) is bytes:  # dominant case: 1 chunk out
-                            if result:
-                                outputs.append(result)
-                        elif result is not None:
-                            outputs.extend(self._normalize_outputs(result))
+                    self.transform_chunks(chunks, outputs)
                 except Exception:
                     # A transform failing mid-batch must not discard the
                     # outputs of the chunks before it — the per-chunk loop
@@ -415,8 +440,9 @@ class Filter:
                         pass
                     raise
                 finally:
-                    self.stats.record_input_batch(in_bytes, in_chunks)
-                    if in_chunks >= self.pump_budget:
+                    self.stats.record_input_batch(self._batch_in_bytes,
+                                                  self._batch_in_chunks)
+                    if self._batch_in_chunks >= self.pump_budget:
                         self.stats.record_budget_exhausted()
                 self._emit_units(outputs)
             finally:
@@ -485,19 +511,23 @@ class Filter:
         amortizes across the batch instead of recurring per chunk.
         """
         if self.dis.available() > 0:
+            # Whole queued chunks, no re-fragmentation — see _read_loop.
             chunks = self.dis.read_chunks(self.chunk_size * self.pump_budget,
-                                          timeout=0, max_chunk=self.chunk_size)
+                                          timeout=0)
             if chunks:
                 self._busy = True
-                in_bytes = in_chunks = 0
+                self._batch_in_bytes = self._batch_in_chunks = 0
                 try:
-                    for chunk in chunks:
-                        in_bytes += len(chunk)
-                        in_chunks += 1
-                        self._queue_outputs(self.transform(chunk))
+                    # Appending straight onto the pending deque means a
+                    # transform failing mid-batch leaves the earlier chunks'
+                    # outputs parked there, and pump()'s error handler
+                    # flushes them downstream before closing — the same
+                    # partial-delivery contract as the threaded loop.
+                    self.transform_chunks(chunks, self._pending)
                 finally:
-                    self.stats.record_input_batch(in_bytes, in_chunks)
-                    if in_chunks >= self.pump_budget:
+                    self.stats.record_input_batch(self._batch_in_bytes,
+                                                  self._batch_in_chunks)
+                    if self._batch_in_chunks >= self.pump_budget:
                         self.stats.record_budget_exhausted()
                     self._busy = False
                 self._flush_pending()
@@ -630,14 +660,20 @@ class Filter:
 
     @staticmethod
     def _normalize_outputs(result: TransformResult) -> List[bytes]:
-        """Flatten a transform result into a list of non-empty chunks."""
+        """Flatten a transform result into a list of non-empty chunks.
+
+        Bytes-like results (and items) pass through by reference — the
+        zero-copy contract from :mod:`repro.streams.buffer` extends through
+        the transform; anything else is materialised once here.
+        """
         if result is None:
             return []
         if isinstance(result, (bytes, bytearray, memoryview)):
-            outputs: List[bytes] = [bytes(result)]
+            outputs: List[bytes] = [result]
         else:
-            outputs = [bytes(item) for item in result]
-        return [data for data in outputs if data]
+            outputs = [item if isinstance(item, (bytes, bytearray, memoryview))
+                       else bytes(item) for item in result]
+        return [data for data in outputs if len(data)]
 
     def _emit(self, result: TransformResult) -> None:
         self._emit_units(self._normalize_outputs(result))
@@ -695,6 +731,10 @@ class Filter:
         return unit
 
     def _unit_matches(self, predicate: BoundaryPredicate, unit: bytes) -> bool:
+        if not isinstance(unit, bytes):
+            # Predicates are written against real ``bytes`` (``startswith``
+            # and friends); materialise views on this cold path only.
+            unit = bytes(unit)
         try:
             return bool(predicate(self._boundary_unit(unit)))
         except Exception:  # noqa: BLE001 - a broken predicate must not kill the filter
@@ -733,6 +773,12 @@ class PacketFilter(Filter):
     #: Result type for packet transforms: none, one, or many packets.
     PacketResult = Union[None, bytes, Iterable[bytes]]
 
+    #: When True, :meth:`transform_chunks` hands the whole batch of decoded
+    #: packets to one :meth:`transform_packets` call instead of per-packet
+    #: :meth:`transform_packet` calls — the hook the FEC filters use to run
+    #: a single vectorised encode/decode over the full pump budget.
+    fused_packet_batch = False
+
     def __init__(self, name: Optional[str] = None, read_timeout: float = 0.05,
                  chunk_size: int = 65536, propagate_eof: bool = True,
                  pump_budget: Optional[int] = None) -> None:
@@ -748,6 +794,15 @@ class PacketFilter(Filter):
         """Transform one packet; the default is a passthrough."""
         return packet
 
+    def transform_packets(self, packets: List[bytes]) -> "PacketFilter.PacketResult":
+        """Transform a whole batch of packets at once (fused mode).
+
+        Called instead of :meth:`transform_packet` when
+        :attr:`fused_packet_batch` is True; implementations must be
+        byte-equivalent to transforming the packets one at a time.
+        """
+        raise NotImplementedError
+
     def finalize_packets(self) -> "PacketFilter.PacketResult":
         """Produce trailing packets at end-of-stream (e.g. flush FEC groups)."""
         return None
@@ -760,6 +815,30 @@ class PacketFilter(Filter):
             self.stats.record_input(0, packets=1)
             outputs.extend(self._frame_all(self.transform_packet(packet)))
         return outputs
+
+    def transform_chunks(self, chunks: List[bytes], outputs) -> None:
+        """Decode the whole batch to packets, then transform them fused.
+
+        With :attr:`fused_packet_batch` unset this is the per-chunk base
+        behaviour.  Fused, every complete packet in the batch reaches
+        :meth:`transform_packets` in one call — so a pump budget of FEC
+        packets hits the numpy backend as one 2D array — with stats
+        identical to the per-packet path.
+        """
+        if not self.fused_packet_batch:
+            super().transform_chunks(chunks, outputs)
+            return
+        packets: List[bytes] = []
+        for chunk in chunks:
+            self._batch_in_bytes += len(chunk)
+            self._batch_in_chunks += 1
+            packets.extend(self._decoder.feed(chunk))
+        if not packets:
+            return
+        # Per-packet accounting is record_input(0, packets=1) per packet,
+        # which also bumps chunks_in — mirror both in one batched call.
+        self.stats.record_input_batch(0, len(packets), packets=len(packets))
+        outputs.extend(self._frame_all(self.transform_packets(packets)))
 
     def finalize(self) -> TransformResult:
         return self._frame_all(self.finalize_packets())

@@ -15,10 +15,13 @@ whatever data packets did arrive, so FEC can only improve delivery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from .backend import GFBackend, resolve_backend
 from .block_codes import BlockErasureCode, FecCodingError, _as_batch
+from .vandermonde import _decoding_matrix_cached
 from .packets import (
     FLAG_PARITY,
     FLAG_UNCODED,
@@ -103,19 +106,77 @@ class FecGroupEncoder:
             return []
         return self._encode_group()
 
+    def add_batch(self, payloads: Sequence[bytes]) -> List[FecPacket]:
+        """Add many payloads at once; returns the packets of every group
+        the batch completed.
+
+        Byte- and stats-identical to calling :meth:`add` per payload, but
+        all groups filled by the batch are parity-encoded *fused*: groups
+        sharing a block size are hstacked into one ``(k, G*L)`` array and
+        encoded by a single backend product (parity is a columnwise linear
+        map, so the fused product is byte-for-byte the per-group results).
+        """
+        k = self._code.k
+        groups: List[Tuple[int, List[bytes]]] = []
+        for payload in payloads:
+            if payload is None:
+                raise ValueError("payload must be bytes, not None")
+            self._pending.append(bytes(payload))
+            self.stats.payloads_in += 1
+            if len(self._pending) == k:
+                full, self._pending = self._pending, []
+                group_id = self._next_group_id
+                self._next_group_id += 1
+                block_size = block_size_for(full)
+                groups.append(
+                    (group_id, [pad_block(p, block_size) for p in full]))
+        if not groups:
+            return []
+        parity_lists = self._fused_parity([blocks for _, blocks in groups])
+        packets: List[FecPacket] = []
+        for (group_id, blocks), parity_blocks in zip(groups, parity_lists):
+            packets.extend(self._packets_for(group_id, blocks, parity_blocks))
+        return packets
+
+    def _fused_parity(self, padded: List[List[bytes]]) -> List[List[bytes]]:
+        """Parity blocks for many groups, one backend product per block size."""
+        parity_out: List[List[bytes]] = [[] for _ in padded]
+        cohorts: Dict[int, List[int]] = {}
+        for pos, blocks in enumerate(padded):
+            cohorts.setdefault(len(blocks[0]), []).append(pos)
+        for block_size, members in cohorts.items():
+            if len(members) == 1:
+                pos = members[0]
+                parity = self._code.encode_parity_batch(_as_batch(padded[pos]))
+                parity_out[pos] = [parity[i].tobytes()
+                                   for i in range(parity.shape[0])]
+                continue
+            stacked = np.hstack([_as_batch(padded[pos]) for pos in members])
+            parity = self._code.encode_parity_batch(stacked)
+            for j, pos in enumerate(members):
+                lo = j * block_size
+                hi = lo + block_size
+                parity_out[pos] = [parity[i, lo:hi].tobytes()
+                                   for i in range(parity.shape[0])]
+        return parity_out
+
     def _encode_group(self) -> List[FecPacket]:
         payloads, self._pending = self._pending, []
+        group_id = self._next_group_id
+        self._next_group_id += 1
         block_size = block_size_for(payloads)
         blocks = [pad_block(p, block_size) for p in payloads]
         # One vectorised batch product yields every parity block; the data
         # packets reuse the padded source blocks directly.
         parity = self._code.encode_parity_batch(_as_batch(blocks))
-        encoded = blocks + [parity[i].tobytes() for i in range(parity.shape[0])]
-        group_id = self._next_group_id
-        self._next_group_id += 1
+        parity_blocks = [parity[i].tobytes() for i in range(parity.shape[0])]
+        return self._packets_for(group_id, blocks, parity_blocks)
 
+    def _packets_for(self, group_id: int, blocks: List[bytes],
+                     parity_blocks: List[bytes]) -> List[FecPacket]:
+        """Wrap one group's encoded blocks as packets, with per-group stats."""
         packets: List[FecPacket] = []
-        for index, block in enumerate(encoded):
+        for index, block in enumerate(blocks + parity_blocks):
             flags = FLAG_PARITY if index >= self._code.k else 0
             packets.append(FecPacket(group_id=group_id, index=index,
                                      k=self._code.k, n=self._code.n,
@@ -168,6 +229,18 @@ class _GroupState:
     received: Dict[int, bytes] = field(default_factory=dict)
     uncoded: Dict[int, bytes] = field(default_factory=dict)
     delivered: bool = False
+
+
+@dataclass
+class _PendingDecode:
+    """A group that became decodable mid-batch, awaiting the fused algebra."""
+
+    k: int
+    n: int
+    received: Dict[int, bytes]
+    payloads: List[bytes] = field(default_factory=list)
+    chosen: List[int] = field(default_factory=list)
+    data_received: int = 0
 
 
 class FecGroupDecoder:
@@ -233,6 +306,131 @@ class FecGroupDecoder:
         if len(state.received) < state.k:
             return []
         return self._deliver(packet.group_id, state)
+
+    def add_batch(self, packets: Sequence[FecPacket]) -> List[bytes]:
+        """Process many received packets at once.
+
+        Byte-, order- and stats-identical to calling :meth:`add` per packet
+        and concatenating the results, but the algebra for every group the
+        batch completes runs *fused*: groups that chose the same encoded
+        indices (the common case — a clean stream always decodes from the
+        k data indices, a uniformly lossy one from the same survivor set)
+        are hstacked and reconstructed by one backend product.
+        """
+        deliveries: List[Tuple[str, object]] = []
+        pending_decodes: List[_PendingDecode] = []
+        for packet in packets:
+            self.stats.packets_in += 1
+            if packet.is_uncoded:
+                self.stats.uncoded_packets_in += 1
+                self.stats.payloads_out += 1
+                deliveries.append(("payloads", [packet.payload]))
+                continue
+            if packet.is_parity:
+                self.stats.parity_packets_in += 1
+            else:
+                self.stats.data_packets_in += 1
+            state = self._groups.get(packet.group_id)
+            if state is None:
+                state = _GroupState(k=packet.k, n=packet.n)
+                self._groups[packet.group_id] = state
+                self.stats.groups_seen += 1
+                self._evict_if_needed()
+            if state.delivered:
+                continue
+            if packet.k != state.k or packet.n != state.n:
+                raise FecCodingError(
+                    f"group {packet.group_id} has inconsistent (n, k) parameters")
+            state.received.setdefault(packet.index, packet.payload)
+            if len(state.received) < state.k:
+                continue
+            # The group became decodable: snapshot it and mark it delivered
+            # *now*, so a late same-batch packet is dropped exactly as the
+            # sequential path drops it; the algebra itself is deferred so
+            # same-shaped groups decode fused below.
+            pending = _PendingDecode(k=state.k, n=state.n,
+                                     received=state.received)
+            state.delivered = True
+            state.received = {}
+            pending_decodes.append(pending)
+            deliveries.append(("group", pending))
+        if pending_decodes:
+            self._decode_pending(pending_decodes)
+        out: List[bytes] = []
+        for kind, value in deliveries:
+            if kind == "group":
+                out.extend(value.payloads)
+            else:
+                out.extend(value)
+        return out
+
+    def _decode_pending(self, pending_decodes: List[_PendingDecode]) -> None:
+        """Run the deferred reconstructions, fusing same-shaped groups.
+
+        The cohort key is ``(k, n, chosen indices, block length)`` — groups
+        sharing it use the same decode matrix on same-width columns, so one
+        product over the hstacked batch is byte-identical to per-group
+        decodes.
+        """
+        cohorts: Dict[Tuple, List[_PendingDecode]] = {}
+        for pending in pending_decodes:
+            received = pending.received
+            data_indices = sorted(i for i in received if i < pending.k)
+            if len(data_indices) == pending.k:
+                # Every source block arrived — no algebra needed.
+                pending.payloads = [unpad_block(received[i])
+                                    for i in range(pending.k)]
+                self._count_decoded(pending, pending.k)
+                continue
+            parity_indices = sorted(i for i in received if i >= pending.k)
+            chosen = (data_indices + parity_indices)[:pending.k]
+            chosen.sort()
+            pending.chosen = chosen
+            pending.data_received = len(data_indices)
+            key = (pending.k, pending.n, tuple(chosen),
+                   len(received[chosen[0]]))
+            cohorts.setdefault(key, []).append(pending)
+        for (k, n, chosen, _length), members in cohorts.items():
+            if len(members) == 1:
+                pending = members[0]
+                code = self._code_for(k, n)
+                blocks = code.decode(pending.received)
+                pending.payloads = [unpad_block(block) for block in blocks]
+                self._count_decoded(pending, pending.data_received)
+                continue
+            self._decode_cohort(k, n, list(chosen), members)
+
+    def _decode_cohort(self, k: int, n: int, chosen: List[int],
+                       members: List[_PendingDecode]) -> None:
+        """Reconstruct many same-shaped groups with one backend product."""
+        block_len = len(members[0].received[chosen[0]])
+        stacked = np.hstack([
+            _as_batch([member.received[i] for i in chosen])
+            for member in members])
+        present = {i for i in chosen if i < k}
+        missing = [i for i in range(k) if i not in present]
+        decode_matrix = _decoding_matrix_cached(k, n, tuple(chosen))
+        rows = [decode_matrix.row(i) for i in missing]
+        recovered = self._backend.apply_matrix(rows, stacked)
+        for position, pending in enumerate(members):
+            lo = position * block_len
+            hi = lo + block_len
+            sources: List[bytes] = [b""] * k
+            for i in chosen:
+                if i < k:
+                    sources[i] = bytes(pending.received[i])
+            for slot, source_index in enumerate(missing):
+                sources[source_index] = recovered[slot, lo:hi].tobytes()
+            pending.payloads = [unpad_block(block) for block in sources]
+            self._count_decoded(pending, pending.data_received)
+
+    def _count_decoded(self, pending: _PendingDecode, data_received: int) -> None:
+        """The delivery-time stats of :meth:`_deliver`, for one fused group."""
+        self.stats.groups_decoded += 1
+        if data_received < pending.k:
+            self.stats.groups_repaired += 1
+            self.stats.payloads_recovered += pending.k - data_received
+        self.stats.payloads_out += len(pending.payloads)
 
     def _deliver(self, group_id: int, state: _GroupState) -> List[bytes]:
         code = self._code_for(state.k, state.n)

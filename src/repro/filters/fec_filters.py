@@ -48,6 +48,10 @@ class FecEncoderFilter(PacketFilter):
 
     type_name = "fec-encoder"
 
+    #: One fused gather-XOR pass per pump budget: every group completed by
+    #: the batch reaches the numpy backend as a single 2D array.
+    fused_packet_batch = True
+
     def __init__(self, k: int = PAPER_FEC_K, n: int = PAPER_FEC_N,
                  name: Optional[str] = None,
                  start_group_id: Optional[int] = None,
@@ -67,6 +71,10 @@ class FecEncoderFilter(PacketFilter):
 
     def transform_packet(self, packet: bytes) -> List[bytes]:
         return [fec_packet.pack() for fec_packet in self._encoder.add(packet)]
+
+    def transform_packets(self, packets: List[bytes]) -> List[bytes]:
+        return [fec_packet.pack()
+                for fec_packet in self._encoder.add_batch(packets)]
 
     def finalize_packets(self) -> List[bytes]:
         return [fec_packet.pack() for fec_packet in self._encoder.flush()]
@@ -88,6 +96,11 @@ class FecDecoderFilter(PacketFilter):
     """
 
     type_name = "fec-decoder"
+
+    #: Batch the decode too: consecutive runs of valid FEC packets in one
+    #: pump budget reach the group decoder (and its fused reconstruction)
+    #: as a single call.
+    fused_packet_batch = True
 
     def __init__(self, name: Optional[str] = None,
                  passthrough_unknown: bool = True,
@@ -111,6 +124,27 @@ class FecDecoderFilter(PacketFilter):
             self.unknown_packets += 1
             return [packet] if self.passthrough_unknown else []
         return self._group_decoder.add(fec_packet)
+
+    def transform_packets(self, packets: List[bytes]) -> List[bytes]:
+        outputs: List[bytes] = []
+        run: List[FecPacket] = []
+        for packet in packets:
+            try:
+                fec_packet = FecPacket.unpack(packet)
+            except FecPacketError:
+                if run:
+                    # Flush the run first so a passthrough packet keeps its
+                    # position relative to the decoded payloads around it.
+                    outputs.extend(self._group_decoder.add_batch(run))
+                    run = []
+                self.unknown_packets += 1
+                if self.passthrough_unknown:
+                    outputs.append(packet)
+                continue
+            run.append(fec_packet)
+        if run:
+            outputs.extend(self._group_decoder.add_batch(run))
+        return outputs
 
     def finalize_packets(self) -> List[bytes]:
         return self._group_decoder.flush()

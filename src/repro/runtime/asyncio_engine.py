@@ -21,7 +21,10 @@ engine is an *event-loop adapter*:
 Because the data plane runs the same pump step under the same readiness
 and back-pressure rules, the asyncio engine is byte-identical to the other
 two engines (pinned by ``tests/runtime/test_engine_equivalence.py`` and
-``tests/transport/test_equivalence.py``).
+``tests/transport/test_equivalence.py``).  That includes the zero-copy
+batch path: each loop wakeup moves a ``pump_budget`` of bytes-like chunks
+by reference through :meth:`Filter.transform_chunks`, so the per-wakeup
+costs here amortize exactly as the event engine's do.
 
 What the adapter buys is *composability with asyncio applications*: the
 :mod:`repro.ingress` HTTP/WebSocket front door and the awaitable stream

@@ -38,6 +38,14 @@ pumping an element while its downstream buffer sits at or above capacity —
 the classic high-water-mark pattern, with no blocking and therefore no
 scheduler deadlock.
 
+Batch granularity carries end to end: one readiness wakeup drains up to a
+``pump_budget`` of chunks through :meth:`Filter.transform_chunks` (which
+fused packet filters turn into a single vectorised call), the chunks
+themselves are bytes-like objects moved by reference (``memoryview`` splits
+included — see :mod:`repro.streams.buffer`), and a transport sink flushes
+the whole budget through one ``send_many``.  The scheduler's dirty-set and
+wakeup costs therefore amortize over the batch at every hop.
+
 The composition protocol is unchanged: pause/drain/reconnect splices, the
 boundary-hold handshake and quiesce all work against the same Filter state
 machine; the ControlThread cannot tell which engine is underneath.

@@ -15,11 +15,24 @@ thread-safe bounded byte FIFO with:
 Data-path design (the hot path of every chain hop):
 
 * **Chunk deque, not a coalescing bytearray.**  ``write`` appends the
-  caller's ``bytes`` object to a deque without copying it; a read whose
-  ``max_bytes`` covers the head chunk pops the same object back out —
-  the aligned fast path moves a chunk through the buffer with *zero*
-  byte copies.  Only a read smaller than the head chunk slices (lazy
-  coalescing happens never; a short read leaves the remainder queued).
+  caller's bytes-like object (``bytes``, ``bytearray`` or ``memoryview``)
+  to a deque without copying it; a read whose ``max_bytes`` covers the
+  head chunk pops the same object back out — the aligned fast path moves
+  a chunk through the buffer with *zero* byte copies.
+* **Buffer-protocol splits.**  A read smaller than the head chunk no
+  longer slices ``bytes``: the head is wrapped in a ``memoryview`` once
+  and both the returned piece and the queued remainder are O(1) views
+  over the writer's original object.  Repeatedly carving a large chunk
+  into ``max_chunk``-sized pieces therefore costs zero byte copies
+  (previously each split re-copied the shrinking tail — quadratic in the
+  chunk size).  Coalescing happens only when a caller demands a single
+  contiguous result from several queued chunks (``read`` straddling
+  chunk boundaries), never on the batch path.
+* **Ownership contract.**  Writers hand over ownership: once a chunk is
+  written it must not be mutated (a ``bytearray`` or writable view is
+  queued by reference, and downstream readers may alias it).  Readers
+  receive either the writer's object or a read-only view of it and must
+  treat it as immutable; see ``docs/ARCHITECTURE.md``.
 * **Batch APIs.**  :meth:`write_chunks` and :meth:`read_chunks` move many
   queued chunks per lock acquisition, so a filter pump pays one lock
   round-trip per *batch* instead of per chunk.
@@ -33,12 +46,28 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from itertools import repeat as _repeat
 from time import monotonic as _monotonic
 from typing import Deque, Iterable, List, Optional
 
 from .exceptions import BrokenStreamError, StreamClosedError, StreamTimeoutError
 
 DEFAULT_CAPACITY = 64 * 1024
+
+#: The types queued by reference (anything else is materialised once on
+#: entry).  Kept as a tuple so the hot-path isinstance check is one call.
+_BYTES_LIKE = (bytes, bytearray, memoryview)
+
+
+def _as_view(chunk) -> memoryview:
+    """A memoryview over ``chunk``, reused as-is when it already is one."""
+    return chunk if type(chunk) is memoryview else memoryview(chunk)
+
+
+#: Infinite second argument for ``map(isinstance, chunks, ...)`` — an
+#: all-bytes-like batch check that runs entirely in C.  A bare ``repeat``
+#: is stateless, so one shared instance serves every concurrent scan.
+_REPEAT_BYTES_LIKE = _repeat(_BYTES_LIKE)
 
 
 class StreamBuffer:
@@ -124,10 +153,12 @@ class StreamBuffer:
         closed for writing, :class:`BrokenStreamError` if the reader side
         was torn down, and :class:`StreamTimeoutError` on timeout.
 
-        A ``bytes`` payload that fits the available room is queued by
-        reference — no copy is made; it becomes the unit an aligned read
-        pops back out.  Only a write squeezed through a nearly full bounded
-        buffer slices the payload into the room available.
+        A bytes-like payload (``bytes``, ``bytearray``, ``memoryview``)
+        that fits the available room is queued by reference — no copy is
+        made; it becomes the unit an aligned read pops back out, and the
+        writer must not mutate it afterwards.  Only a write squeezed
+        through a nearly full bounded buffer splits the payload, as O(1)
+        views into the caller's object.
 
         With ``force=True`` the capacity bound is ignored and the call never
         blocks: the bytes are appended even if the buffer overshoots its
@@ -137,7 +168,7 @@ class StreamBuffer:
         """
         if not data:
             return 0
-        if not isinstance(data, bytes):
+        if not isinstance(data, _BYTES_LIKE):
             data = bytes(data)
         with self._lock:
             return self._write_locked(data, timeout, force)
@@ -151,21 +182,66 @@ class StreamBuffer:
         the blocking, timeout, closed and broken semantics are per chunk
         and identical to :meth:`write`.  Returns the total bytes written.
         """
-        total = 0
+        if not isinstance(chunks, (list, tuple)):
+            chunks = list(chunks)
         with self._lock:
+            # Bulk fast path: an all-bytes-like batch goes in as one
+            # deque.extend — no per-chunk call into _write_locked.  A batch
+            # that doesn't fit yet *waits for room and retries whole*
+            # rather than dribbling chunks through the squeeze path: the
+            # downstream reader drains in batches, so room arrives in
+            # batch-sized steps too.
+            if chunks and all(map(isinstance, chunks, _REPEAT_BYTES_LIKE)):
+                batch_bytes = sum(map(len, chunks))
+            else:
+                batch_bytes = 0  # mixed batch: per-chunk slow path below
+            while batch_bytes:
+                if self._broken:
+                    raise BrokenStreamError(f"{self._name}: reader side is gone")
+                if self._eof:
+                    raise StreamClosedError(
+                        f"{self._name}: buffer closed for writing")
+                if (self._capacity is None or force
+                        or self._size + batch_bytes <= self._capacity):
+                    if 0 in map(len, chunks):
+                        # Empty chunks must never reach the deque (an empty
+                        # head reads back as a spurious EOF).
+                        chunks = [data for data in chunks if len(data)]
+                    self._chunks.extend(chunks)
+                    self._size += batch_bytes
+                    self._bytes_in += batch_bytes
+                    if self._readers_waiting:
+                        self._not_empty.notify()
+                    if self._writers_waiting and (
+                            self._capacity is None
+                            or self._size < self._capacity):
+                        self._not_full.notify()
+                    return batch_bytes
+                if batch_bytes > self._capacity:
+                    break  # can never fit whole; squeeze chunk by chunk
+                self._writers_waiting += 1
+                try:
+                    woken = self._not_full.wait(timeout)
+                finally:
+                    self._writers_waiting -= 1
+                if not woken:
+                    raise StreamTimeoutError(
+                        f"{self._name}: timed out waiting for buffer space")
+            total = 0
             for data in chunks:
                 if not data:
                     continue
-                if not isinstance(data, bytes):
+                if not isinstance(data, _BYTES_LIKE):
                     data = bytes(data)
                 total += self._write_locked(data, timeout, force)
-        return total
+            return total
 
     def _write_locked(self, data: bytes, timeout: Optional[float],
                       force: bool) -> int:
-        """Queue one ``bytes`` payload; caller holds the lock."""
+        """Queue one bytes-like payload; caller holds the lock."""
         written = 0
         total = len(data)
+        view: Optional[memoryview] = None
         while written < total:
             if self._broken:
                 raise BrokenStreamError(f"{self._name}: reader side is gone")
@@ -189,7 +265,9 @@ class StreamBuffer:
             if written == 0 and room >= total:
                 chunk = data  # fast path: queue the caller's object, no copy
             else:
-                chunk = data[written:written + room]
+                if view is None:
+                    view = _as_view(data)
+                chunk = view[written:written + room]
             self._chunks.append(chunk)
             self._size += len(chunk)
             written += len(chunk)
@@ -261,8 +339,9 @@ class StreamBuffer:
                 self._chunks.popleft()
                 chunk = head  # aligned fast path: no copy, no slice
             elif hlen > max_bytes:
-                chunk = head[:max_bytes]
-                self._chunks[0] = head[max_bytes:]
+                view = _as_view(head)
+                chunk = view[:max_bytes]
+                self._chunks[0] = view[max_bytes:]
             else:
                 parts: List[bytes] = []
                 taken = 0
@@ -274,8 +353,9 @@ class StreamBuffer:
                         parts.append(head)
                         taken += len(head)
                     else:
-                        parts.append(head[:room])
-                        self._chunks[0] = head[room:]
+                        view = _as_view(head)
+                        parts.append(view[:room])
+                        self._chunks[0] = view[room:]
                         taken += room
                 chunk = b"".join(parts)
             self._size -= len(chunk)
@@ -291,8 +371,9 @@ class StreamBuffer:
         as many whole chunks as fit the byte budget (always at least one
         piece once data is available, splitting the head chunk if it alone
         exceeds the budget).  ``max_chunk`` additionally caps the size of
-        each returned piece — a filter uses it to keep transform units no
-        larger than its ``chunk_size``, exactly as single-chunk reads did.
+        each returned piece, for callers that need bounded units (framing
+        probes, tests); the filter pump does *not* use it — whole queued
+        chunks are the transform units, so nothing is re-fragmented.
 
         Returns ``[]`` only at end of stream.  Raises
         :class:`StreamTimeoutError` when no data arrives in time.
@@ -310,6 +391,18 @@ class StreamBuffer:
                     self._readers_waiting -= 1
                 if not woken:
                     raise StreamTimeoutError(f"{self._name}: read timed out")
+            if max_chunk is None and self._size <= max_bytes:
+                # Bulk fast path: the byte budget covers everything queued
+                # and no per-piece cap is in force — hand the whole deque
+                # over in one list() + clear(), no per-chunk loop.  This is
+                # the steady state of a batched chain hop, where the
+                # reader's budget is sized to the writer's batch.
+                chunks = list(self._chunks)
+                self._chunks.clear()
+                self._bytes_out += self._size
+                self._size = 0
+                self._after_read_locked()
+                return chunks
             chunks: List[bytes] = []
             taken = 0
             while self._chunks and taken < max_bytes:
@@ -328,8 +421,9 @@ class StreamBuffer:
                     # the head exceeds — a filter batching a large upstream
                     # chunk keeps slicing full-size pieces off it rather
                     # than degrading to one piece per call.
-                    piece = head[:allowance]
-                    self._chunks[0] = head[allowance:]
+                    view = _as_view(head)
+                    piece = view[:allowance]
+                    self._chunks[0] = view[allowance:]
                 else:
                     break  # next whole chunk doesn't fit; leave it queued
                 chunks.append(piece)
@@ -373,13 +467,13 @@ class StreamBuffer:
                 return b""
             head = self._chunks[0]
             if len(head) >= max_bytes or len(self._chunks) == 1:
-                return head[:max_bytes]
+                return bytes(_as_view(head)[:max_bytes])
             parts: List[bytes] = []
             remaining = max_bytes
             for chunk in self._chunks:
                 if remaining <= 0:
                     break
-                parts.append(chunk[:remaining])
+                parts.append(_as_view(chunk)[:remaining])
                 remaining -= len(chunk)
             return b"".join(parts)
 

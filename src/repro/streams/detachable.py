@@ -66,6 +66,15 @@ _counter_lock = threading.Lock()
 _counter = 0
 
 
+def _any_payload(batch) -> bool:
+    """True when any item in ``batch`` carries bytes (C-speed scan)."""
+    try:
+        return any(map(len, batch))
+    except TypeError:
+        # Unsized items get materialised by the buffer; treat as payload.
+        return True
+
+
 class _ListenerMixin:
     """Shared subscribe/unsubscribe plumbing for both stream halves."""
 
@@ -264,8 +273,12 @@ class DetachableOutputStream(_ListenerMixin):
         """
         if chunks is None:
             raise ValueError("chunks must be an iterable of bytes, not None")
-        batch = [data for data in chunks if data]
-        if not batch:
+        if not isinstance(chunks, (list, tuple)):
+            chunks = list(chunks)
+        # Empties are skipped by the buffer itself; only an effectively
+        # empty batch short-circuits here (before any reconnect wait).
+        batch = chunks
+        if not batch or not _any_payload(batch):
             return 0
         wait = self._reconnect_wait if timeout is None else timeout
         # Delivery happens under this DOS's lock for the same reason as in
@@ -321,8 +334,10 @@ class DetachableOutputStream(_ListenerMixin):
         """
         if chunks is None:
             raise ValueError("chunks must be an iterable of bytes, not None")
-        batch = [data for data in chunks if data]
-        if not batch:
+        if not isinstance(chunks, (list, tuple)):
+            chunks = list(chunks)
+        batch = chunks
+        if not batch or not _any_payload(batch):
             return True
         with self._lock:
             if self._closed:

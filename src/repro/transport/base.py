@@ -269,6 +269,21 @@ class DatagramChannel(ABC):
     def send_to(self, member: str, data: bytes) -> bool:
         """Unicast one datagram to a single member; True when sent."""
 
+    def send_many(self, payloads) -> int:
+        """Multicast many datagrams; returns payloads delivered to >= 1
+        member.
+
+        Semantically a loop of :meth:`send` — same per-payload framing,
+        accounting and error behaviour — and that is exactly the default.
+        Transports with a genuinely vectored wire path (UDP's ``sendmmsg``)
+        override it so the whole batch costs one syscall per member.
+        """
+        delivered = 0
+        for payload in payloads:
+            if self.send(payload) > 0:
+                delivered += 1
+        return delivered
+
     @abstractmethod
     def members(self) -> List[str]:
         """Names of the current members."""

@@ -1,0 +1,167 @@
+"""Vectored UDP sends — ``sendmmsg(2)`` via ctypes, with graceful fallback.
+
+Linux's ``sendmmsg`` hands the kernel a whole batch of datagrams in one
+syscall, so a pump budget of FEC packets costs one kernel crossing per
+member instead of one per packet.  Python's stdlib does not expose it, so
+this module binds it with ctypes:
+
+* :func:`available` — True when the symbol was found *and* the
+  ``REPRO_UDP_VECTORED`` kill-switch is not set to ``0``;
+* :func:`send_batch` — transmit many pre-framed datagrams to one IPv4
+  address, returning ``(frames_sent, error)`` so a caller can continue a
+  partially transmitted batch over the plain ``sendto`` loop without ever
+  re-sending a frame (UDP duplicates would corrupt a byte stream).
+
+Callers classify the returned errno: values in :data:`DISABLE_ERRNOS` mean
+the host cannot do vectored sends at all (disable permanently, stop paying
+for the failed syscall); anything else is transient and only the current
+batch falls back.  Everywhere without the symbol (non-Linux, exotic libc)
+:func:`available` is simply False and the transport uses its per-datagram
+loop, byte-for-byte identical on the wire.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import errno as _errno
+import os
+import socket
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+#: Environment kill-switch: ``REPRO_UDP_VECTORED=0`` forces the plain
+#: per-datagram ``sendto`` loop even where ``sendmmsg`` exists (useful for
+#: A/B benchmarks and for debugging suspected batching bugs).
+VECTORED_ENV_VAR = "REPRO_UDP_VECTORED"
+
+#: errno values meaning "vectored sends cannot work on this host" — the
+#: syscall is missing, filtered, or our call shape is rejected outright.
+#: A channel seeing one of these disables its vectored path permanently
+#: instead of paying a doomed syscall per batch.
+DISABLE_ERRNOS = frozenset({
+    _errno.ENOSYS,
+    _errno.EOPNOTSUPP,
+    _errno.EPERM,
+    _errno.EFAULT,
+    _errno.EINVAL,
+})
+
+#: Datagrams per ``sendmmsg`` call.  The kernel caps a call at UIO_MAXIOV
+#: (1024) messages; 64 matches the largest pump budgets upstream while
+#: keeping the header arrays small enough to build cheaply.
+MAX_BATCH = 64
+
+
+class _iovec(ctypes.Structure):
+    _fields_ = [
+        ("iov_base", ctypes.c_void_p),
+        ("iov_len", ctypes.c_size_t),
+    ]
+
+
+class _sockaddr_in(ctypes.Structure):
+    _fields_ = [
+        ("sin_family", ctypes.c_uint16),
+        ("sin_port", ctypes.c_uint16),  # network byte order
+        ("sin_addr", ctypes.c_uint8 * 4),
+        ("sin_zero", ctypes.c_uint8 * 8),
+    ]
+
+
+class _msghdr(ctypes.Structure):
+    _fields_ = [
+        ("msg_name", ctypes.c_void_p),
+        ("msg_namelen", ctypes.c_uint32),
+        ("msg_iov", ctypes.POINTER(_iovec)),
+        ("msg_iovlen", ctypes.c_size_t),
+        ("msg_control", ctypes.c_void_p),
+        ("msg_controllen", ctypes.c_size_t),
+        ("msg_flags", ctypes.c_int),
+    ]
+
+
+class _mmsghdr(ctypes.Structure):
+    _fields_ = [
+        ("msg_hdr", _msghdr),
+        ("msg_len", ctypes.c_uint32),
+    ]
+
+
+def _load_sendmmsg():
+    """Resolve ``sendmmsg`` from the running process (Linux only)."""
+    if not sys.platform.startswith("linux"):
+        return None
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)
+        fn = libc.sendmmsg
+    except (OSError, AttributeError):
+        return None
+    fn.restype = ctypes.c_int
+    fn.argtypes = [ctypes.c_int, ctypes.POINTER(_mmsghdr),
+                   ctypes.c_uint, ctypes.c_int]
+    return fn
+
+
+_sendmmsg = _load_sendmmsg()
+
+
+def available() -> bool:
+    """True when a vectored send can be attempted on this host right now."""
+    return (_sendmmsg is not None
+            and os.environ.get(VECTORED_ENV_VAR, "1") != "0")
+
+
+def send_batch(
+    sock: socket.socket,
+    address: Tuple[str, int],
+    frames: Sequence[bytes],
+) -> Tuple[int, Optional[OSError]]:
+    """Transmit pre-framed datagrams to one IPv4 address, batched.
+
+    Returns ``(sent, error)``: the number of leading frames fully handed to
+    the kernel, and the ``OSError`` that stopped the batch (``None`` when
+    every frame went out).  The caller resumes from ``frames[sent:]`` on its
+    fallback path — no frame is ever transmitted twice from here.
+    """
+    addr = _sockaddr_in()
+    addr.sin_family = socket.AF_INET
+    addr.sin_port = socket.htons(address[1])
+    ctypes.memmove(addr.sin_addr, socket.inet_aton(address[0]), 4)
+    addr_ptr = ctypes.cast(ctypes.pointer(addr), ctypes.c_void_p)
+    addr_len = ctypes.sizeof(addr)
+
+    fd = sock.fileno()
+    total = len(frames)
+    done = 0
+    while done < total:
+        count = min(MAX_BATCH, total - done)
+        iovecs = (_iovec * count)()
+        headers = (_mmsghdr * count)()
+        # The bytes objects (and their c_char_p wrappers) must stay alive
+        # until the syscall returns; the list pins them.
+        keepalive: List[Tuple[bytes, ctypes.c_char_p]] = []
+        for i in range(count):
+            frame = frames[done + i]
+            if not isinstance(frame, bytes):
+                frame = bytes(frame)
+            buf = ctypes.c_char_p(frame)
+            keepalive.append((frame, buf))
+            iovecs[i].iov_base = ctypes.cast(buf, ctypes.c_void_p)
+            iovecs[i].iov_len = len(frame)
+            hdr = headers[i].msg_hdr
+            hdr.msg_name = addr_ptr
+            hdr.msg_namelen = addr_len
+            hdr.msg_iov = ctypes.pointer(iovecs[i])
+            hdr.msg_iovlen = 1
+        sent = _sendmmsg(fd, headers, count, 0)
+        if sent < 0:
+            err = ctypes.get_errno()
+            if err == _errno.EINTR:
+                continue
+            return done, OSError(err, os.strerror(err))
+        if sent == 0:
+            # Defensive: zero progress from a blocking socket would spin.
+            err = _errno.EAGAIN
+            return done, OSError(err, os.strerror(err))
+        done += sent
+    return done, None

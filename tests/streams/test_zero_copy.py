@@ -1,0 +1,158 @@
+"""Identity pins for the zero-copy data path.
+
+These tests assert *object identity*, not just byte equality: the aligned
+read path must hand back the very object the writer queued, and a split
+must produce O(1) ``memoryview`` pieces over the writer's original object
+rather than intermediate ``bytes`` copies.  They exist so a refactor that
+quietly reintroduces per-chunk copies fails loudly instead of only showing
+up as a benchmark regression.
+
+The ownership contract being pinned is documented in
+``docs/ARCHITECTURE.md``: writers hand over the object and must not mutate
+it afterwards; readers receive the writer's object or a read-only-by-
+convention view of it.
+"""
+
+from repro.streams import StreamBuffer, make_pipe
+
+
+class TestAlignedReadIdentity:
+    def test_read_returns_the_writers_bytes_object(self):
+        buffer = StreamBuffer(capacity=None)
+        data = b"x" * 1000
+        buffer.write(data)
+        assert buffer.read(1000) is data
+
+    def test_read_larger_than_sole_chunk_returns_the_object(self):
+        buffer = StreamBuffer(capacity=None)
+        data = b"y" * 100
+        buffer.write(data)
+        assert buffer.read(4096) is data
+
+    def test_bytearray_and_memoryview_round_trip_by_reference(self):
+        buffer = StreamBuffer(capacity=None)
+        array = bytearray(b"z" * 64)
+        view = memoryview(b"w" * 64)
+        buffer.write(array)
+        buffer.write(view)
+        assert buffer.read(64) is array
+        assert buffer.read(64) is view
+
+    def test_pipe_read_returns_the_writers_object(self):
+        dos, dis = make_pipe(capacity=None)
+        data = b"p" * 512
+        dos.write(data)
+        assert dis.read(512) is data
+        dos.close()
+
+
+class TestSplitReadIdentity:
+    def test_misaligned_read_pieces_are_views_over_the_original(self):
+        buffer = StreamBuffer(capacity=None)
+        data = b"0123456789" * 10
+        buffer.write(data)
+        first = buffer.read(40)
+        second = buffer.read(60)
+        assert bytes(first) == data[:40]
+        assert bytes(second) == data[40:]
+        # Both pieces are O(1) views whose backing object is the writer's
+        # original — no intermediate bytes were materialised by the split.
+        assert isinstance(first, memoryview) and first.obj is data
+        assert isinstance(second, memoryview) and second.obj is data
+
+    def test_repeated_carving_never_leaves_the_original_object(self):
+        buffer = StreamBuffer(capacity=None)
+        data = b"abcdefgh" * 128  # 1024 bytes
+        buffer.write(data)
+        pieces = [buffer.read(100) for _ in range(11)]
+        assert b"".join(bytes(p) for p in pieces) == data
+        for piece in pieces:
+            assert isinstance(piece, memoryview)
+            assert piece.obj is data
+
+    def test_read_chunks_split_head_is_a_view(self):
+        buffer = StreamBuffer(capacity=None)
+        data = b"q" * 1000
+        buffer.write(data)
+        [piece] = buffer.read_chunks(max_bytes=300)
+        assert isinstance(piece, memoryview) and piece.obj is data
+        rest = buffer.read_chunks(max_bytes=1000)
+        assert sum(len(p) for p in rest) == 700
+        assert all(p.obj is data for p in rest)
+
+    def test_peek_does_not_consume_or_disturb_identity(self):
+        buffer = StreamBuffer(capacity=None)
+        data = b"peekable" * 8
+        buffer.write(data)
+        assert buffer.peek(8) == data[:8]
+        assert buffer.read(len(data)) is data
+
+
+class TestBatchIdentity:
+    def test_write_chunks_read_chunks_round_trips_the_same_objects(self):
+        buffer = StreamBuffer(capacity=None)
+        chunks = [bytes([i]) * (i + 1) for i in range(20)]
+        buffer.write_chunks(chunks)
+        out = buffer.read_chunks(max_bytes=sum(len(c) for c in chunks))
+        assert len(out) == len(chunks)
+        for popped, written in zip(out, chunks):
+            assert popped is written
+
+    def test_pipe_write_many_preserves_chunk_identity(self):
+        dos, dis = make_pipe(capacity=None)
+        chunks = [b"a" * 33, bytearray(b"b" * 7), memoryview(b"c" * 21)]
+        dos.write_many(chunks)
+        out = dis.read_chunks(max_bytes=1024)
+        assert [id(c) for c in out] == [id(c) for c in chunks]
+        dos.close()
+
+    def test_empty_chunks_in_a_batch_never_surface_as_eof(self):
+        buffer = StreamBuffer(capacity=None)
+        buffer.write_chunks([b"", b"head", b"", b"tail", b""])
+        out = buffer.read_chunks(max_bytes=1024)
+        assert out == [b"head", b"tail"]
+        buffer.close_for_writing()
+        assert buffer.read_chunks(max_bytes=1024) == []
+
+    def test_bounded_batch_waits_then_lands_whole(self):
+        buffer = StreamBuffer(capacity=64)
+        blocker = b"x" * 64
+        buffer.write(blocker)
+        import threading
+
+        chunks = [b"1" * 16, b"2" * 16]
+        done = threading.Event()
+
+        def writer():
+            buffer.write_chunks(chunks, timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            assert buffer.read(64) is blocker
+            assert done.wait(5.0)
+            out = buffer.read_chunks(max_bytes=64)
+            assert out[0] is chunks[0] and out[1] is chunks[1]
+        finally:
+            thread.join(5.0)
+
+    def test_filter_pump_does_not_refragment_large_chunks(self):
+        # A chain hop reads whole queued chunks: a large upstream chunk
+        # must cross the hop as one unit (the E6 64 KiB regression was
+        # exactly this being re-split into chunk_size pieces per hop).
+        from repro.core import CollectorSink, ControlThread, IterableSource
+        from repro.filters import PassthroughFilter
+
+        big = bytes(range(256)) * 1024  # 256 KiB, a single source item
+        sink = CollectorSink(name="sink")
+        control = ControlThread(IterableSource([big], name="src"), sink,
+                                auto_start=False)
+        for i in range(2):
+            control.add(PassthroughFilter(name=f"f{i}"))
+        control.start()
+        try:
+            assert control.wait_for_completion(timeout=30.0)
+            assert bytes(sink.data()) == big
+        finally:
+            control.shutdown()
