@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI smoke gate for the process cluster.
+
+Fails (exit 1) unless a 2-worker :class:`~repro.cluster.ProxyCluster`
+
+1. round-trips streams on *both* workers byte-identically — every
+   collected stream's digest must match the regenerated pattern input,
+   and a filtered stream (FEC + zlib) must match the single-process
+   reference chain run from the same spec; and
+2. exposes the whole fleet on the parent's ``/metrics`` endpoint — the
+   scrape must carry the ``worker`` label with both worker ids.
+
+Alongside the verdict the gate writes ``BENCH_cluster.json`` (override
+the path with ``REPRO_CLUSTER_JSON``) so CI archives the cluster numbers
+per commit next to ``BENCH_datapath.json``.
+
+Run as: ``PYTHONPATH=src python benchmarks/check_cluster_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+os.environ.setdefault("REPRO_BENCH_QUICK", "1")  # never touch committed tables
+# The parent's /metrics server starts on demand when a cluster is built;
+# an ephemeral port keeps parallel CI jobs from colliding.
+os.environ.setdefault("REPRO_METRICS_ADDR", "127.0.0.1:0")
+
+WORKERS = 2
+STREAMS_PER_WORKER = 2
+PACKETS = 40
+PACKET_SIZE = 512
+
+
+def write_report(path: str, payload: dict) -> None:
+    """Persist the smoke results for CI artifact upload."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main() -> int:
+    from repro.cluster import (
+        ProxyCluster,
+        StreamSpec,
+        digest,
+        pattern_packets,
+    )
+    from repro.core.registry import FilterSpec
+    from repro.obs.exporter import default_server
+
+    from test_bench_cluster_scale import plan_stream_names
+
+    failures = []
+    names = plan_stream_names(WORKERS, STREAMS_PER_WORKER, tag="smoke")
+    specs = [StreamSpec.from_pattern(name, seed=index, packets=PACKETS,
+                                     packet_size=PACKET_SIZE)
+             for index, name in enumerate(names)]
+    # One spec runs a real chain; its digest is pinned to the
+    # single-process reference — the cluster must be byte-transparent.
+    specs[0] = specs[0].with_filter(
+        FilterSpec("fec-encoder", {"k": 4, "n": 6, "start_group_id": 0})
+    ).with_filter(FilterSpec("zlib-compress", {"level": 6}))
+
+    start = time.perf_counter()
+    with ProxyCluster(workers=WORKERS, name="smoke") as cluster:
+        placement = cluster.open_streams(specs)
+        cluster.drain(timeout=60.0)
+        elapsed = time.perf_counter() - start
+        if set(placement.values()) != set(range(WORKERS)):
+            failures.append(f"streams landed on {sorted(set(placement.values()))}, "
+                            f"expected all of {list(range(WORKERS))}")
+        for spec in specs:
+            result = cluster.stream_result(spec.name)
+            if spec.filters:
+                expected = digest(spec.expected_output())
+                label = "reference-chain"
+            else:
+                expected = digest(pattern_packets(
+                    spec.source["seed"], PACKETS, PACKET_SIZE))
+                label = "pattern"
+            if result["digest"] != expected:
+                failures.append(
+                    f"stream {spec.name} ({label}) digest mismatch")
+        server = default_server()
+        if server is None:
+            failures.append("no /metrics server came up")
+            scrape = ""
+        else:
+            with urllib.request.urlopen(f"{server.url}/metrics",
+                                        timeout=10.0) as response:
+                scrape = response.read().decode("utf-8")
+        worker_labels = [f'worker="{worker_id}"'
+                         for worker_id in range(WORKERS)]
+        missing = [label for label in worker_labels if label not in scrape]
+        if missing:
+            failures.append(f"/metrics scrape is missing {missing}")
+        fleet = cluster.snapshot_sum()
+
+    total_payload = len(specs) * PACKETS * PACKET_SIZE
+    report = {
+        "workers": WORKERS,
+        "streams": len(specs),
+        "packets_per_stream": PACKETS,
+        "packet_size": PACKET_SIZE,
+        "round_trip_seconds": round(elapsed, 3),
+        "round_trip_mib_s": round(
+            total_payload / (1024.0 * 1024.0) / elapsed, 3),
+        "fleet_sink_packets": fleet.sink_stats.get("packets_in", 0),
+        "metrics_worker_labels": worker_labels,
+        "failures": failures,
+        "passed": not failures,
+    }
+    write_report(os.environ.get("REPRO_CLUSTER_JSON", "BENCH_cluster.json"),
+                 report)
+    print(f"workers              : {WORKERS}")
+    print(f"streams (both shards): {len(specs)}")
+    print(f"round trip           : {elapsed:8.3f} s")
+    print(f"fleet sink packets   : {report['fleet_sink_packets']}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK: cluster round trip byte-identical, /metrics shows both workers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

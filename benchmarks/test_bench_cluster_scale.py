@@ -1,0 +1,190 @@
+"""Cluster scalability — aggregate throughput vs worker process count.
+
+One Python process tops out at one core; the cluster breaks that ceiling
+by sharding streams across N worker OS processes (each a full proxy).
+This benchmark measures *capacity*, the number the paper's deployment
+story actually needs: how much live, paced traffic a fleet carries.
+
+Each worker is given the same per-worker load — ``STREAMS_PER_WORKER``
+live FEC(6,4) streams whose sources pace packets at a fixed real-time
+interval, the wired-to-wireless regime of the engine-scale benchmark.
+Because every stream is paced, a worker that keeps up finishes in the
+pacing-bound ideal time regardless of how many *other* workers exist;
+aggregate throughput (total source payload / wall-clock for the whole
+fleet to drain) therefore scales with worker count exactly as far as the
+fleet actually sustains the added load.  A cluster that fell behind —
+GIL contention, control-plane serialisation, shard imbalance — would
+stretch the wall-clock and flatten the curve.
+
+Stream names are probed against the shard ring before opening so each
+worker hosts exactly ``STREAMS_PER_WORKER`` streams (consistent hashing
+balances in aggregate, but small fleets deserve an exact census; the
+probe uses the same ring function the cluster itself places with).
+
+The table is written to ``benchmarks/results/cluster_scale.txt`` and the
+machine-readable rows to ``BENCH_cluster.json`` next to it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro.cluster import ProxyCluster, ShardRing, StreamSpec
+from repro.core.registry import FilterSpec
+
+from benchutil import format_row, results_dir, write_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Worker process counts swept (the fleet sizes of the committed table).
+WORKER_COUNTS = [1, 2] if QUICK else [1, 2, 4, 8]
+
+#: Identical per-worker load at every fleet size: capacity scales with
+#: workers when each worker carries the same live traffic.
+STREAMS_PER_WORKER = 2 if QUICK else 4
+
+#: Packets per stream and the real-time pacing interval (the engine-scale
+#: benchmark's loaded-but-live feed), with ~1 KiB media-sized payloads.
+PACKETS_PER_STREAM = 25 if QUICK else 75
+PACKET_SIZE = 1024
+PACKET_INTERVAL_S = 0.008
+
+#: Repetitions per fleet size; the median wall-clock is kept (spawn cost
+#: is outside the timed window, but scheduler jitter is not).
+REPS = 1 if QUICK else 3
+
+DRAIN_TIMEOUT_S = 120.0
+
+
+def plan_stream_names(n_workers: int, per_worker: int, tag: str) -> "list[str]":
+    """Stream names the shard ring places exactly ``per_worker`` per worker."""
+    ring = ShardRing(range(n_workers))
+    quota = {worker_id: per_worker for worker_id in range(n_workers)}
+    names: "list[str]" = []
+    candidate = 0
+    while any(quota.values()):
+        name = f"cap-{tag}-{candidate}"
+        candidate += 1
+        owner = ring.worker_for(name)
+        if quota[owner]:
+            quota[owner] -= 1
+            names.append(name)
+        if candidate > 100_000:  # pragma: no cover - hash pathology guard
+            raise RuntimeError("shard ring never filled the census")
+    return names
+
+
+def run_fleet(n_workers: int) -> "tuple[float, float, float]":
+    """Median of ``REPS`` fleet runs: (seconds, MiB/s, streams/s)."""
+    elapsed = statistics.median(_run_once(n_workers, rep)
+                                for rep in range(REPS))
+    n_streams = n_workers * STREAMS_PER_WORKER
+    payload = n_streams * PACKETS_PER_STREAM * PACKET_SIZE
+    return elapsed, payload / (1024.0 * 1024.0) / elapsed, n_streams / elapsed
+
+
+def _run_once(n_workers: int, rep: int) -> float:
+    names = plan_stream_names(n_workers, STREAMS_PER_WORKER,
+                              tag=f"{n_workers}w")
+    specs = [
+        StreamSpec.from_pattern(
+            name, seed=index, packets=PACKETS_PER_STREAM,
+            packet_size=PACKET_SIZE, pacing_s=PACKET_INTERVAL_S,
+            sink={"kind": "null"},
+        ).with_filter(FilterSpec("fec-encoder", {"k": 4, "n": 6}))
+        for index, name in enumerate(names)
+    ]
+    # Spawn/handshake cost stays outside the timed window: the benchmark
+    # measures what a running fleet carries, not process start-up.
+    with ProxyCluster(workers=n_workers,
+                      name=f"bench-{n_workers}w-{rep}") as cluster:
+        start = time.perf_counter()
+        placement = cluster.open_streams(specs)
+        completed = cluster.drain(timeout=DRAIN_TIMEOUT_S)
+        elapsed = time.perf_counter() - start
+        census: "dict[int, int]" = {}
+        for worker_id in placement.values():
+            census[worker_id] = census.get(worker_id, 0) + 1
+        if set(census.values()) != {STREAMS_PER_WORKER}:
+            raise RuntimeError(f"{n_workers}w: unbalanced census {census}")
+        for worker_id, streams in completed.items():
+            for name, done in streams.items():
+                if not done:
+                    raise RuntimeError(
+                        f"{n_workers}w: stream {name} on worker {worker_id} "
+                        "did not complete")
+        fleet = cluster.snapshot_sum()
+        expected_in = len(specs) * PACKETS_PER_STREAM
+        if fleet.source_stats.get("packets_out", 0) != expected_in:
+            raise RuntimeError(
+                f"{n_workers}w: fleet sources emitted "
+                f"{fleet.source_stats.get('packets_out')} packets, "
+                f"expected {expected_in}")
+    return elapsed
+
+
+def test_cluster_scale_table():
+    ideal_s = PACKETS_PER_STREAM * PACKET_INTERVAL_S
+    widths = (8, 8, 9, 10, 11, 8)
+    lines = [
+        "Cluster scalability: N worker processes, "
+        f"{STREAMS_PER_WORKER} live FEC(6,4) streams each",
+        f"({PACKETS_PER_STREAM} packets x {PACKET_SIZE} B per stream, paced "
+        f"at {PACKET_INTERVAL_S * 1000:.0f} ms/packet -> ideal "
+        f"{ideal_s:.2f}s{', quick mode' if QUICK else ''})",
+        "",
+        format_row(("workers", "streams", "seconds", "MiB/s", "streams/s",
+                    "vs 1w"), widths),
+    ]
+    rows = []
+    baseline_mibs = None
+    for n_workers in WORKER_COUNTS:
+        elapsed, mibs, streams_s = run_fleet(n_workers)
+        if baseline_mibs is None:
+            baseline_mibs = mibs
+        speedup = mibs / baseline_mibs
+        rows.append({
+            "workers": n_workers,
+            "streams": n_workers * STREAMS_PER_WORKER,
+            "seconds": round(elapsed, 3),
+            "mib_s": round(mibs, 2),
+            "streams_per_s": round(streams_s, 1),
+            "speedup_vs_1w": round(speedup, 2),
+        })
+        lines.append(format_row(
+            (n_workers, n_workers * STREAMS_PER_WORKER, f"{elapsed:.2f}",
+             f"{mibs:.2f}", f"{streams_s:.1f}", f"{speedup:.2f}x"),
+            widths))
+    lines.append("")
+    lines.append("aggregate speedup by fleet size: "
+                 + ", ".join(f"{row['workers']}w: {row['speedup_vs_1w']:.2f}x"
+                             for row in rows))
+    write_table("cluster_scale", lines)
+
+    payload = {
+        "benchmark": "cluster_scale",
+        "quick": QUICK,
+        "streams_per_worker": STREAMS_PER_WORKER,
+        "packets_per_stream": PACKETS_PER_STREAM,
+        "packet_size": PACKET_SIZE,
+        "pacing_s": PACKET_INTERVAL_S,
+        "reps": REPS,
+        "rows": rows,
+    }
+    json_path = os.path.join(results_dir(), "BENCH_cluster.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Every fleet drained completely (checked inside _run_once); the
+    # committed full-mode table must additionally show the 4-worker fleet
+    # carrying at least 3x the 1-worker aggregate — the acceptance pin.
+    by_workers = {row["workers"]: row for row in rows}
+    if not QUICK and 4 in by_workers:
+        assert by_workers[4]["speedup_vs_1w"] >= 3.0, (
+            f"4-worker fleet carried only "
+            f"{by_workers[4]['speedup_vs_1w']:.2f}x the 1-worker aggregate")
+    assert all(row["speedup_vs_1w"] > 0 for row in rows)

@@ -1,0 +1,55 @@
+"""Multi-process proxy cluster — shard streams to break the GIL ceiling.
+
+One Python process is capped at one core; :class:`ProxyCluster` runs N
+full proxies in N worker OS processes, shards streams across them by
+consistent hash on the stream id, and keeps a single control plane in
+the parent: fleet-wide filter splice, graceful drain, crash restart with
+interim shard reassignment, and aggregated observability (``/metrics``
+with a ``worker`` label, fleet-summed ``ChainSnapshot``s).
+
+See ``docs/ARCHITECTURE.md`` ("Process cluster") for the shard function,
+the RPC frame layout, and the environment variables.
+"""
+
+from .cluster import (
+    CLUSTER_WORKERS_ENV_VAR,
+    DEFAULT_WORKERS,
+    ClusterError,
+    ProxyCluster,
+    WorkerHandle,
+)
+from .rpc import (
+    MAX_RPC_FRAME,
+    RPC_MAGIC,
+    RpcConnection,
+    RpcConnectionClosed,
+    RpcError,
+    decode_header,
+    encode_message,
+)
+from .shard import REPLICAS, ShardRing
+from .specs import StreamSpec, digest, pattern_packets
+from .worker import WorkerProcess, serialize_families, worker_main
+
+__all__ = [
+    "CLUSTER_WORKERS_ENV_VAR",
+    "DEFAULT_WORKERS",
+    "MAX_RPC_FRAME",
+    "REPLICAS",
+    "RPC_MAGIC",
+    "ClusterError",
+    "ProxyCluster",
+    "RpcConnection",
+    "RpcConnectionClosed",
+    "RpcError",
+    "ShardRing",
+    "StreamSpec",
+    "WorkerHandle",
+    "WorkerProcess",
+    "decode_header",
+    "digest",
+    "encode_message",
+    "pattern_packets",
+    "serialize_families",
+    "worker_main",
+]

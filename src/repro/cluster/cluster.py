@@ -1,0 +1,519 @@
+"""ProxyCluster — shard streams across worker OS processes.
+
+One Python process tops out at one core no matter which execution engine
+runs the proxy; the cluster breaks that ceiling by running N full proxies
+in N worker processes and sharding streams across them by consistent
+hash on the stream id (:mod:`repro.cluster.shard`).
+
+The parent is a pure control plane: it never touches stream data.  It
+spawns workers with the ``spawn`` start method (import-safe under
+pytest), accepts one loopback-TCP control connection back from each
+(:mod:`repro.cluster.rpc`), and fans control operations out over those
+connections — open-stream, fleet-wide filter splice (each worker runs
+the paper's pause → insert/remove → resume protocol on its own chains),
+graceful drain, shutdown.
+
+A supervisor thread watches worker process sentinels.  When a worker
+dies unexpectedly the parent emits ``worker-exit``, marks the shard down
+(new placements spill to ring successors — *only* the dead worker's
+share moves), respawns the worker, replays its stream specs (at-least-
+once: a stream cut mid-flight is re-run from its spec), marks the shard
+up again and emits ``worker-restart`` with the same correlation id as
+the exit, so the two events grep back into one incident.
+
+Observability aggregates in the parent: :meth:`collect_metric_families`
+re-labels every worker's scrape with ``worker="<id>"`` and the default
+registry picks clusters up via ``register_cluster``, so one parent
+``/metrics`` endpoint exposes the whole fleet.  ``ChainSnapshot.sum``
+adds per-stream snapshots into fleet totals.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..obs.events import (
+    EVENT_WORKER_EXIT,
+    EVENT_WORKER_RESTART,
+    EVENT_WORKER_START,
+    get_event_log,
+    new_correlation_id,
+)
+from ..obs.exporter import ensure_default_server
+from ..obs.metrics import MetricFamily, register_cluster
+from .rpc import RpcConnection, RpcError
+from .shard import ShardRing
+from .specs import StreamSpec
+from .worker import worker_main
+
+#: Worker count consulted when ``ProxyCluster(workers=None)``.
+CLUSTER_WORKERS_ENV_VAR = "REPRO_CLUSTER_WORKERS"
+
+DEFAULT_WORKERS = 2
+
+#: How long the parent waits for a spawned worker's hello frame.
+HANDSHAKE_TIMEOUT_S = 30.0
+
+
+class ClusterError(RuntimeError):
+    """Raised for cluster lifecycle and control-plane failures."""
+
+
+class WorkerHandle:
+    """The parent's view of one worker slot.
+
+    The slot (worker id, shard points, correlation id, stream specs)
+    outlives any single OS process: a crash replaces ``process`` and
+    ``connection`` but the handle — and therefore the shard — persists.
+    """
+
+    def __init__(self, worker_id: int, engine: Optional[str]) -> None:
+        self.worker_id = worker_id
+        self.engine = engine
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.connection: Optional[RpcConnection] = None
+        self.pid: Optional[int] = None
+        #: Stream specs this worker owns, for replay after a restart.
+        self.streams: Dict[str, StreamSpec] = {}
+        #: One correlation id per worker slot: start, exit and restart
+        #: events for this slot all carry it.
+        self.correlation_id = new_correlation_id("w")
+        self.restarts = 0
+
+    def request(self, op: str, timeout: Optional[float] = 30.0,
+                **fields: Any) -> Any:
+        if self.connection is None:
+            raise ClusterError(f"worker {self.worker_id} is not connected")
+        return self.connection.request(op, timeout=timeout, **fields)
+
+
+def _worker_count(workers: Optional[int]) -> int:
+    if workers is not None:
+        return int(workers)
+    raw = os.environ.get(CLUSTER_WORKERS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ClusterError(
+                f"{CLUSTER_WORKERS_ENV_VAR}={raw!r} is not an integer") from None
+    return DEFAULT_WORKERS
+
+
+class ProxyCluster:
+    """N worker processes, one control plane, one shard ring.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; None consults ``REPRO_CLUSTER_WORKERS`` (default 2).
+    engine:
+        Execution engine per worker: one name for all, a sequence of
+        names (one per worker — mixed fleets are fine), or None to let
+        each worker resolve ``REPRO_ENGINE`` itself.
+    restart_workers:
+        When True (default) a crashed worker is respawned and its stream
+        specs replayed; False leaves the shard marked down.
+    name:
+        Cluster name, used in metrics and event records.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 engine: Union[str, Sequence[Optional[str]], None] = None,
+                 restart_workers: bool = True,
+                 name: str = "cluster") -> None:
+        count = _worker_count(workers)
+        if count < 1:
+            raise ClusterError("a cluster needs at least one worker")
+        self.name = name
+        self.restart_workers = restart_workers
+        if engine is None or isinstance(engine, str):
+            engines: List[Optional[str]] = [engine] * count
+        else:
+            engines = list(engine)
+            if len(engines) != count:
+                raise ClusterError(
+                    f"{len(engines)} engine names for {count} workers")
+        self._handles: Dict[int, WorkerHandle] = {
+            worker_id: WorkerHandle(worker_id, engines[worker_id])
+            for worker_id in range(count)
+        }
+        self.ring = ShardRing(self._handles)
+        self._mp = multiprocessing.get_context("spawn")
+        self._listener: Optional[socket.socket] = None
+        self._listen_addr: Optional[tuple] = None
+        self._supervisor: Optional[threading.Thread] = None
+        self._lock = threading.RLock()
+        self._started = False
+        self._shutdown = False
+        # Same fleet-observability hooks as Proxy: visible to scrape-time
+        # collectors, /metrics server on REPRO_METRICS_ADDR.
+        register_cluster(self)
+        ensure_default_server()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ProxyCluster":
+        """Open the control listener, spawn every worker, start supervising."""
+        with self._lock:
+            if self._started:
+                return self
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.bind(("127.0.0.1", 0))
+            self._listener.listen(len(self._handles) + 4)
+            self._listen_addr = self._listener.getsockname()
+            for handle in self._handles.values():
+                self._spawn(handle)
+            self._started = True
+            self._supervisor = threading.Thread(
+                target=self._supervise, name=f"{self.name}-supervisor",
+                daemon=True)
+            self._supervisor.start()
+        return self
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        """Start one worker process and complete its hello handshake."""
+        event_log_path = os.environ.get("REPRO_EVENT_LOG", "").strip() or None
+        if event_log_path == "-":
+            event_log_path = None
+        process = self._mp.Process(
+            target=worker_main,
+            args=(handle.worker_id, self._listen_addr[0],
+                  self._listen_addr[1], handle.engine, event_log_path),
+            name=f"{self.name}-worker-{handle.worker_id}",
+            daemon=True)
+        process.start()
+        connection, hello = self._accept_hello(handle.worker_id)
+        handle.process = process
+        handle.connection = connection
+        handle.pid = hello.get("pid")
+        get_event_log().emit(
+            EVENT_WORKER_START, stream="", cid=handle.correlation_id,
+            cluster=self.name, worker=handle.worker_id, pid=handle.pid,
+            engine=handle.engine or "", restarts=handle.restarts)
+
+    def _accept_hello(self, worker_id: int):
+        """Accept the control connection of one specific worker."""
+        self._listener.settimeout(HANDSHAKE_TIMEOUT_S)
+        try:
+            conn, _ = self._listener.accept()
+        except socket.timeout:
+            raise ClusterError(
+                f"worker {worker_id} did not connect within "
+                f"{HANDSHAKE_TIMEOUT_S}s") from None
+        connection = RpcConnection(conn)
+        hello = connection.receive(timeout=HANDSHAKE_TIMEOUT_S)
+        if hello.get("op") != "hello" or hello.get("worker") != worker_id:
+            connection.close()
+            raise ClusterError(
+                f"unexpected handshake from worker: {hello!r} "
+                f"(expected hello from worker {worker_id})")
+        return connection, hello
+
+    # -- supervision -----------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Watch process sentinels; restart crashed workers."""
+        while not self._shutdown:
+            with self._lock:
+                # "Unhandled" (connection still set), not "alive": a worker
+                # that died between two polls has is_alive() False but its
+                # death has not been processed yet — its sentinel must stay
+                # in the wait set (wait() returns an already-fired sentinel
+                # immediately).  _handle_worker_death clears the connection,
+                # which is what retires a sentinel from this set.
+                sentinels = {
+                    handle.process.sentinel: handle
+                    for handle in self._handles.values()
+                    if handle.process is not None
+                    and handle.connection is not None
+                }
+            if not sentinels:
+                return
+            ready = multiprocessing.connection.wait(
+                list(sentinels), timeout=0.25)
+            for sentinel in ready:
+                handle = sentinels[sentinel]
+                with self._lock:
+                    if self._shutdown:
+                        return
+                    self._handle_worker_death(handle)
+
+    def _handle_worker_death(self, handle: WorkerHandle) -> None:
+        """One worker died unexpectedly: record, reassign, restart."""
+        exitcode = handle.process.exitcode if handle.process else None
+        if handle.connection is not None:
+            handle.connection.close()
+            handle.connection = None
+        get_event_log().emit(
+            EVENT_WORKER_EXIT, stream="", cid=handle.correlation_id,
+            cluster=self.name, worker=handle.worker_id, pid=handle.pid,
+            exitcode=exitcode, streams=sorted(handle.streams))
+        # Interim reassignment: while the worker is down, placements for
+        # its shard spill to ring successors; nobody else's streams move.
+        self.ring.mark_down(handle.worker_id)
+        if not self.restart_workers:
+            return
+        handle.restarts += 1
+        self._spawn(handle)
+        replayed = []
+        for spec in list(handle.streams.values()):
+            try:
+                handle.request("open-stream", spec=spec.to_dict())
+                replayed.append(spec.name)
+            except (RpcError, ClusterError, TimeoutError):
+                handle.streams.pop(spec.name, None)
+        self.ring.mark_up(handle.worker_id)
+        get_event_log().emit(
+            EVENT_WORKER_RESTART, stream="", cid=handle.correlation_id,
+            cluster=self.name, worker=handle.worker_id, pid=handle.pid,
+            restarts=handle.restarts, replayed_streams=replayed)
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def worker_ids(self) -> List[int]:
+        return sorted(self._handles)
+
+    def worker(self, worker_id: int) -> WorkerHandle:
+        if worker_id not in self._handles:
+            raise ClusterError(f"no worker {worker_id} in cluster {self.name!r}")
+        return self._handles[worker_id]
+
+    def worker_for(self, stream_id: str) -> int:
+        """The worker id the shard ring assigns to ``stream_id``."""
+        return self.ring.worker_for(stream_id)
+
+    def stream_worker(self, stream_name: str) -> Optional[int]:
+        """Which worker currently hosts an open stream (None if unknown)."""
+        with self._lock:
+            for handle in self._handles.values():
+                if stream_name in handle.streams:
+                    return handle.worker_id
+        return None
+
+    def stream_names(self) -> List[str]:
+        with self._lock:
+            return sorted(name for handle in self._handles.values()
+                          for name in handle.streams)
+
+    # -- streams ---------------------------------------------------------------
+
+    def open_stream(self, spec: StreamSpec) -> int:
+        """Open one stream on the worker its id hashes to; returns worker id."""
+        self._ensure_started()
+        with self._lock:
+            worker_id = self.ring.worker_for(spec.name)
+            handle = self._handles[worker_id]
+            handle.request("open-stream", spec=spec.to_dict())
+            handle.streams[spec.name] = spec
+        return worker_id
+
+    def open_streams(self, specs: Sequence[StreamSpec]) -> Dict[str, int]:
+        """Open many streams; returns ``{stream name: worker id}``."""
+        return {spec.name: self.open_stream(spec) for spec in specs}
+
+    def stream_result(self, stream_name: str, include_data: bool = False,
+                      timeout: float = 30.0) -> Dict[str, Any]:
+        """Digest/size (and optionally payload) of a collector stream."""
+        worker_id = self.stream_worker(stream_name)
+        if worker_id is None:
+            raise ClusterError(f"no stream named {stream_name!r} in cluster")
+        return self._handles[worker_id].request(
+            "stream-result", stream=stream_name,
+            include_data=include_data, timeout=timeout)
+
+    def wait_stream(self, stream_name: str, timeout: float = 30.0) -> bool:
+        """Wait for one stream's EOF to reach its sink."""
+        worker_id = self.stream_worker(stream_name)
+        if worker_id is None:
+            raise ClusterError(f"no stream named {stream_name!r} in cluster")
+        result = self._handles[worker_id].request(
+            "stream-done", stream=stream_name, timeout=timeout + 5.0,
+            wait_s=timeout)
+        return bool(result.get("done"))
+
+    def drain(self, timeout: float = 30.0) -> Dict[int, Dict[str, bool]]:
+        """Wait for every stream on every worker to complete."""
+        self._ensure_started()
+        completed: Dict[int, Dict[str, bool]] = {}
+        for worker_id, handle in sorted(self._handles.items()):
+            if handle.connection is None or not handle.streams:
+                completed[worker_id] = {}
+                continue
+            result = handle.request("drain", timeout=timeout + 5.0,
+                                    wait_s=timeout)
+            completed[worker_id] = dict(result.get("completed", {}))
+        return completed
+
+    # -- fleet-wide control ----------------------------------------------------
+
+    def splice_insert(self, filter_spec, position: Optional[int] = None,
+                      timeout: float = 30.0) -> Dict[int, Dict[str, int]]:
+        """Insert a filter into every stream on every worker.
+
+        Each worker runs the paper's pause → insert → resume protocol on
+        its own chains; the parent only fans the spec out.  The stored
+        stream specs are updated too, so a worker restarted later comes
+        back with the spliced chain.
+        """
+        self._ensure_started()
+        payload = filter_spec.to_dict()
+        positions: Dict[int, Dict[str, int]] = {}
+        with self._lock:
+            for worker_id, handle in sorted(self._handles.items()):
+                if handle.connection is None:
+                    continue
+                result = handle.request("splice-insert", filter=payload,
+                                        position=position, timeout=timeout)
+                positions[worker_id] = dict(result.get("positions", {}))
+                for name, spec in list(handle.streams.items()):
+                    handle.streams[name] = spec.with_filter(filter_spec)
+        return positions
+
+    def splice_remove(self, filter_name: str,
+                      timeout: float = 30.0) -> Dict[int, Dict[str, str]]:
+        """Remove a named filter from every stream on every worker."""
+        self._ensure_started()
+        removed: Dict[int, Dict[str, str]] = {}
+        with self._lock:
+            for worker_id, handle in sorted(self._handles.items()):
+                if handle.connection is None:
+                    continue
+                result = handle.request("splice-remove", name=filter_name,
+                                        timeout=timeout)
+                removed[worker_id] = dict(result.get("removed", {}))
+                for name, spec in list(handle.streams.items()):
+                    kept = [f for f in spec.filters
+                            if f.get("name") != filter_name]
+                    handle.streams[name] = StreamSpec(
+                        name=spec.name, source=dict(spec.source),
+                        sink=dict(spec.sink), filters=kept)
+        return removed
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshots(self) -> Dict[int, Dict[str, dict]]:
+        """Per-worker, per-stream ChainSnapshot dicts."""
+        self._ensure_started()
+        fleet: Dict[int, Dict[str, dict]] = {}
+        for worker_id, handle in sorted(self._handles.items()):
+            if handle.connection is None:
+                continue
+            result = handle.request("snapshot")
+            fleet[worker_id] = dict(result.get("streams", {}))
+        return fleet
+
+    def snapshot_sum(self):
+        """Fleet-wide totals: every stream's snapshot summed into one."""
+        from ..core.stats import ChainSnapshot
+
+        snapshots = [ChainSnapshot.from_dict(payload)
+                     for streams in self.snapshots().values()
+                     for payload in streams.values()]
+        return ChainSnapshot.sum(snapshots, stream_name=f"{self.name}-fleet")
+
+    def collect_metric_families(self) -> List[MetricFamily]:
+        """Every worker's scrape, re-labelled with ``worker="<id>"``.
+
+        Called by the default registry's cluster collector at scrape time,
+        so the parent's ``/metrics`` endpoint exposes the whole fleet.  A
+        worker that fails to answer (mid-restart) is skipped — scrapes
+        must never block on a dead worker.
+        """
+        merged: Dict[str, MetricFamily] = {}
+        fleet = MetricFamily("repro_cluster_workers", "gauge",
+                             "Live workers per cluster")
+        with self._lock:
+            handles = sorted(self._handles.items()) if self._started else []
+            live = len(self.ring.live_workers) if self._started else 0
+        fleet.add(live, {"cluster": self.name})
+        for worker_id, handle in handles:
+            if handle.connection is None:
+                continue
+            try:
+                result = handle.request("metrics", timeout=10.0)
+            except (RpcError, ClusterError, TimeoutError):
+                continue
+            for payload in result.get("families", []):
+                name = payload["name"]
+                family = merged.get(name)
+                if family is None:
+                    family = MetricFamily(name, payload.get("kind", "gauge"),
+                                          payload.get("help", ""))
+                    merged[name] = family
+                for pairs, value in payload.get("samples", []):
+                    family.samples.append((
+                        tuple(sorted([*[tuple(p) for p in pairs],
+                                      ("worker", str(worker_id))],
+                                     key=lambda p: (p[0] != "__suffix__",
+                                                    p))),
+                        float(value)))
+        return [fleet, *merged.values()]
+
+    # -- shutdown --------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0, drain: bool = True) -> None:
+        """Gracefully stop the fleet: drain, shut workers down, reap.
+
+        Idempotent.  ``drain=False`` skips the wait-for-completion pass
+        (used when streams are endless).
+        """
+        with self._lock:
+            if self._shutdown or not self._started:
+                self._shutdown = True
+                self._close_listener()
+                return
+            self._shutdown = True
+        if drain:
+            try:
+                self.drain(timeout=timeout)
+            except (RpcError, ClusterError, TimeoutError):
+                pass
+        for handle in self._handles.values():
+            if handle.connection is None:
+                continue
+            try:
+                handle.request("shutdown", timeout=timeout)
+            except (RpcError, ClusterError, TimeoutError):
+                pass
+            handle.connection.close()
+            handle.connection = None
+        for handle in self._handles.values():
+            if handle.process is not None:
+                handle.process.join(timeout=timeout)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=5.0)
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+        self._close_listener()
+
+    def _close_listener(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+
+    def _ensure_started(self) -> None:
+        if not self._started:
+            raise ClusterError(f"cluster {self.name!r} has not been started")
+        if self._shutdown:
+            raise ClusterError(f"cluster {self.name!r} has been shut down")
+
+    def __enter__(self) -> "ProxyCluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ProxyCluster {self.name!r} workers={self.worker_ids} "
+                f"streams={self.stream_names()}>")

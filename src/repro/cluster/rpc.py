@@ -1,0 +1,203 @@
+"""Length-prefixed JSON RPC — the cluster's parent/worker control protocol.
+
+One frame on the wire is::
+
+    +--------+----------------+------------------------+
+    | 0x9C   |  body length   |  UTF-8 JSON object     |
+    | 1 byte |  >I (4 bytes)  |  `length` bytes        |
+    +--------+----------------+------------------------+
+
+the same magic-plus-big-endian-length shape as the stream framing in
+:mod:`repro.streams.framing` and the UDP datagram framing, with a distinct
+magic byte (``0x9C``) so a control frame can never be mistaken for stream
+data.  The body is one JSON object; requests carry ``{"id": n, "op": ...}``
+and responses echo the id as ``{"id": n, "ok": true/false, ...}``.
+
+The transport is any connected stream socket (the cluster uses loopback
+TCP: workers connect back to the parent's listener, which sidesteps fd
+inheritance under the ``spawn`` start method).  :class:`RpcConnection`
+gives both sides a symmetric message API; the parent's
+:meth:`RpcConnection.request` serialises one outstanding request per
+connection (the worker's control loop is single-threaded by design — a
+drain cannot race a splice).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import struct
+import threading
+from typing import Any, Dict, Optional
+
+_HEADER = struct.Struct(">BI")
+
+#: First byte of every control frame.  Distinct from the stream/datagram
+#: framing magic (``0xC5``) so cross-plugged sockets fail loudly.
+RPC_MAGIC = 0x9C
+
+HEADER_SIZE = _HEADER.size
+
+#: Largest accepted body.  Control messages are small; the ceiling exists
+#: so a corrupt length field cannot make a reader allocate gigabytes.
+MAX_RPC_FRAME = 64 * 1024 * 1024
+
+
+class RpcError(RuntimeError):
+    """Raised for malformed frames or request failures."""
+
+
+class RpcConnectionClosed(RpcError):
+    """Raised when the peer closed the connection mid-conversation."""
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """Frame one JSON-serialisable message for the wire."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True,
+                      default=str).encode("utf-8")
+    if len(body) > MAX_RPC_FRAME:
+        raise RpcError(
+            f"RPC body of {len(body)} bytes exceeds {MAX_RPC_FRAME}")
+    return _HEADER.pack(RPC_MAGIC, len(body)) + body
+
+
+def decode_header(header: bytes) -> int:
+    """Validate a frame header; returns the body length."""
+    if len(header) != HEADER_SIZE:
+        raise RpcError(f"short RPC header ({len(header)} bytes)")
+    magic, length = _HEADER.unpack(header)
+    if magic != RPC_MAGIC:
+        raise RpcError(f"bad RPC magic 0x{magic:02x}")
+    if length > MAX_RPC_FRAME:
+        raise RpcError(f"RPC body length {length} exceeds {MAX_RPC_FRAME}")
+    return length
+
+
+class RpcConnection:
+    """A message pipe over one connected stream socket.
+
+    Thread safety: sends take a lock (frames never interleave); receives
+    are expected from a single reader thread per side, which is how both
+    the worker's serve loop and the parent's per-worker handle use it.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        try:
+            # Control messages are tiny and latency-sensitive; don't let
+            # Nagle batch them.  Non-TCP sockets (tests use socketpairs)
+            # reject the option and are already unbuffered.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._socket = sock
+        self._send_lock = threading.Lock()
+        self._request_lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self._closed = False
+
+    # -- framing ---------------------------------------------------------------
+
+    def _recv_exact(self, nbytes: int,
+                    timeout: Optional[float]) -> bytes:
+        """Read exactly ``nbytes`` (RpcConnectionClosed on EOF)."""
+        self._socket.settimeout(timeout)
+        pieces = []
+        remaining = nbytes
+        while remaining:
+            try:
+                piece = self._socket.recv(remaining)
+            except socket.timeout:
+                raise TimeoutError(
+                    f"RPC receive timed out after {timeout}s") from None
+            except OSError as exc:
+                raise RpcConnectionClosed(
+                    f"RPC connection lost: {exc}") from exc
+            if not piece:
+                raise RpcConnectionClosed("RPC peer closed the connection")
+            pieces.append(piece)
+            remaining -= len(piece)
+        return b"".join(pieces)
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Send one message (frames never interleave across threads)."""
+        frame = encode_message(payload)
+        with self._send_lock:
+            try:
+                self._socket.sendall(frame)
+            except OSError as exc:
+                raise RpcConnectionClosed(
+                    f"RPC connection lost: {exc}") from exc
+
+    def receive(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Receive one message (blocking up to ``timeout`` seconds)."""
+        length = decode_header(self._recv_exact(HEADER_SIZE, timeout))
+        body = self._recv_exact(length, timeout)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RpcError(f"malformed RPC body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RpcError(
+                f"RPC body must be a JSON object, got {type(payload).__name__}")
+        return payload
+
+    # -- request/response ------------------------------------------------------
+
+    def request(self, op: str, timeout: Optional[float] = 30.0,
+                **fields: Any) -> Any:
+        """One round trip: send ``op``, return the response's ``result``.
+
+        Raises :class:`RpcError` when the peer answered ``ok: false`` (the
+        peer's error text is preserved), :class:`TimeoutError` when no
+        response arrived in time.  One request is outstanding at a time per
+        connection, matching the worker's single-threaded control loop.
+        """
+        with self._request_lock:
+            request_id = next(self._request_ids)
+            message = {"id": request_id, "op": op}
+            message.update(fields)
+            self.send(message)
+            while True:
+                response = self.receive(timeout=timeout)
+                if response.get("id") != request_id:
+                    # A stale response from an earlier timed-out request;
+                    # drop it and keep waiting for ours.
+                    continue
+                if not response.get("ok"):
+                    raise RpcError(
+                        f"RPC {op!r} failed: {response.get('error', 'unknown')}")
+                return response.get("result")
+
+    def respond(self, request: Dict[str, Any], result: Any = None) -> None:
+        """Answer one request affirmatively."""
+        self.send({"id": request.get("id"), "ok": True, "result": result})
+
+    def respond_error(self, request: Dict[str, Any], error: str) -> None:
+        """Answer one request with a failure."""
+        self.send({"id": request.get("id"), "ok": False, "error": str(error)})
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def fileno(self) -> int:
+        """The socket's fd (for selector-based waits)."""
+        return self._socket.fileno()

@@ -1,0 +1,232 @@
+"""Serialisable stream descriptions for cross-process stream creation.
+
+The parent cannot hand a worker live EndPoint objects — workers are
+separate OS processes — so a cluster stream is described by a JSON-safe
+:class:`StreamSpec`: a source spec, a sink spec, and a list of
+:class:`~repro.core.registry.FilterSpec` dicts the worker instantiates
+through its own :func:`~repro.core.registry.default_registry`.  This is
+the same move the paper makes with serialised filter descriptions, one
+level up: the whole stream is the serialised unit.
+
+Source kinds:
+
+``bytes``
+    An explicit packet list (base64 in the spec).  Exact but O(payload)
+    on the control channel — fine for tests and equivalence pinning.
+``pattern``
+    A deterministic pseudo-random packet generator (seed, packet count,
+    packet size).  The parent and a verifier can regenerate the identical
+    input without shipping it, which is how the benchmarks describe
+    multi-MiB workloads in a few bytes of RPC.
+``transport``
+    Packets arriving on a channel of the worker's own transport
+    (``REPRO_TRANSPORT`` honoured per worker) — the ingress path for
+    SO_REUSEPORT-sharded UDP, where the kernel delivers each datagram to
+    exactly one worker's socket.
+
+Sink kinds: ``collect`` (in-memory, retrievable over RPC), ``null``
+(discard, for throughput runs), ``transport`` (egress onto a channel of
+the worker's transport).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.endpoints import (
+    CollectorSink,
+    IterableSource,
+    NullSink,
+    SinkEndPoint,
+    SourceEndPoint,
+)
+from ..core.registry import FilterSpec
+
+
+def pattern_packets(seed: int, packets: int, packet_size: int) -> List[bytes]:
+    """The deterministic packet list for a ``pattern`` source.
+
+    Same (seed, packets, packet_size) → identical bytes in every process
+    and on every run: the equivalence test regenerates the cluster's input
+    to feed a single-process proxy, and both must see the same stream.
+    """
+    rng = random.Random(seed)
+    return [rng.randbytes(packet_size) for _ in range(packets)]
+
+
+def digest(chunks: List[bytes]) -> str:
+    """An order-sensitive SHA-256 over a packet sequence.
+
+    Each packet's length is mixed in before its payload so packet
+    boundaries are part of the identity — ``[b"ab", b"c"]`` and
+    ``[b"a", b"bc"]`` digest differently.
+    """
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(len(chunk).to_bytes(4, "big"))
+        h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass
+class StreamSpec:
+    """A JSON-safe description of one proxied stream."""
+
+    name: str
+    source: Dict[str, Any]
+    sink: Dict[str, Any] = field(default_factory=lambda: {"kind": "collect"})
+    filters: List[Dict[str, Any]] = field(default_factory=list)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, name: str, items: List[bytes],
+                   pacing_s: float = 0.0, **kwargs: Any) -> "StreamSpec":
+        """A spec shipping an explicit packet list (base64-encoded)."""
+        source = {
+            "kind": "bytes",
+            "items": [base64.b64encode(bytes(i)).decode("ascii")
+                      for i in items],
+            "pacing_s": pacing_s,
+        }
+        return cls(name=name, source=source, **kwargs)
+
+    @classmethod
+    def from_pattern(cls, name: str, seed: int, packets: int,
+                     packet_size: int, pacing_s: float = 0.0,
+                     **kwargs: Any) -> "StreamSpec":
+        """A spec describing a deterministic generated workload."""
+        source = {
+            "kind": "pattern",
+            "seed": int(seed),
+            "packets": int(packets),
+            "packet_size": int(packet_size),
+            "pacing_s": pacing_s,
+        }
+        return cls(name=name, source=source, **kwargs)
+
+    def with_filter(self, spec: FilterSpec) -> "StreamSpec":
+        """This spec plus one more filter (appended before the sink)."""
+        return StreamSpec(name=self.name, source=dict(self.source),
+                          sink=dict(self.sink),
+                          filters=[*self.filters, spec.to_dict()])
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "source": dict(self.source),
+            "sink": dict(self.sink),
+            "filters": [dict(f) for f in self.filters],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StreamSpec":
+        if "name" not in payload or "source" not in payload:
+            raise ValueError("stream spec needs 'name' and 'source'")
+        return cls(name=str(payload["name"]),
+                   source=dict(payload["source"]),
+                   sink=dict(payload.get("sink") or {"kind": "collect"}),
+                   filters=[dict(f) for f in payload.get("filters") or []])
+
+    # -- materialisation (worker side) -----------------------------------------
+
+    def source_packets(self) -> List[bytes]:
+        """The full input packet list (bytes and pattern sources only)."""
+        kind = self.source.get("kind")
+        if kind == "bytes":
+            return [base64.b64decode(i) for i in self.source["items"]]
+        if kind == "pattern":
+            return pattern_packets(self.source["seed"], self.source["packets"],
+                                   self.source["packet_size"])
+        raise ValueError(f"source kind {kind!r} has no static packet list")
+
+    def build_source(self, transport=None) -> SourceEndPoint:
+        """Instantiate this spec's source endpoint."""
+        kind = self.source.get("kind")
+        if kind in ("bytes", "pattern"):
+            return IterableSource(self.source_packets(),
+                                  name=f"{self.name}-source",
+                                  frame_output=True,
+                                  pacing_s=float(self.source.get("pacing_s")
+                                                 or 0.0))
+        if kind == "transport":
+            from ..transport.endpoints import TransportSource
+
+            if transport is None:
+                raise ValueError(
+                    "a transport source spec needs the worker's transport")
+            channel = transport.open_channel(
+                self.source.get("channel", self.name),
+                **dict(self.source.get("options") or {}))
+            # Join options pass straight through to the transport — e.g.
+            # {"address": [host, port], "reuse_port": true} is the UDP
+            # SO_REUSEPORT ingress shape: every worker binds the same
+            # address and the kernel shards arriving datagrams.
+            join_options = dict(self.source.get("join") or {})
+            address = join_options.pop("address", None)
+            if address is not None:
+                join_options["address"] = (str(address[0]), int(address[1]))
+            receiver = channel.join(self.source.get("member", self.name),
+                                    **join_options)
+            return TransportSource(receiver, name=f"{self.name}-source")
+        raise ValueError(f"unknown source kind {kind!r}")
+
+    def build_sink(self, transport=None) -> SinkEndPoint:
+        """Instantiate this spec's sink endpoint."""
+        kind = self.sink.get("kind", "collect")
+        if kind == "collect":
+            return CollectorSink(name=f"{self.name}-sink", expect_frames=True)
+        if kind == "null":
+            return NullSink(name=f"{self.name}-sink", expect_frames=True)
+        if kind == "transport":
+            from ..transport.endpoints import TransportSink
+
+            if transport is None:
+                raise ValueError(
+                    "a transport sink spec needs the worker's transport")
+            channel = transport.open_channel(
+                self.sink.get("channel", self.name),
+                **dict(self.sink.get("options") or {}))
+            return TransportSink(channel, name=f"{self.name}-sink")
+        raise ValueError(f"unknown sink kind {kind!r}")
+
+    def filter_specs(self) -> List[FilterSpec]:
+        """The filter chain as :class:`FilterSpec` objects."""
+        return [FilterSpec.from_dict(f) for f in self.filters]
+
+    def expected_output(self, registry=None) -> Optional[List[bytes]]:
+        """Run this spec's packets through a local copy of its filter chain.
+
+        The single-process reference for the byte-equivalence acceptance
+        test: same spec, no cluster.  Returns None for transport sources
+        (no static input to replay).
+        """
+        kind = self.source.get("kind")
+        if kind not in ("bytes", "pattern"):
+            return None
+        from ..core.proxy import Proxy
+
+        if registry is None:
+            from ..core.registry import default_registry
+
+            registry = default_registry()
+        with Proxy(name=f"{self.name}-reference", engine="threaded",
+                   transport="inproc") as proxy:
+            source = IterableSource(self.source_packets(),
+                                    name=f"{self.name}-ref-source",
+                                    frame_output=True)
+            sink = CollectorSink(name=f"{self.name}-ref-sink",
+                                 expect_frames=True)
+            control = proxy.add_stream(source, sink, name=self.name,
+                                       auto_start=False)
+            for spec in self.filter_specs():
+                control.add(registry.create(spec))
+            control.start()
+            control.wait_for_completion(timeout=60.0)
+        return sink.items()

@@ -1,0 +1,255 @@
+"""The cluster worker process: one full proxy driven by a control loop.
+
+Each worker is an ordinary OS process (spawned by
+:class:`~repro.cluster.cluster.ProxyCluster`) running one
+:class:`~repro.core.proxy.Proxy` under its own execution engine —
+``REPRO_ENGINE`` is honoured *per worker*, so a cluster can mix a
+threaded worker with event-loop workers.  The worker connects back to
+the parent's control listener over loopback TCP (spawn-safe: no fd
+inheritance) and then serves the RPC ops below from a single-threaded
+loop, so control operations on one worker are naturally serialised —
+a drain can never race a splice.
+
+Ops served (all request/response, see :mod:`repro.cluster.rpc`):
+
+=================  ==========================================================
+``ping``           liveness probe; returns pid/engine
+``open-stream``    instantiate a :class:`~repro.cluster.specs.StreamSpec`
+``stream-done``    wait for one stream's EOF to reach its sink
+``drain``          wait for *every* stream to complete (graceful shutdown)
+``stream-result``  digest + payload of a completed collector stream
+``splice-insert``  pause → insert filter from spec → resume, per stream
+``splice-remove``  remove a named filter, per stream
+``snapshot``       every stream's ChainSnapshot as dicts
+``metrics``        serialised scrape of this process's MetricsRegistry
+``stop-stream``    shut down one stream
+``shutdown``       stop the proxy and exit the control loop
+``crash``          ``os._exit`` (test hook for the restart path)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import socket
+from typing import Any, Dict, List, Optional
+
+from .rpc import RpcConnection, RpcConnectionClosed, RpcError
+from .specs import StreamSpec, digest
+
+
+def serialize_families(families) -> List[Dict[str, Any]]:
+    """MetricFamily list → JSON-safe payload (lossless for the exporter).
+
+    Sample label pairs survive as ``[[key, value], ...]`` lists; histogram
+    suffixes already live in the ``__suffix__`` pseudo-label, so nothing
+    else is needed for a faithful re-render on the parent.
+    """
+    return [
+        {
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help_text,
+            "samples": [[[list(pair) for pair in pairs], value]
+                        for pairs, value in family.samples],
+        }
+        for family in families
+    ]
+
+
+class WorkerProcess:
+    """The in-process half of one cluster worker (testable without spawn)."""
+
+    def __init__(self, worker_id: int, connection: RpcConnection,
+                 engine: Optional[str] = None) -> None:
+        from ..core.proxy import Proxy
+        from ..core.registry import default_registry
+
+        self.worker_id = worker_id
+        self.connection = connection
+        self.proxy = Proxy(name=f"cluster-worker-{worker_id}", engine=engine)
+        self.registry = default_registry()
+        self._collectors: Dict[str, Any] = {}
+        self._running = True
+
+    # -- op handlers -----------------------------------------------------------
+
+    def op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "engine": getattr(self.proxy.engine, "name", ""),
+            "streams": self.proxy.stream_names(),
+        }
+
+    def op_open_stream(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        spec = StreamSpec.from_dict(request["spec"])
+        source = spec.build_source(transport=self.proxy.transport)
+        sink = spec.build_sink(transport=self.proxy.transport)
+        control = self.proxy.add_stream(source, sink, name=spec.name,
+                                        auto_start=False)
+        for filter_spec in spec.filter_specs():
+            control.add(self.registry.create(filter_spec))
+        control.start()
+        if hasattr(sink, "items"):
+            self._collectors[spec.name] = sink
+        return {"stream": spec.name, "filters": control.filter_names()}
+
+    def op_stream_done(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        control = self.proxy.stream(request["stream"])
+        done = control.wait_for_completion(
+            timeout=float(request.get("wait_s", 30.0)))
+        return {"stream": control.name, "done": done}
+
+    def op_drain(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        timeout = float(request.get("wait_s", 30.0))
+        completed = {}
+        for name, control in self.proxy.streams.items():
+            completed[name] = control.wait_for_completion(timeout=timeout)
+        return {"completed": completed}
+
+    def op_stream_result(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request["stream"]
+        sink = self._collectors.get(name)
+        if sink is None:
+            raise RpcError(f"stream {name!r} has no collector sink")
+        items = sink.items()
+        result = {
+            "stream": name,
+            "items": len(items),
+            "bytes": sum(map(len, items)),
+            "digest": digest(items),
+        }
+        if request.get("include_data"):
+            result["data"] = [base64.b64encode(i).decode("ascii")
+                              for i in items]
+        return result
+
+    def _target_streams(self, request: Dict[str, Any]):
+        """The streams a splice op applies to.
+
+        Explicitly named streams are returned as-is (a dead one fails the
+        op loudly); the implicit everything case skips streams whose EOF
+        already reached the sink — a fleet-wide splice composes into what
+        is still flowing, it does not fail because one stream finished.
+        """
+        names = request.get("streams")
+        if names is None:
+            return [control for control in self.proxy.streams.values()
+                    if not control.sink.eof_seen.is_set()]
+        return [self.proxy.stream(name) for name in names]
+
+    def op_splice_insert(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from ..core.registry import FilterSpec
+
+        spec = FilterSpec.from_dict(request["filter"])
+        position = request.get("position")
+        positions = {}
+        for control in self._target_streams(request):
+            # One fresh instance per stream: a Filter belongs to one chain.
+            positions[control.name] = control.add(
+                self.registry.create(spec),
+                position=None if position is None else int(position))
+        return {"positions": positions}
+
+    def op_splice_remove(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = request["name"]
+        removed = {}
+        for control in self._target_streams(request):
+            control.remove(name)
+            removed[control.name] = name
+        return {"removed": removed}
+
+    def op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"streams": self.proxy.snapshot()}
+
+    def op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from ..obs.metrics import default_registry as metrics_registry
+
+        return {"families": serialize_families(metrics_registry().collect())}
+
+    def op_stop_stream(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.proxy.remove_stream(request["stream"])
+        self._collectors.pop(request["stream"], None)
+        return {"stream": request["stream"]}
+
+    def op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._running = False
+        return {"worker": self.worker_id}
+
+    def op_crash(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # Test hook for the supervisor's restart path: die without any
+        # cleanup, exactly like a segfault would.  The response is never
+        # sent.
+        os._exit(int(request.get("code", 17)))
+
+    _OPS = {
+        "ping": op_ping,
+        "open-stream": op_open_stream,
+        "stream-done": op_stream_done,
+        "drain": op_drain,
+        "stream-result": op_stream_result,
+        "splice-insert": op_splice_insert,
+        "splice-remove": op_splice_remove,
+        "snapshot": op_snapshot,
+        "metrics": op_metrics,
+        "stop-stream": op_stop_stream,
+        "shutdown": op_shutdown,
+        "crash": op_crash,
+    }
+
+    # -- control loop ----------------------------------------------------------
+
+    def serve(self) -> None:
+        """Serve control requests until shutdown or parent disconnect."""
+        try:
+            while self._running:
+                try:
+                    request = self.connection.receive(timeout=None)
+                except RpcConnectionClosed:
+                    break  # parent is gone; exit quietly
+                op = request.get("op", "")
+                handler = self._OPS.get(op)
+                if handler is None:
+                    self.connection.respond_error(
+                        request, f"unknown op {op!r}")
+                    continue
+                try:
+                    result = handler(self, request)
+                except Exception as exc:  # noqa: BLE001 - reported to parent
+                    try:
+                        self.connection.respond_error(request, str(exc))
+                    except RpcConnectionClosed:
+                        break
+                    continue
+                try:
+                    self.connection.respond(request, result)
+                except RpcConnectionClosed:
+                    break
+        finally:
+            self.proxy.shutdown()
+            self.connection.close()
+
+
+def worker_main(worker_id: int, host: str, port: int,
+                engine: Optional[str] = None,
+                event_log_path: Optional[str] = None) -> None:
+    """Entry point for a spawned cluster worker (module-level for spawn).
+
+    Connects back to the parent's control listener, identifies itself with
+    a ``hello`` frame, and serves the control loop until told to stop.
+    ``engine`` overrides ``REPRO_ENGINE`` for this worker only;
+    ``event_log_path`` tees this worker's event log to the parent's JSONL
+    file so fleet timelines interleave in one place.
+    """
+    if engine:
+        os.environ["REPRO_ENGINE"] = engine
+    if event_log_path:
+        os.environ["REPRO_EVENT_LOG"] = event_log_path
+    sock = socket.create_connection((host, port), timeout=30.0)
+    sock.settimeout(None)
+    connection = RpcConnection(sock)
+    connection.send({"op": "hello", "worker": worker_id, "pid": os.getpid()})
+    worker = WorkerProcess(worker_id, connection, engine=engine)
+    worker.serve()

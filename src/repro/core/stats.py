@@ -142,3 +142,37 @@ class ChainSnapshot:
             sink_stats={str(k): int(v) for k, v in payload["sink_stats"].items()},
             running=bool(payload["running"]),
         )
+
+    @classmethod
+    def sum(cls, snapshots: "List[ChainSnapshot]",
+            stream_name: str = "sum") -> "ChainSnapshot":
+        """Add many snapshots into one fleet-wide total.
+
+        Endpoint counters always sum.  Per-filter counters sum position-
+        wise when every snapshot has the same ``filter_types`` chain (the
+        steady state after a fleet-wide splice); heterogeneous chains drop
+        the per-filter breakdown rather than adding unlike positions.
+        ``running`` is true while any summed stream runs.
+        """
+        def _add(into: Dict[str, int], stats: Dict[str, int]) -> None:
+            for key, value in stats.items():
+                into[key] = into.get(key, 0) + int(value)
+
+        source_stats: Dict[str, int] = {}
+        sink_stats: Dict[str, int] = {}
+        congruent = len({tuple(s.filter_types) for s in snapshots}) == 1
+        filter_names = list(snapshots[0].filter_names) if congruent else []
+        filter_types = list(snapshots[0].filter_types) if congruent else []
+        filter_stats: List[Dict[str, int]] = [{} for _ in filter_types]
+        running = False
+        for snapshot in snapshots:
+            _add(source_stats, snapshot.source_stats)
+            _add(sink_stats, snapshot.sink_stats)
+            if congruent:
+                for into, stats in zip(filter_stats, snapshot.filter_stats):
+                    _add(into, stats)
+            running = running or snapshot.running
+        return cls(stream_name=stream_name, filter_names=filter_names,
+                   filter_types=filter_types, filter_stats=filter_stats,
+                   source_stats=source_stats, sink_stats=sink_stats,
+                   running=running)

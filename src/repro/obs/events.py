@@ -37,6 +37,11 @@ EVENT_SPLICE_INSERT = "splice-insert"
 EVENT_SPLICE_REMOVE = "splice-remove"
 EVENT_FEC_POLICY_CHANGE = "fec-policy-change"
 EVENT_TRANSPORT_ERROR = "transport-error"
+#: Cluster worker lifecycle (emitted by the parent's control plane; the
+#: same correlation id spans a worker slot's start/exit/restart events).
+EVENT_WORKER_START = "worker-start"
+EVENT_WORKER_EXIT = "worker-exit"
+EVENT_WORKER_RESTART = "worker-restart"
 
 _cid_counter = itertools.count(1)
 

@@ -401,11 +401,22 @@ class MetricsRegistry:
 _proxies: "weakref.WeakSet" = weakref.WeakSet()
 _engines: "weakref.WeakSet" = weakref.WeakSet()
 _channels: "weakref.WeakSet" = weakref.WeakSet()
+_clusters: "weakref.WeakSet" = weakref.WeakSet()
 
 
 def register_proxy(proxy) -> None:
     """Track a live Proxy for scrape-time collection (weakly referenced)."""
     _proxies.add(proxy)
+
+
+def register_cluster(cluster) -> None:
+    """Track a live ProxyCluster for scrape-time collection.
+
+    Duck-typed (anything with ``collect_metric_families()``) so this
+    module never imports :mod:`repro.cluster` — the dependency points the
+    other way, matching proxies/engines/channels.
+    """
+    _clusters.add(cluster)
 
 
 def register_engine(engine) -> None:
@@ -428,6 +439,27 @@ def live_engines() -> List[object]:
 
 def live_channels() -> List[object]:
     return list(_channels)
+
+
+def live_clusters() -> List[object]:
+    return list(_clusters)
+
+
+def collect_clusters() -> List[MetricFamily]:
+    """Fleet metrics from every live cluster's aggregated worker scrapes.
+
+    Each cluster returns families whose samples already carry the
+    ``worker`` label; a cluster that cannot be scraped (shutting down,
+    workers mid-restart) contributes nothing rather than failing the
+    whole scrape.
+    """
+    families: List[MetricFamily] = []
+    for cluster in list(_clusters):
+        try:
+            families.extend(cluster.collect_metric_families())
+        except Exception:  # noqa: BLE001 - a dead cluster must not kill scrape
+            continue
+    return families
 
 
 _STREAM_STAT_FAMILIES = (
@@ -602,5 +634,6 @@ def default_registry() -> MetricsRegistry:
             registry.register_collector(collect_proxies)
             registry.register_collector(collect_engines)
             registry.register_collector(collect_channels)
+            registry.register_collector(collect_clusters)
             _default_registry = registry
         return _default_registry

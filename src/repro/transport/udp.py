@@ -123,22 +123,63 @@ class UdpReceiver(DatagramReceiver):
         # ever send (remote registrations) never pay for the ring.
         self._ring: Optional[List[bytearray]] = None
         self._ring_index = 0
+        # Vectored (recvmmsg) batch receives, mirroring the channel's
+        # sendmmsg path: cleared permanently on a DISABLE_ERRNOS errno.
+        self._vectored_recv = _vectored.recv_available()
 
     # -- socket draining -------------------------------------------------------
+
+    def _parse_slot(self, buf: bytearray, nbytes: int) -> None:
+        """Frame-check one received datagram and queue its payload."""
+        if nbytes < HEADER_SIZE:
+            self.framing_errors += 1
+            return
+        magic, length = _HEADER.unpack_from(buf, 0)
+        if magic != FRAME_MAGIC:
+            self.framing_errors += 1
+            return
+        if length == _EOS_LENGTH:
+            self._mark_eof()
+            return
+        if length != nbytes - HEADER_SIZE:
+            self.framing_errors += 1
+            return
+        # Exact-size copy: the queued payload must outlive the ring slot,
+        # which is reused on the next lap.
+        self._deliver(bytes(memoryview(buf)[HEADER_SIZE:nbytes]))
 
     def _drain_socket(self) -> None:
         """Pull every kernel-buffered datagram into the receiver queue.
 
-        Datagrams are received with ``recvfrom_into`` into a preallocated
-        ring of buffers and parsed in place, so the per-datagram cost is
-        one syscall plus one exact-size copy of the payload (the queued
-        payload must outlive the ring slot, which is reused next lap) —
-        instead of a 64 KiB allocation, a resize, and a slice per datagram.
+        Datagrams land in a preallocated ring of buffers — a whole ring
+        per ``recvmmsg`` syscall where the platform has it, one slot per
+        ``recvfrom_into`` otherwise — and are parsed in place, so the
+        per-datagram cost is (a fraction of) one syscall plus one
+        exact-size copy of the payload, instead of a 64 KiB allocation, a
+        resize, and a slice per datagram.
         """
         ring = self._ring
         if ring is None:
             ring = self._ring = [bytearray(_RING_SLOT_SIZE)
                                  for _ in range(_RING_SLOTS)]
+        while self._vectored_recv:
+            # Batch path: every payload is copied out by _parse_slot before
+            # the next call reuses the ring.
+            try:
+                lengths, error = _vectored.recv_batch(self._socket, ring)
+            except OSError:
+                return  # socket closed under us: EOF state already recorded
+            for slot, nbytes in enumerate(lengths):
+                self._parse_slot(ring[slot], nbytes)
+            if error is not None:
+                if error.errno in _vectored.DISABLE_ERRNOS:
+                    # recvmmsg can never work here; stop paying for the
+                    # doomed syscall and drain per-datagram from now on.
+                    self._vectored_recv = False
+                    break
+                return  # transient: whatever remains waits for the next drain
+            if len(lengths) < len(ring):
+                return  # kernel queue drained
         while True:
             buf = ring[self._ring_index]
             try:
@@ -149,20 +190,7 @@ class UdpReceiver(DatagramReceiver):
             except OSError:
                 return  # socket closed under us: EOF state already recorded
             self._ring_index = (self._ring_index + 1) % _RING_SLOTS
-            if nbytes < HEADER_SIZE:
-                self.framing_errors += 1
-                continue
-            magic, length = _HEADER.unpack_from(buf, 0)
-            if magic != FRAME_MAGIC:
-                self.framing_errors += 1
-                continue
-            if length == _EOS_LENGTH:
-                self._mark_eof()
-                continue
-            if length != nbytes - HEADER_SIZE:
-                self.framing_errors += 1
-                continue
-            self._deliver(bytes(memoryview(buf)[HEADER_SIZE:nbytes]))
+            self._parse_slot(buf, nbytes)
 
     # -- host-facing API (drain-first variants) --------------------------------
 
@@ -261,8 +289,19 @@ class UdpChannel(DatagramChannel):
 
     def join(self, member: str, address: Optional[UdpAddress] = None,
              on_receive=None, recv_buffer_bytes: Optional[int] = None,
-             queue_payloads: bool = True, **_options) -> UdpReceiver:
-        """Bind a local receiver socket and register it as a member."""
+             queue_payloads: bool = True, reuse_port: bool = False,
+             reuse_addr: bool = False, **_options) -> UdpReceiver:
+        """Bind a local receiver socket and register it as a member.
+
+        ``reuse_port`` sets ``SO_REUSEPORT`` before binding, so several
+        processes can bind the *same* address and the kernel shards
+        incoming datagrams across them — the cluster's UDP ingress path.
+        Platforms without ``SO_REUSEPORT`` raise a
+        :class:`~repro.transport.base.TransportError` naming the option
+        (never a silent bind failure).  ``reuse_addr`` sets
+        ``SO_REUSEADDR`` (implied on the multicast path, where it always
+        was).
+        """
         with self._lock:
             if member in self._receivers:
                 raise TransportError(
@@ -272,6 +311,19 @@ class UdpChannel(DatagramChannel):
             if recv_buffer_bytes:
                 sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
                                 recv_buffer_bytes)
+            if reuse_addr:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuse_port:
+                if not hasattr(socket, "SO_REUSEPORT"):
+                    raise TransportError(
+                        f"channel {self.name!r}: reuse_port requested but "
+                        "this platform does not define SO_REUSEPORT")
+                try:
+                    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                except OSError as exc:
+                    raise TransportError(
+                        f"channel {self.name!r}: kernel rejected "
+                        f"SO_REUSEPORT ({exc})") from exc
             if self.multicast_group is not None:
                 group_ip, group_port = self.multicast_group
                 sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -282,7 +334,7 @@ class UdpChannel(DatagramChannel):
                                 membership)
             else:
                 sock.bind(address or (self.host, 0))
-        except OSError:
+        except (OSError, TransportError):
             sock.close()
             raise
         receiver = UdpReceiver(member, sock, on_receive=on_receive,

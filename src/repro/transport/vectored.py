@@ -1,23 +1,28 @@
-"""Vectored UDP sends — ``sendmmsg(2)`` via ctypes, with graceful fallback.
+"""Vectored UDP I/O — ``sendmmsg(2)``/``recvmmsg(2)`` via ctypes.
 
 Linux's ``sendmmsg`` hands the kernel a whole batch of datagrams in one
 syscall, so a pump budget of FEC packets costs one kernel crossing per
-member instead of one per packet.  Python's stdlib does not expose it, so
-this module binds it with ctypes:
+member instead of one per packet; ``recvmmsg`` is the mirror image on the
+receive side, draining a batch of kernel-buffered datagrams per syscall.
+Python's stdlib exposes neither, so this module binds both with ctypes:
 
-* :func:`available` — True when the symbol was found *and* the
-  ``REPRO_UDP_VECTORED`` kill-switch is not set to ``0``;
+* :func:`available` — True when the ``sendmmsg`` symbol was found *and*
+  the ``REPRO_UDP_VECTORED`` kill-switch is not set to ``0``;
 * :func:`send_batch` — transmit many pre-framed datagrams to one IPv4
   address, returning ``(frames_sent, error)`` so a caller can continue a
   partially transmitted batch over the plain ``sendto`` loop without ever
-  re-sending a frame (UDP duplicates would corrupt a byte stream).
+  re-sending a frame (UDP duplicates would corrupt a byte stream);
+* :func:`recv_available` / :func:`recv_batch` — the receive-side pair:
+  fill a caller-owned ring of buffers with up to one datagram each,
+  returning ``(lengths, error)``.
 
 Callers classify the returned errno: values in :data:`DISABLE_ERRNOS` mean
-the host cannot do vectored sends at all (disable permanently, stop paying
+the host cannot do vectored I/O at all (disable permanently, stop paying
 for the failed syscall); anything else is transient and only the current
-batch falls back.  Everywhere without the symbol (non-Linux, exotic libc)
-:func:`available` is simply False and the transport uses its per-datagram
-loop, byte-for-byte identical on the wire.
+batch falls back.  Everywhere without the symbols (non-Linux, exotic libc)
+the availability probes are simply False and the transport uses its
+per-datagram loops, byte-for-byte identical on the wire.  The same
+``REPRO_UDP_VECTORED=0`` kill switch governs both directions.
 """
 
 from __future__ import annotations
@@ -102,12 +107,36 @@ def _load_sendmmsg():
     return fn
 
 
+def _load_recvmmsg():
+    """Resolve ``recvmmsg`` from the running process (Linux only)."""
+    if not sys.platform.startswith("linux"):
+        return None
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)
+        fn = libc.recvmmsg
+    except (OSError, AttributeError):
+        return None
+    fn.restype = ctypes.c_int
+    # The final argument is ``struct timespec *timeout``; always NULL here
+    # (the sockets are non-blocking), so a void pointer suffices.
+    fn.argtypes = [ctypes.c_int, ctypes.POINTER(_mmsghdr),
+                   ctypes.c_uint, ctypes.c_int, ctypes.c_void_p]
+    return fn
+
+
 _sendmmsg = _load_sendmmsg()
+_recvmmsg = _load_recvmmsg()
 
 
 def available() -> bool:
     """True when a vectored send can be attempted on this host right now."""
     return (_sendmmsg is not None
+            and os.environ.get(VECTORED_ENV_VAR, "1") != "0")
+
+
+def recv_available() -> bool:
+    """True when a vectored receive can be attempted on this host right now."""
+    return (_recvmmsg is not None
             and os.environ.get(VECTORED_ENV_VAR, "1") != "0")
 
 
@@ -165,3 +194,53 @@ def send_batch(
             return done, OSError(err, os.strerror(err))
         done += sent
     return done, None
+
+
+def recv_batch(
+    sock: socket.socket,
+    buffers: Sequence[bytearray],
+) -> Tuple[List[int], Optional[OSError]]:
+    """Receive up to ``len(buffers)`` datagrams in one syscall.
+
+    Each received datagram lands in the corresponding caller-owned buffer
+    (truncated to the buffer size, like ``recvfrom_into``).  Returns
+    ``(lengths, error)``: the byte count of each datagram received, and
+    the ``OSError`` that stopped the call — ``None`` both for a full batch
+    and for a cleanly drained kernel queue (``EAGAIN`` on a non-blocking
+    socket is "no more data", not an error).  Sender addresses are not
+    captured (``msg_name`` NULL): the UDP transport identifies streams by
+    frame content, not peer address, and skipping the copy is free speed.
+
+    The caller must copy each payload out before reusing the buffers, the
+    same contract as the scalar ``recvfrom_into`` ring.
+    """
+    count = len(buffers)
+    if count == 0:
+        return [], None
+    iovecs = (_iovec * count)()
+    headers = (_mmsghdr * count)()
+    # from_buffer shares each bytearray's memory with the iovec — received
+    # bytes appear in the caller's ring slots with no extra copy.  The
+    # c_char array views must stay alive until the syscall returns.
+    keepalive = []
+    for i in range(count):
+        view = (ctypes.c_char * len(buffers[i])).from_buffer(buffers[i])
+        keepalive.append(view)
+        iovecs[i].iov_base = ctypes.cast(view, ctypes.c_void_p)
+        iovecs[i].iov_len = len(buffers[i])
+        hdr = headers[i].msg_hdr
+        hdr.msg_name = None
+        hdr.msg_namelen = 0
+        hdr.msg_iov = ctypes.pointer(iovecs[i])
+        hdr.msg_iovlen = 1
+    fd = sock.fileno()
+    while True:
+        received = _recvmmsg(fd, headers, count, 0, None)
+        if received < 0:
+            err = ctypes.get_errno()
+            if err == _errno.EINTR:
+                continue
+            if err in (_errno.EAGAIN, _errno.EWOULDBLOCK):
+                return [], None
+            return [], OSError(err, os.strerror(err))
+        return [headers[i].msg_len for i in range(received)], None

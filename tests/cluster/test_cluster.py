@@ -1,0 +1,159 @@
+"""ProxyCluster: round trips, equivalence, fleet splice, fleet observability."""
+
+import pytest
+
+from repro.cluster import ProxyCluster, StreamSpec, digest, pattern_packets
+from repro.core.registry import FilterSpec
+from repro.core.stats import ChainSnapshot
+from repro.obs.exporter import render
+from repro.obs.metrics import default_registry
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with ProxyCluster(workers=2, name="test-cluster") as c:
+        yield c
+
+
+def _worker_labels(families):
+    return {value
+            for family in families
+            for pairs, _ in family.samples
+            for key, value in pairs
+            if key == "worker"}
+
+
+class TestRoundTrip:
+    def test_streams_shard_across_both_workers(self, cluster):
+        specs = [StreamSpec.from_pattern(f"rt-{i}", seed=i, packets=20,
+                                         packet_size=256)
+                 for i in range(12)]
+        placement = cluster.open_streams(specs)
+        assert set(placement.values()) == {0, 1}
+        cluster.drain(timeout=20.0)
+        for spec in specs:
+            result = cluster.stream_result(spec.name)
+            assert result["digest"] == digest(
+                pattern_packets(spec.source["seed"], 20, 256))
+            assert cluster.stream_worker(spec.name) == placement[spec.name]
+
+    def test_placement_follows_the_shard_ring(self, cluster):
+        for name in ("ring-check-a", "ring-check-b", "ring-check-c"):
+            assert cluster.worker_for(name) == cluster.ring.worker_for(name)
+
+    def test_explicit_packet_list_round_trips(self, cluster):
+        items = [b"alpha", b"beta", b"\x00" * 100, b"gamma"]
+        spec = StreamSpec.from_bytes("explicit-bytes", items)
+        cluster.open_stream(spec)
+        assert cluster.wait_stream("explicit-bytes", timeout=15.0)
+        result = cluster.stream_result("explicit-bytes", include_data=True)
+        import base64
+
+        assert [base64.b64decode(i) for i in result["data"]] == items
+
+
+class TestEquivalence:
+    def test_cluster_bytes_identical_to_single_process_proxy(self, cluster):
+        """The acceptance pin: same spec, cluster vs in-process proxy.
+
+        The filtered stream (FEC-encoded with a pinned start group id,
+        then zlib-compressed) must deliver byte-identical output whether
+        it runs in a cluster worker or a plain single-process Proxy.
+        """
+        spec = StreamSpec.from_pattern(
+            "equiv", seed=42, packets=60, packet_size=512,
+            filters=[
+                FilterSpec("fec-encoder",
+                           {"k": 4, "n": 6, "start_group_id": 0}).to_dict(),
+                FilterSpec("zlib-compress", {"level": 6}).to_dict(),
+            ])
+        reference = spec.expected_output()
+        assert reference, "single-process reference produced no output"
+        cluster.open_stream(spec)
+        assert cluster.wait_stream("equiv", timeout=20.0)
+        result = cluster.stream_result("equiv")
+        assert result["digest"] == digest(reference)
+        assert result["bytes"] == sum(map(len, reference))
+        assert result["items"] == len(reference)
+
+
+class TestFleetSplice:
+    def test_splice_insert_and_remove_hit_every_stream(self, cluster):
+        # Paced streams stay live long enough to be spliced mid-flight.
+        specs = [StreamSpec.from_pattern(f"splice-{i}", seed=i, packets=150,
+                                         packet_size=128, pacing_s=0.01)
+                 for i in range(4)]
+        cluster.open_streams(specs)
+        inserted = cluster.splice_insert(
+            FilterSpec("zlib-compress", {"level": 1}, name="fleet-zlib"))
+        spliced = {name for positions in inserted.values()
+                   for name in positions}
+        assert {s.name for s in specs} <= spliced
+        # Every worker's snapshot shows the filter composed in.
+        for streams in cluster.snapshots().values():
+            for name, payload in streams.items():
+                if name.startswith("splice-"):
+                    assert "fleet-zlib" in payload["filter_names"]
+        removed = cluster.splice_remove("fleet-zlib")
+        assert {name for r in removed.values() for name in r} >= {
+            s.name for s in specs}
+        cluster.drain(timeout=20.0)
+
+
+class TestFleetObservability:
+    def test_metrics_carry_worker_label_for_both_ids(self, cluster):
+        families = cluster.collect_metric_families()
+        assert _worker_labels(families) == {"0", "1"}
+        fleet = next(f for f in families if f.name == "repro_cluster_workers")
+        assert fleet.samples[0][1] == 2.0
+
+    def test_parent_metrics_endpoint_merges_worker_scrapes(self, cluster):
+        # The default registry picks clusters up via register_cluster, so
+        # the parent's /metrics text includes per-worker samples.
+        text = render(default_registry())
+        assert 'worker="0"' in text
+        assert 'worker="1"' in text
+        assert "repro_cluster_workers" in text
+
+    def test_snapshot_sum_totals_the_fleet(self, cluster):
+        specs = [StreamSpec.from_pattern(f"sum-{i}", seed=i, packets=25,
+                                         packet_size=200)
+                 for i in range(4)]
+        cluster.open_streams(specs)
+        cluster.drain(timeout=20.0)
+        fleet = cluster.snapshot_sum()
+        per_stream = [ChainSnapshot.from_dict(payload)
+                      for streams in cluster.snapshots().values()
+                      for payload in streams.values()]
+        assert fleet.source_stats["bytes_out"] == sum(
+            s.source_stats["bytes_out"] for s in per_stream)
+        assert fleet.sink_stats["packets_in"] == sum(
+            s.sink_stats["packets_in"] for s in per_stream)
+
+
+class TestChainSnapshotSum:
+    def _snap(self, name, types, bytes_out, running=False):
+        return ChainSnapshot(
+            stream_name=name, filter_names=[f"f-{t}" for t in types],
+            filter_types=list(types),
+            filter_stats=[{"bytes_in": 10} for _ in types],
+            source_stats={"bytes_out": bytes_out},
+            sink_stats={"bytes_in": bytes_out}, running=running)
+
+    def test_congruent_chains_sum_per_filter(self):
+        total = ChainSnapshot.sum(
+            [self._snap("a", ["zlib-compress"], 100),
+             self._snap("b", ["zlib-compress"], 50, running=True)],
+            stream_name="fleet")
+        assert total.stream_name == "fleet"
+        assert total.source_stats["bytes_out"] == 150
+        assert total.filter_stats == [{"bytes_in": 20}]
+        assert total.running is True
+
+    def test_heterogeneous_chains_drop_filter_breakdown(self):
+        total = ChainSnapshot.sum(
+            [self._snap("a", ["zlib-compress"], 100),
+             self._snap("b", ["fec-encoder"], 50)])
+        assert total.filter_types == []
+        assert total.filter_stats == []
+        assert total.source_stats["bytes_out"] == 150

@@ -1,0 +1,126 @@
+"""Control-plane RPC: frame layout, request/response, failure modes."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster import (
+    MAX_RPC_FRAME,
+    RPC_MAGIC,
+    RpcConnection,
+    RpcConnectionClosed,
+    RpcError,
+    decode_header,
+    encode_message,
+)
+from repro.streams import FRAME_MAGIC
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    left, right = RpcConnection(a), RpcConnection(b)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_frame_layout(self):
+        frame = encode_message({"op": "ping"})
+        magic, length = struct.unpack(">BI", frame[:5])
+        assert magic == RPC_MAGIC
+        assert length == len(frame) - 5
+
+    def test_rpc_magic_differs_from_stream_framing(self):
+        # A control frame cross-plugged into a data socket (or vice versa)
+        # must fail the magic check, not half-parse.
+        assert RPC_MAGIC != FRAME_MAGIC
+
+    def test_decode_round_trip(self):
+        frame = encode_message({"id": 1, "op": "x"})
+        assert decode_header(frame[:5]) == len(frame) - 5
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_message({"op": "x"}))
+        frame[0] = FRAME_MAGIC
+        with pytest.raises(RpcError):
+            decode_header(bytes(frame[:5]))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(RpcError):
+            decode_header(b"\x9c\x00")
+
+    def test_oversized_length_rejected(self):
+        header = struct.pack(">BI", RPC_MAGIC, MAX_RPC_FRAME + 1)
+        with pytest.raises(RpcError):
+            decode_header(header)
+
+
+class TestMessaging:
+    def test_send_receive_round_trip(self, pair):
+        left, right = pair
+        left.send({"op": "hello", "worker": 3})
+        message = right.receive(timeout=5.0)
+        assert message == {"op": "hello", "worker": 3}
+
+    def test_request_response(self, pair):
+        left, right = pair
+
+        def server():
+            request = right.receive(timeout=5.0)
+            right.respond(request, {"echo": request["op"]})
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        result = left.request("ping", timeout=5.0)
+        thread.join()
+        assert result == {"echo": "ping"}
+
+    def test_error_response_raises_with_peer_text(self, pair):
+        left, right = pair
+
+        def server():
+            request = right.receive(timeout=5.0)
+            right.respond_error(request, "no such stream")
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        with pytest.raises(RpcError, match="no such stream"):
+            left.request("open-stream", timeout=5.0)
+        thread.join()
+
+    def test_non_object_body_rejected(self, pair):
+        left, right = pair
+        body = b'["not", "an", "object"]'
+        left._socket.sendall(struct.pack(">BI", RPC_MAGIC, len(body)) + body)
+        with pytest.raises(RpcError, match="JSON object"):
+            right.receive(timeout=5.0)
+
+    def test_peer_close_raises_connection_closed(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(RpcConnectionClosed):
+            right.receive(timeout=5.0)
+
+    def test_receive_timeout(self, pair):
+        left, right = pair
+        with pytest.raises(TimeoutError):
+            right.receive(timeout=0.05)
+
+    def test_stale_response_skipped(self, pair):
+        # A response with a wrong id (from an earlier timed-out request)
+        # must be dropped, not returned for the current request.
+        left, right = pair
+
+        def server():
+            request = right.receive(timeout=5.0)
+            right.send({"id": -99, "ok": True, "result": "stale"})
+            right.respond(request, "fresh")
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        assert left.request("ping", timeout=5.0) == "fresh"
+        thread.join()

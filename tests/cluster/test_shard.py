@@ -1,0 +1,87 @@
+"""ShardRing: stable placement, balance, and down/up reassignment."""
+
+import pytest
+
+from repro.cluster import ShardRing
+
+
+class TestPlacement:
+    def test_placement_is_stable(self):
+        ring = ShardRing([0, 1, 2, 3])
+        names = [f"stream-{i}" for i in range(100)]
+        first = [ring.worker_for(n) for n in names]
+        second = [ring.worker_for(n) for n in names]
+        assert first == second
+
+    def test_placement_is_process_independent(self):
+        # Two independently built rings agree — placement derives from
+        # SHA-1, never from the salted builtin hash().
+        a = ShardRing([0, 1, 2])
+        b = ShardRing([0, 1, 2])
+        names = [f"s-{i}" for i in range(200)]
+        assert [a.worker_for(n) for n in names] == [b.worker_for(n) for n in names]
+
+    def test_every_worker_gets_a_share(self):
+        ring = ShardRing([0, 1, 2, 3])
+        census = ring.census(f"stream-{i}" for i in range(400))
+        assert set(census) == {0, 1, 2, 3}
+        assert all(census.values()), census
+
+    def test_single_worker_takes_everything(self):
+        ring = ShardRing([0])
+        assert {ring.worker_for(f"s-{i}") for i in range(50)} == {0}
+
+    def test_empty_ring_rejected(self):
+        ring = ShardRing([])
+        with pytest.raises(RuntimeError):
+            ring.worker_for("anything")
+
+    def test_duplicate_worker_rejected(self):
+        ring = ShardRing([0, 1])
+        with pytest.raises(ValueError):
+            ring.add_worker(1)
+
+
+class TestDownUp:
+    def test_down_worker_spills_only_its_streams(self):
+        ring = ShardRing([0, 1, 2, 3])
+        names = [f"stream-{i}" for i in range(300)]
+        before = {n: ring.worker_for(n) for n in names}
+        ring.mark_down(2)
+        after = {n: ring.worker_for(n) for n in names}
+        for name in names:
+            if before[name] != 2:
+                # Everyone else's placement is untouched — the consistent
+                # hashing property a modulo shard does not have.
+                assert after[name] == before[name]
+            else:
+                assert after[name] != 2
+
+    def test_mark_up_restores_original_placement(self):
+        ring = ShardRing([0, 1, 2])
+        names = [f"s-{i}" for i in range(150)]
+        before = {n: ring.worker_for(n) for n in names}
+        ring.mark_down(1)
+        ring.mark_up(1)
+        assert {n: ring.worker_for(n) for n in names} == before
+
+    def test_all_down_raises(self):
+        ring = ShardRing([0, 1])
+        ring.mark_down(0)
+        ring.mark_down(1)
+        with pytest.raises(RuntimeError):
+            ring.worker_for("s")
+
+    def test_live_workers_tracks_state(self):
+        ring = ShardRing([0, 1, 2])
+        assert ring.live_workers == [0, 1, 2]
+        ring.mark_down(1)
+        assert ring.live_workers == [0, 2]
+        assert ring.is_down(1)
+        ring.mark_up(1)
+        assert ring.live_workers == [0, 1, 2]
+
+    def test_unknown_worker_rejected(self):
+        ring = ShardRing([0])
+        with pytest.raises(ValueError):
+            ring.mark_down(9)

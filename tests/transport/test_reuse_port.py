@@ -1,0 +1,73 @@
+"""SO_REUSEPORT / SO_REUSEADDR join options on the UDP transport."""
+
+import socket
+
+import pytest
+
+from repro.transport import TransportError, UdpTransport, encode_datagram
+
+
+@pytest.fixture
+def transport():
+    t = UdpTransport()
+    yield t
+    t.close()
+
+
+class TestReusePort:
+    def test_two_members_share_one_port(self, transport):
+        channel = transport.open_channel("shared")
+        first = channel.join("w0", address=("127.0.0.1", 0), reuse_port=True)
+        port = first.address[1]
+        second = channel.join("w1", address=("127.0.0.1", port),
+                              reuse_port=True)
+        assert second.address[1] == port
+
+    def test_kernel_shards_datagrams_across_sharers(self, transport):
+        # Each datagram goes to exactly one of the sharing sockets: the
+        # union sees every payload exactly once.
+        channel = transport.open_channel("sharded")
+        first = channel.join("w0", address=("127.0.0.1", 0), reuse_port=True)
+        port = first.address[1]
+        second = channel.join("w1", address=("127.0.0.1", port),
+                              reuse_port=True)
+        payloads = {b"dgram-%03d" % i for i in range(50)}
+        sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        for payload in sorted(payloads):
+            sender.sendto(encode_datagram(payload), ("127.0.0.1", port))
+        sender.close()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        got = []
+        while len(got) < len(payloads) and time.monotonic() < deadline:
+            got.extend(first.take())
+            got.extend(second.take())
+            time.sleep(0.01)
+        assert sorted(got) == sorted(payloads)
+
+    def test_without_reuse_port_same_address_fails(self, transport):
+        channel = transport.open_channel("exclusive")
+        first = channel.join("w0", address=("127.0.0.1", 0))
+        with pytest.raises(OSError):
+            channel.join("w1", address=("127.0.0.1", first.address[1]))
+
+    def test_missing_so_reuseport_raises_clear_error(self, transport,
+                                                     monkeypatch):
+        # Simulate a platform without the constant: the error must name
+        # the option, not surface as a mysterious bind failure.
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        channel = transport.open_channel("no-constant")
+        with pytest.raises(TransportError, match="SO_REUSEPORT"):
+            channel.join("w0", address=("127.0.0.1", 0), reuse_port=True)
+        # The failed join released its name: joining without the option
+        # works (no leaked half-registered member).
+        receiver = channel.join("w0", address=("127.0.0.1", 0))
+        assert receiver.address[1] > 0
+
+    def test_reuse_addr_option_sets_socket_flag(self, transport):
+        channel = transport.open_channel("reuseaddr")
+        receiver = channel.join("w0", address=("127.0.0.1", 0),
+                                reuse_addr=True)
+        assert receiver._socket.getsockopt(socket.SOL_SOCKET,
+                                           socket.SO_REUSEADDR) != 0
