@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""CI smoke gate for the fault-injection plane and stream supervision.
+
+Fails (exit 1) unless a 2-worker :class:`~repro.cluster.ProxyCluster`
+survives two injected faults in one run:
+
+1. a **filter crash** — a ``fault-injection`` filter rides a stream spec
+   to its worker under a ``restart-filter`` policy, crashes mid-stream,
+   and must be restarted in place (``filter-restart`` event, a non-zero
+   ``repro_stream_filter_restarts_total`` on the parent's merged
+   ``/metrics`` scrape, and a completed stream); and
+2. a **worker kill** — the *other* worker is crashed outright mid-flight
+   and must be respawned with its stream replayed byte-identically
+   (``worker-exit`` + ``worker-restart`` events sharing one correlation
+   id, and a digest match after the replay).
+
+Every recovery event must land in the JSONL event log the run writes
+(``BENCH_chaos_events.jsonl``, override with ``REPRO_CHAOS_EVENTS``) —
+that file is the uploaded CI artifact and the gate's evidence.
+
+Run as: ``PYTHONPATH=src python benchmarks/check_chaos_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+os.environ.setdefault("REPRO_BENCH_QUICK", "1")  # never touch committed tables
+os.environ.setdefault("REPRO_METRICS_ADDR", "127.0.0.1:0")
+
+#: The shared JSONL sink: the parent and every worker process append to
+#: it, so one file holds the whole incident timeline.  Must be set before
+#: any repro import builds the process event log.
+EVENTS_PATH = os.environ.get("REPRO_CHAOS_EVENTS", "BENCH_chaos_events.jsonl")
+if __name__ == "__main__":
+    # Guarded because the spawn start method re-imports __main__ in every
+    # worker process (as __mp_main__): an unguarded truncate here would
+    # wipe the shared log each time a worker starts.
+    with open(EVENTS_PATH, "w", encoding="utf-8"):
+        pass  # start from an empty log; EventLog appends
+os.environ["REPRO_EVENT_LOG"] = EVENTS_PATH
+
+WORKERS = 2
+SURVIVOR_PACKETS = 60
+VICTIM_PACKETS = 300
+PACKET_SIZE = 256
+
+
+def write_report(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_events(path: str):
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def main() -> int:
+    from repro.cluster import ProxyCluster, StreamSpec, digest, pattern_packets
+    from repro.cluster.rpc import RpcError
+    from repro.core import ErrorPolicy
+    from repro.core.registry import FilterSpec
+    from repro.obs.exporter import default_server
+
+    failures = []
+    start = time.perf_counter()
+    with ProxyCluster(workers=WORKERS, name="chaos-smoke") as cluster:
+        # Stream 1: the survivor — crashes its own filter at chunk 5 and
+        # must live through it under restart-filter supervision.
+        survivor = StreamSpec.from_pattern(
+            "chaos-survivor", seed=11, packets=SURVIVOR_PACKETS,
+            packet_size=PACKET_SIZE, pacing_s=0.01,
+        ).with_filter(FilterSpec(
+            type_name="fault-injection", args={"crash_at_chunk": 5},
+            name="chaos-boom",
+        )).with_policy(ErrorPolicy(mode="restart-filter",
+                                   backoff_s=0.01).to_dict())
+        survivor_worker = cluster.open_stream(survivor)
+
+        # Stream 2: the victim — a plain paced pattern stream on the
+        # *other* worker, still mid-flight when that worker is killed.
+        victim_worker = next(w for w in cluster.worker_ids
+                             if w != survivor_worker)
+        victim_name = next(
+            f"chaos-victim-{i}" for i in range(1000)
+            if cluster.worker_for(f"chaos-victim-{i}") == victim_worker)
+        victim = StreamSpec.from_pattern(
+            victim_name, seed=23, packets=VICTIM_PACKETS,
+            packet_size=PACKET_SIZE, pacing_s=0.005)
+        cluster.open_stream(victim)
+
+        # Injected fault #2: kill the victim's worker process outright.
+        handle = cluster.worker(victim_worker)
+        old_pid = handle.pid
+        time.sleep(0.3)  # let the victim stream get properly under way
+        try:
+            handle.request("crash", timeout=5.0)
+            failures.append("crash request unexpectedly returned")
+        except (RpcError, TimeoutError, OSError):
+            pass
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline and (
+                handle.pid == old_pid or handle.connection is None):
+            time.sleep(0.05)
+        if handle.pid == old_pid:
+            failures.append("killed worker was never respawned")
+
+        cluster.drain(timeout=60.0)
+        elapsed = time.perf_counter() - start
+
+        # The victim replayed from its spec: byte-identical delivery.
+        result = cluster.stream_result(victim_name)
+        expected = digest(pattern_packets(23, VICTIM_PACKETS, PACKET_SIZE))
+        if result["digest"] != expected:
+            failures.append(f"replayed stream {victim_name} digest mismatch")
+
+        # The survivor completed despite its filter crashing.
+        done = cluster.wait_stream("chaos-survivor", timeout=10.0)
+        if not done:
+            failures.append("supervised stream never completed")
+
+        # Parent /metrics must aggregate the worker's restart counter.
+        server = default_server()
+        scrape = ""
+        if server is None:
+            failures.append("no /metrics server came up")
+        else:
+            with urllib.request.urlopen(f"{server.url}/metrics",
+                                        timeout=10.0) as response:
+                scrape = response.read().decode("utf-8")
+        restart_samples = [
+            line for line in scrape.splitlines()
+            if line.startswith("repro_stream_filter_restarts_total")
+            and not line.startswith("#")]
+        if not any(float(line.rsplit(" ", 1)[-1]) >= 1.0
+                   for line in restart_samples):
+            failures.append(
+                "repro_stream_filter_restarts_total missing or zero "
+                "in the parent /metrics scrape")
+
+    # Event-log evidence, from the artifact file itself.
+    events = read_events(EVENTS_PATH)
+    kinds = {}
+    for record in events:
+        kinds.setdefault(record.get("event"), []).append(record)
+    filter_restarts = [r for r in kinds.get("filter-restart", [])
+                       if r.get("stream") == "chaos-survivor"]
+    if not filter_restarts:
+        failures.append("no filter-restart event for the supervised stream")
+    exits = kinds.get("worker-exit", [])
+    restarts = kinds.get("worker-restart", [])
+    if not exits:
+        failures.append("no worker-exit event for the killed worker")
+    if not restarts:
+        failures.append("no worker-restart event for the killed worker")
+    if exits and restarts and not (
+            {r.get("cid") for r in exits} & {r.get("cid") for r in restarts}):
+        failures.append("worker-exit and worker-restart cids do not overlap")
+    replayed = [name for r in restarts
+                for name in r.get("replayed_streams", [])]
+    if victim_name not in replayed:
+        failures.append(f"{victim_name} missing from replayed_streams")
+
+    report = {
+        "workers": WORKERS,
+        "survivor_packets": SURVIVOR_PACKETS,
+        "victim_packets": VICTIM_PACKETS,
+        "elapsed_seconds": round(elapsed, 3),
+        "events_total": len(events),
+        "filter_restart_events": len(filter_restarts),
+        "worker_exit_events": len(exits),
+        "worker_restart_events": len(restarts),
+        "events_path": EVENTS_PATH,
+        "failures": failures,
+        "passed": not failures,
+    }
+    write_report(os.environ.get("REPRO_CHAOS_JSON", "BENCH_chaos.json"),
+                 report)
+    print(f"workers               : {WORKERS}")
+    print(f"elapsed               : {elapsed:8.3f} s")
+    print(f"events logged         : {len(events)}")
+    print(f"filter-restart events : {len(filter_restarts)}")
+    print(f"worker-exit/restart   : {len(exits)}/{len(restarts)}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK: filter crash restarted in place, killed worker respawned "
+          "and replayed, evidence in the event log")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Deterministic fault injection over the proxy's pluggable substrates.
+
+The chaos plane composes with, rather than replaces, the existing
+registries: a :class:`FaultPlan` (what to break, from which seed) plus a
+:class:`ChaosTransport` wrapper that decorates any registered transport —
+selected as ``chaos:<inner>`` through the transport registry, or applied
+implicitly to every :func:`repro.transport.get_transport` resolution when
+``REPRO_CHAOS`` is set.  Filter-level faults (crash at chunk N, per-chunk
+latency) live in :class:`repro.filters.FaultInjectionFilter`, and stream
+recovery from those faults in :mod:`repro.core.supervision`.
+"""
+
+from .plan import CHAOS_ENV_VAR, FaultPlan, FaultPlanError
+from .transport import ChaosChannel, ChaosTransport, DatagramFaultInjector
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosChannel",
+    "ChaosTransport",
+    "DatagramFaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+]

@@ -1,0 +1,209 @@
+"""FaultPlan — a declarative, seeded description of faults to inject.
+
+One plan describes *what* goes wrong; the chaos transport wrapper
+(:mod:`repro.chaos.transport`) and the fault-injection filter
+(:mod:`repro.filters.chaos`) decide *where* it is applied.  Everything is
+deterministic: probabilistic faults draw from a :class:`random.Random`
+seeded from ``plan.seed`` mixed with the channel name, and offset-based
+faults fire on exact datagram indices — so the acceptance criterion holds
+by construction: two runs of the same plan on the same input produce the
+same faults in the same order, bit for bit.
+
+Selection follows the house env-var idiom: ``REPRO_CHAOS`` carries the
+plan.  Two syntaxes are accepted::
+
+    REPRO_CHAOS='{"seed": 42, "drop_p": 0.05}'      # JSON
+    REPRO_CHAOS='seed=42,drop=0.05,dup_at=3;9'      # compact k=v pairs
+
+Compact keys: ``seed``, ``drop``/``dup``/``reorder``/``corrupt``
+(probabilities), ``drop_at``/``dup_at``/``reorder_at``/``corrupt_at``
+(``;``-separated datagram offsets), ``delay`` (seconds added to every
+send), ``stall_at``/``stall`` (one long stall at a given offset),
+``crash_at`` (filter hook: raise at chunk N) and ``slow`` (filter hook:
+per-chunk latency in seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+#: Environment variable carrying the process-wide fault plan.  Setting it
+#: makes :func:`repro.transport.base.get_transport` wrap every resolved
+#: transport in a :class:`~repro.chaos.transport.ChaosTransport`, so an
+#: unchanged test suite runs under faults.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+
+class FaultPlanError(ValueError):
+    """Raised for malformed ``REPRO_CHAOS`` values or plan payloads."""
+
+
+def _offsets(value: Any) -> Tuple[int, ...]:
+    """Normalise an offsets field (list, tuple, or ``;``-joined string)."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        value = [part for part in value.split(";") if part.strip()]
+    try:
+        return tuple(sorted({int(v) for v in value}))
+    except (TypeError, ValueError) as exc:
+        raise FaultPlanError(f"invalid offsets {value!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, where, and from which seed.
+
+    Datagram faults (applied by :class:`~repro.chaos.transport.ChaosChannel`
+    on the send side, per payload, counted from 0 per channel):
+
+    * ``drop_p`` / ``drop_offsets`` — the datagram is never sent;
+    * ``duplicate_p`` / ``duplicate_offsets`` — sent twice back to back;
+    * ``reorder_p`` / ``reorder_offsets`` — held back one slot and emitted
+      after the next datagram (adjacent swap);
+    * ``corrupt_p`` / ``corrupt_offsets`` — one payload byte is XOR-flipped;
+    * ``delay_s`` — sleep before every send (link latency);
+    * ``stall_offset`` / ``stall_s`` — one long sleep at a given offset
+      (a link freeze, long enough to trip a pump-stall watchdog).
+
+    Filter hooks (honoured by
+    :class:`~repro.filters.chaos.FaultInjectionFilter`):
+
+    * ``crash_at_chunk`` — raise on that input chunk;
+    * ``filter_delay_s`` — sleep per chunk (a slow filter).
+    """
+
+    seed: int = 0
+    drop_p: float = 0.0
+    duplicate_p: float = 0.0
+    reorder_p: float = 0.0
+    corrupt_p: float = 0.0
+    drop_offsets: Tuple[int, ...] = field(default_factory=tuple)
+    duplicate_offsets: Tuple[int, ...] = field(default_factory=tuple)
+    reorder_offsets: Tuple[int, ...] = field(default_factory=tuple)
+    corrupt_offsets: Tuple[int, ...] = field(default_factory=tuple)
+    delay_s: float = 0.0
+    stall_offset: Optional[int] = None
+    stall_s: float = 0.0
+    crash_at_chunk: Optional[int] = None
+    filter_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for prob_field in ("drop_p", "duplicate_p", "reorder_p", "corrupt_p"):
+            value = getattr(self, prob_field)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(
+                    f"{prob_field}={value!r} outside [0, 1]")
+        # Normalise offset collections passed as lists/sets/strings.
+        for offsets_field in ("drop_offsets", "duplicate_offsets",
+                              "reorder_offsets", "corrupt_offsets"):
+            object.__setattr__(self, offsets_field,
+                               _offsets(getattr(self, offsets_field)))
+
+    # -- selection ------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True when the plan injects any datagram fault at all.
+
+        An inactive plan makes the chaos wrapper a strict passthrough —
+        ``chaos:<inner>`` with no ``REPRO_CHAOS`` set is byte-transparent.
+        """
+        return bool(
+            self.drop_p or self.duplicate_p or self.reorder_p
+            or self.corrupt_p or self.drop_offsets or self.duplicate_offsets
+            or self.reorder_offsets or self.corrupt_offsets or self.delay_s
+            or (self.stall_offset is not None and self.stall_s > 0))
+
+    # -- parsing --------------------------------------------------------------
+
+    _COMPACT_KEYS = {
+        "seed": ("seed", int),
+        "drop": ("drop_p", float),
+        "dup": ("duplicate_p", float),
+        "reorder": ("reorder_p", float),
+        "corrupt": ("corrupt_p", float),
+        "drop_at": ("drop_offsets", _offsets),
+        "dup_at": ("duplicate_offsets", _offsets),
+        "reorder_at": ("reorder_offsets", _offsets),
+        "corrupt_at": ("corrupt_offsets", _offsets),
+        "delay": ("delay_s", float),
+        "stall_at": ("stall_offset", int),
+        "stall": ("stall_s", float),
+        "crash_at": ("crash_at_chunk", int),
+        "slow": ("filter_delay_s", float),
+    }
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a ``REPRO_CHAOS``-style string (JSON or k=v)."""
+        text = (text or "").strip()
+        if not text:
+            return cls()
+        if text.startswith("{"):
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise FaultPlanError(
+                    f"invalid chaos plan JSON: {exc}") from exc
+            return cls.from_dict(payload)
+        values: Dict[str, Any] = {}
+        for pair in text.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, sep, raw = pair.partition("=")
+            key = key.strip()
+            if not sep or key not in cls._COMPACT_KEYS:
+                known = ", ".join(sorted(cls._COMPACT_KEYS))
+                raise FaultPlanError(
+                    f"bad chaos plan entry {pair!r} (known keys: {known})")
+            field_name, convert = cls._COMPACT_KEYS[key]
+            try:
+                values[field_name] = convert(raw.strip())
+            except (TypeError, ValueError) as exc:
+                raise FaultPlanError(
+                    f"bad chaos plan value {pair!r}: {exc}") from None
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> "FaultPlan":
+        """The plan described by ``REPRO_CHAOS`` (empty/no-op when unset)."""
+        environ = os.environ if environ is None else environ
+        return cls.parse(environ.get(CHAOS_ENV_VAR, ""))
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (defaults omitted, so empty plans stay empty)."""
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                if value:
+                    payload[spec.name] = list(value)
+            elif spec.name in ("stall_offset", "crash_at_chunk"):
+                # Optional offsets: 0 is a real value, only None is "unset".
+                if value is not None:
+                    payload[spec.name] = value
+            elif value:
+                payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown chaos plan fields {sorted(unknown)!r}")
+        return cls(**payload)
+
+    def describe(self) -> str:
+        """A short human-readable summary (used in events and logs)."""
+        parts = [f"{key}={value}" for key, value in sorted(
+            self.to_dict().items())]
+        return ",".join(parts) if parts else "no-op"

@@ -1,0 +1,267 @@
+"""The ``chaos:<inner>`` transport — deterministic faults over any transport.
+
+:class:`ChaosTransport` decorates a registered transport; every datagram
+channel it opens is wrapped in a :class:`ChaosChannel` that applies one
+:class:`~repro.chaos.plan.FaultPlan` on the *send* side.  Injecting at the
+sender means the same wrapper breaks inproc, loopback and UDP identically
+— the fault happens before the substrate, so the whole equivalence suite
+runs under faults unchanged.
+
+Determinism: each channel owns a :class:`random.Random` seeded from
+``plan.seed`` mixed with the channel name, and every send consumes a fixed
+number of draws (one per probabilistic fault kind, triggered or not), so a
+given (plan, channel, payload sequence) produces the same fault sequence
+on every run — the bit-reproducibility acceptance criterion.
+
+Every injected fault is emitted as a ``chaos-fault`` event and counted in
+``repro_chaos_faults_total{action=...}``; the stream service
+(``listen``/``connect``) and unicast ``send_to`` (FEC repair traffic)
+pass through untouched so control planes stay reliable while the data
+plane burns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.events import EVENT_CHAOS_FAULT, get_event_log
+from ..obs.metrics import default_registry
+from ..transport.base import DatagramChannel, DatagramReceiver, Transport
+from .plan import FaultPlan
+
+
+def _fault_counter():
+    return default_registry().counter(
+        "repro_chaos_faults_total",
+        "Datagram faults injected by the chaos transport",
+        label_names=("action",))
+
+
+class DatagramFaultInjector:
+    """Per-channel fault decisions, deterministic in (plan, key, index).
+
+    Not thread-safe by itself; :class:`ChaosChannel` serialises calls.
+    """
+
+    def __init__(self, plan: FaultPlan, key: str) -> None:
+        self.plan = plan
+        # Mix the channel name into the seed so two channels under one plan
+        # draw independent (but individually reproducible) fault sequences.
+        self._rng = Random((plan.seed & 0xFFFFFFFF) << 32
+                           ^ zlib.crc32(key.encode("utf-8")))
+        self._index = 0
+        self._held: Optional[bytes] = None
+
+    @property
+    def index(self) -> int:
+        """Datagrams seen so far (the offset of the *next* send)."""
+        return self._index
+
+    def _triggered(self, draw: float, probability: float,
+                   offsets: Tuple[int, ...], offset: int) -> bool:
+        return offset in offsets or (probability > 0.0 and draw < probability)
+
+    def process(self, payload: bytes):
+        """Decide one datagram's fate.
+
+        Returns ``(sends, faults, delay_s)``: the payloads to hand to the
+        inner channel *in order*, the ``(action, offset)`` faults applied,
+        and seconds to sleep before sending (latency/stall injection).
+        """
+        plan = self.plan
+        offset = self._index
+        self._index += 1
+        # Fixed draw order, consumed whether or not each fault triggers:
+        # changing one probability never shifts another fault's sequence.
+        draws = (self._rng.random(), self._rng.random(),
+                 self._rng.random(), self._rng.random())
+        drop = self._triggered(draws[0], plan.drop_p,
+                               plan.drop_offsets, offset)
+        duplicate = self._triggered(draws[1], plan.duplicate_p,
+                                    plan.duplicate_offsets, offset)
+        reorder = self._triggered(draws[2], plan.reorder_p,
+                                  plan.reorder_offsets, offset)
+        corrupt = self._triggered(draws[3], plan.corrupt_p,
+                                  plan.corrupt_offsets, offset)
+
+        delay_s = plan.delay_s
+        faults: List[Tuple[str, int]] = []
+        if plan.stall_offset == offset and plan.stall_s > 0:
+            faults.append(("stall", offset))
+            delay_s += plan.stall_s
+
+        # The previously held datagram (if any) goes out *after* whatever
+        # this call emits — that completes the adjacent swap.
+        flush, self._held = self._held, None
+        sends: List[bytes] = []
+        if drop:
+            faults.append(("drop", offset))
+        else:
+            data = payload
+            if corrupt and len(payload):
+                data = self._corrupt(payload, offset)
+                faults.append(("corrupt", offset))
+            if reorder:
+                self._held = data
+                faults.append(("reorder", offset))
+            else:
+                sends.append(data)
+            if duplicate:
+                sends.append(data)
+                faults.append(("duplicate", offset))
+        if flush is not None:
+            sends.append(flush)
+        return sends, faults, delay_s
+
+    def flush(self) -> Optional[bytes]:
+        """Release a datagram still held for reordering (on channel close)."""
+        held, self._held = self._held, None
+        return held
+
+    @staticmethod
+    def _corrupt(payload: bytes, offset: int) -> bytes:
+        """Flip one byte, at a position derived from the datagram offset."""
+        mutated = bytearray(payload)
+        mutated[offset % len(mutated)] ^= 0xFF
+        return bytes(mutated)
+
+
+class ChaosChannel(DatagramChannel):
+    """A datagram channel that injects the plan's faults on send.
+
+    Membership, delivery and unicast go straight to the wrapped channel;
+    only the multicast send path (``send``/``send_many``) passes through
+    the injector.  Faults are decided under one lock so concurrent senders
+    see a single, well-ordered fault sequence.
+    """
+
+    def __init__(self, inner: DatagramChannel, plan: FaultPlan) -> None:
+        super().__init__(inner.name)
+        self.inner = inner
+        self.plan = plan
+        self._injector = DatagramFaultInjector(plan, inner.name)
+        self._send_lock = threading.Lock()
+        self._counter = _fault_counter()
+
+    # -- membership (delegated) ------------------------------------------------
+
+    def join(self, member: str, **options) -> DatagramReceiver:
+        return self.inner.join(member, **options)
+
+    def leave(self, member: str) -> None:
+        self.inner.leave(member)
+
+    def members(self) -> List[str]:
+        return self.inner.members()
+
+    def local_receivers(self) -> List[DatagramReceiver]:
+        return self.inner.local_receivers()
+
+    # -- send path -------------------------------------------------------------
+
+    def _record_faults(self, faults) -> None:
+        log = get_event_log()
+        for action, offset in faults:
+            self._counter.labels(action=action).inc()
+            log.emit(EVENT_CHAOS_FAULT, channel=self.name, action=action,
+                     offset=offset, plan=self.plan.describe())
+
+    def send(self, data: bytes) -> int:
+        with self._send_lock:
+            sends, faults, delay_s = self._injector.process(data)
+            self._record_faults(faults)
+            if delay_s > 0:
+                time.sleep(delay_s)
+            targeted = 0
+            for payload in sends:
+                targeted = max(targeted, self.inner.send(payload))
+                self._account(len(payload))
+        # A dropped datagram still "targeted" the membership — callers use
+        # the return value for fan-out accounting, not delivery receipts.
+        return targeted if sends else len(self.members())
+
+    def send_to(self, member: str, data: bytes) -> bool:
+        # Unicast is the repair/control path (e.g. FEC retransmissions);
+        # chaos applies to the broadcast data plane only.
+        return self.inner.send_to(member, data)
+
+    def send_many(self, payloads) -> int:
+        # Per-payload faults: the vectored fast path re-splits here by
+        # design — chaos runs measure behaviour, not throughput.
+        delivered = 0
+        for payload in payloads:
+            if self.send(payload) > 0:
+                delivered += 1
+        return delivered
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        with self._send_lock:
+            held = self._injector.flush()
+            if held is not None:
+                # Never lose the reorder-held datagram to a close racing
+                # the swap; it simply arrives last.
+                self.inner.send(held)
+                self._account(len(held))
+        self.inner.close()
+        super().close()
+
+    def __getattr__(self, name: str):
+        # Transport-specific extras (e.g. UDP's address accessors) pass
+        # through so the wrapper stays drop-in for any inner channel.
+        return getattr(self.inner, name)
+
+
+class ChaosTransport(Transport):
+    """Wrap any registered transport with fault injection.
+
+    Selected as ``chaos:<inner>`` through the transport registry, or
+    implicitly for any transport when ``REPRO_CHAOS`` is set (see
+    :func:`repro.transport.base.get_transport`).  The plan defaults to
+    :meth:`FaultPlan.from_env`.
+    """
+
+    def __init__(self, inner: Transport,
+                 plan: Optional[FaultPlan] = None) -> None:
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan.from_env()
+        self.name = f"chaos:{inner.name}"
+        self._channels: Dict[str, ChaosChannel] = {}
+        self._lock = threading.Lock()
+
+    def open_channel(self, name: str = "default", **options) -> DatagramChannel:
+        inner_channel = self.inner.open_channel(name, **options)
+        if not self.plan.active:
+            # An empty plan is a strict passthrough — no wrapper object,
+            # no per-send overhead, byte-identical behaviour.
+            return inner_channel
+        with self._lock:
+            channel = self._channels.get(name)
+            if channel is None or channel.inner is not inner_channel:
+                channel = ChaosChannel(inner_channel, self.plan)
+                self._channels[name] = channel
+            return channel
+
+    def listen(self, address=None):
+        return self.inner.listen(address)
+
+    def connect(self, address):
+        return self.inner.connect(address)
+
+    def close(self) -> None:
+        with self._lock:
+            channels = list(self._channels.values())
+            self._channels.clear()
+        for channel in channels:
+            try:
+                channel.close()
+            except Exception:  # noqa: BLE001 - best effort teardown
+                pass
+        self.inner.close()

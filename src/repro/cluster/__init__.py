@@ -19,12 +19,15 @@ from .cluster import (
     WorkerHandle,
 )
 from .rpc import (
+    DEFAULT_RPC_TIMEOUT_S,
     MAX_RPC_FRAME,
     RPC_MAGIC,
+    RPC_TIMEOUT_ENV_VAR,
     RpcConnection,
     RpcConnectionClosed,
     RpcError,
     decode_header,
+    default_rpc_timeout,
     encode_message,
 )
 from .shard import REPLICAS, ShardRing
@@ -33,8 +36,11 @@ from .worker import WorkerProcess, serialize_families, worker_main
 
 __all__ = [
     "CLUSTER_WORKERS_ENV_VAR",
+    "DEFAULT_RPC_TIMEOUT_S",
     "DEFAULT_WORKERS",
     "MAX_RPC_FRAME",
+    "RPC_TIMEOUT_ENV_VAR",
+    "default_rpc_timeout",
     "REPLICAS",
     "RPC_MAGIC",
     "ClusterError",

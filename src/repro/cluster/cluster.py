@@ -35,18 +35,24 @@ import multiprocessing.connection
 import os
 import socket
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Union
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..obs.events import (
     EVENT_WORKER_EXIT,
     EVENT_WORKER_RESTART,
     EVENT_WORKER_START,
+    EVENT_WORKER_UNRESPONSIVE,
     get_event_log,
     new_correlation_id,
 )
-from ..obs.exporter import ensure_default_server
+from ..obs.exporter import (
+    ensure_default_server,
+    register_health_provider,
+    unregister_health_provider,
+)
 from ..obs.metrics import MetricFamily, register_cluster
-from .rpc import RpcConnection, RpcError
+from .rpc import _UNSET, RpcConnection, RpcError, default_rpc_timeout
 from .shard import ShardRing
 from .specs import StreamSpec
 from .worker import worker_main
@@ -84,12 +90,36 @@ class WorkerHandle:
         #: events for this slot all carry it.
         self.correlation_id = new_correlation_id("w")
         self.restarts = 0
+        #: Called as ``on_timeout(handle, op, connection)`` when a request
+        #: to this worker exceeds its deadline — the cluster hooks its
+        #: unresponsive-worker handling here.  The connection the timeout
+        #: happened on rides along so a *stale* timeout (the worker died
+        #: and was already replaced while the request was blocked) cannot
+        #: be mistaken for the replacement hanging.
+        self.on_timeout: Optional[
+            Callable[["WorkerHandle", str, RpcConnection], None]] = None
+        #: ``time.monotonic()`` of the last answered heartbeat (None until
+        #: the first one lands).
+        self.last_heartbeat: Optional[float] = None
 
-    def request(self, op: str, timeout: Optional[float] = 30.0,
+    def request(self, op: str, timeout: Any = _UNSET,
                 **fields: Any) -> Any:
-        if self.connection is None:
+        """One RPC round trip to this worker, with the deadline plumbing.
+
+        The default deadline is ``REPRO_RPC_TIMEOUT`` (30 s fallback); a
+        timeout reports the worker to :attr:`on_timeout` before
+        re-raising, so a *hung* worker — process alive, control loop
+        wedged — enters the same supervision path a crashed one does.
+        """
+        connection = self.connection
+        if connection is None:
             raise ClusterError(f"worker {self.worker_id} is not connected")
-        return self.connection.request(op, timeout=timeout, **fields)
+        try:
+            return connection.request(op, timeout=timeout, **fields)
+        except TimeoutError:
+            if self.on_timeout is not None:
+                self.on_timeout(self, op, connection)
+            raise
 
 
 def _worker_count(workers: Optional[int]) -> int:
@@ -121,12 +151,21 @@ class ProxyCluster:
         specs replayed; False leaves the shard marked down.
     name:
         Cluster name, used in metrics and event records.
+    heartbeat_s:
+        Interval between liveness pings from the supervisor thread; 0
+        disables heartbeats (hangs are then caught only when a real
+        request hits its deadline).
+    heartbeat_timeout_s:
+        Deadline for one heartbeat ping; None uses the RPC default capped
+        at 5 s (a liveness probe should fail fast).
     """
 
     def __init__(self, workers: Optional[int] = None,
                  engine: Union[str, Sequence[Optional[str]], None] = None,
                  restart_workers: bool = True,
-                 name: str = "cluster") -> None:
+                 name: str = "cluster",
+                 heartbeat_s: float = 2.0,
+                 heartbeat_timeout_s: Optional[float] = None) -> None:
         count = _worker_count(workers)
         if count < 1:
             raise ClusterError("a cluster needs at least one worker")
@@ -139,10 +178,17 @@ class ProxyCluster:
             if len(engines) != count:
                 raise ClusterError(
                     f"{len(engines)} engine names for {count} workers")
+        self.heartbeat_s = float(heartbeat_s)
+        if heartbeat_timeout_s is None:
+            default = default_rpc_timeout()
+            heartbeat_timeout_s = min(default, 5.0) if default else 5.0
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
         self._handles: Dict[int, WorkerHandle] = {
             worker_id: WorkerHandle(worker_id, engines[worker_id])
             for worker_id in range(count)
         }
+        for handle in self._handles.values():
+            handle.on_timeout = self._worker_unresponsive
         self.ring = ShardRing(self._handles)
         self._mp = multiprocessing.get_context("spawn")
         self._listener: Optional[socket.socket] = None
@@ -174,7 +220,37 @@ class ProxyCluster:
                 target=self._supervise, name=f"{self.name}-supervisor",
                 daemon=True)
             self._supervisor.start()
+        # Surface fleet liveness on the process /healthz endpoint: the
+        # probe answers 200 either way, but reports status "degraded"
+        # with per-worker detail while any shard is down.
+        register_health_provider(f"cluster-{self.name}", self._health_check)
         return self
+
+    def _health_check(self) -> Dict[str, Any]:
+        """Worker liveness for ``/healthz`` (fed by the heartbeat loop)."""
+        now = time.monotonic()
+        workers: Dict[str, Any] = {}
+        with self._lock:
+            started = self._started and not self._shutdown
+            for worker_id, handle in sorted(self._handles.items()):
+                alive = (handle.process is not None
+                         and handle.process.is_alive()
+                         and handle.connection is not None)
+                up = alive and started and not self.ring.is_down(worker_id)
+                info: Dict[str, Any] = {
+                    "up": bool(up),
+                    "pid": handle.pid,
+                    "restarts": handle.restarts,
+                }
+                if handle.last_heartbeat is not None:
+                    info["heartbeat_age_s"] = round(
+                        now - handle.last_heartbeat, 3)
+                workers[str(worker_id)] = info
+        return {
+            "healthy": started and all(w["up"] for w in workers.values()),
+            "cluster": self.name,
+            "workers": workers,
+        }
 
     def _spawn(self, handle: WorkerHandle) -> None:
         """Start one worker process and complete its hello handshake."""
@@ -218,7 +294,17 @@ class ProxyCluster:
     # -- supervision -----------------------------------------------------------
 
     def _supervise(self) -> None:
-        """Watch process sentinels; restart crashed workers."""
+        """Watch process sentinels; restart crashed workers.
+
+        The same loop drives liveness heartbeats: every ``heartbeat_s``
+        each connected worker gets a non-queueing ``ping``
+        (:meth:`RpcConnection.try_request` — a heartbeat never piles up
+        behind an in-flight request).  A ping that times out means the
+        process is alive but its control loop is wedged; the worker is
+        declared unresponsive and terminated, which routes the hang into
+        the ordinary sentinel/restart path below.
+        """
+        next_heartbeat = time.monotonic() + self.heartbeat_s
         while not self._shutdown:
             with self._lock:
                 # "Unhandled" (connection still set), not "alive": a worker
@@ -243,6 +329,54 @@ class ProxyCluster:
                     if self._shutdown:
                         return
                     self._handle_worker_death(handle)
+            if self.heartbeat_s > 0 and time.monotonic() >= next_heartbeat:
+                next_heartbeat = time.monotonic() + self.heartbeat_s
+                self._heartbeat(sentinels.values())
+
+    def _heartbeat(self, handles) -> None:
+        """Ping each connected worker; declare the silent ones unresponsive."""
+        for handle in handles:
+            connection = handle.connection
+            if self._shutdown or connection is None or connection.closed:
+                continue
+            try:
+                answer = connection.try_request(
+                    "ping", timeout=self.heartbeat_timeout_s)
+            except TimeoutError:
+                self._worker_unresponsive(handle, "ping", connection)
+            except (RpcError, ClusterError, OSError):
+                # Connection-level failures mean death, not a hang; the
+                # sentinel watcher owns that path.
+                continue
+            else:
+                if answer is not None:  # None = a request was in flight
+                    handle.last_heartbeat = time.monotonic()
+
+    def _worker_unresponsive(self, handle: WorkerHandle, op: str,
+                             connection: RpcConnection) -> None:
+        """A live worker stopped answering: declare it lost and terminate.
+
+        Termination fires the process sentinel, so recovery — mark the
+        shard down, respawn, replay specs, mark up — is exactly the
+        crashed-worker path; a hang and a crash differ only in this event.
+        """
+        with self._lock:
+            if (self._shutdown or handle.process is None
+                    or handle.connection is None
+                    or not handle.process.is_alive()):
+                return  # already dead or being torn down; nothing to declare
+            if handle.connection is not connection:
+                # The deadline fired on a connection the worker slot has
+                # since replaced: the request was racing a crash the
+                # sentinel watcher already recovered from.  Terminating
+                # now would kill the healthy replacement.
+                return
+            get_event_log().emit(
+                EVENT_WORKER_UNRESPONSIVE, stream="",
+                cid=handle.correlation_id, cluster=self.name,
+                worker=handle.worker_id, pid=handle.pid, op=op,
+                restart=self.restart_workers)
+            handle.process.terminate()
 
     def _handle_worker_death(self, handle: WorkerHandle) -> None:
         """One worker died unexpectedly: record, reassign, restart."""
@@ -393,7 +527,8 @@ class ProxyCluster:
                             if f.get("name") != filter_name]
                     handle.streams[name] = StreamSpec(
                         name=spec.name, source=dict(spec.source),
-                        sink=dict(spec.sink), filters=kept)
+                        sink=dict(spec.sink), filters=kept,
+                        policy=spec.policy)
         return removed
 
     # -- observability ---------------------------------------------------------
@@ -464,6 +599,7 @@ class ProxyCluster:
         Idempotent.  ``drain=False`` skips the wait-for-completion pass
         (used when streams are endless).
         """
+        unregister_health_provider(f"cluster-{self.name}")
         with self._lock:
             if self._shutdown or not self._started:
                 self._shutdown = True

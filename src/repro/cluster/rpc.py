@@ -26,12 +26,41 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
+import random
 import socket
 import struct
 import threading
+import time
 from typing import Any, Dict, Optional
 
 _HEADER = struct.Struct(">BI")
+
+#: Environment variable overriding the default per-call RPC deadline, in
+#: seconds (``REPRO_RPC_TIMEOUT=5``).  ``0`` or a negative value means no
+#: deadline (block forever — the pre-deadline behaviour).
+RPC_TIMEOUT_ENV_VAR = "REPRO_RPC_TIMEOUT"
+
+#: Deadline applied when neither the call nor the environment names one.
+DEFAULT_RPC_TIMEOUT_S = 30.0
+
+#: Sentinel distinguishing "caller passed nothing" from an explicit
+#: ``timeout=None`` (which means block forever).
+_UNSET = object()
+
+
+def default_rpc_timeout() -> Optional[float]:
+    """The process-wide RPC deadline: ``REPRO_RPC_TIMEOUT`` or 30 s."""
+    raw = os.environ.get(RPC_TIMEOUT_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_RPC_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise RpcError(
+            f"invalid {RPC_TIMEOUT_ENV_VAR} value {raw!r}: "
+            f"expected seconds as a number") from None
+    return value if value > 0 else None
 
 #: First byte of every control frame.  Distinct from the stream/datagram
 #: framing magic (``0xC5``) so cross-plugged sockets fail loudly.
@@ -72,6 +101,15 @@ def decode_header(header: bytes) -> int:
     if length > MAX_RPC_FRAME:
         raise RpcError(f"RPC body length {length} exceeds {MAX_RPC_FRAME}")
     return length
+
+
+def _retry_counter():
+    from ..obs.metrics import default_registry
+
+    return default_registry().counter(
+        "repro_rpc_retries_total",
+        "Cluster RPC attempts re-sent after a deadline timeout",
+        label_names=("op",))
 
 
 class RpcConnection:
@@ -144,30 +182,75 @@ class RpcConnection:
 
     # -- request/response ------------------------------------------------------
 
-    def request(self, op: str, timeout: Optional[float] = 30.0,
-                **fields: Any) -> Any:
+    def request(self, op: str, timeout: Any = _UNSET, retries: int = 0,
+                backoff_s: float = 0.05, backoff_factor: float = 2.0,
+                jitter_s: float = 0.02, **fields: Any) -> Any:
         """One round trip: send ``op``, return the response's ``result``.
+
+        Every call carries a deadline: the default comes from
+        ``REPRO_RPC_TIMEOUT`` (falling back to 30 s), an explicit
+        ``timeout=None`` blocks forever.  ``retries`` re-sends the request
+        after a timeout, sleeping an exponential backoff plus a uniform
+        jitter between attempts (idempotent ops only — the worker may have
+        processed a timed-out attempt); each retry is counted in
+        ``repro_rpc_retries_total{op=...}``.
 
         Raises :class:`RpcError` when the peer answered ``ok: false`` (the
         peer's error text is preserved), :class:`TimeoutError` when no
-        response arrived in time.  One request is outstanding at a time per
-        connection, matching the worker's single-threaded control loop.
+        response arrived within the deadline on any attempt.  One request
+        is outstanding at a time per connection, matching the worker's
+        single-threaded control loop.
         """
-        with self._request_lock:
-            request_id = next(self._request_ids)
-            message = {"id": request_id, "op": op}
-            message.update(fields)
-            self.send(message)
-            while True:
-                response = self.receive(timeout=timeout)
-                if response.get("id") != request_id:
-                    # A stale response from an earlier timed-out request;
-                    # drop it and keep waiting for ours.
-                    continue
-                if not response.get("ok"):
-                    raise RpcError(
-                        f"RPC {op!r} failed: {response.get('error', 'unknown')}")
-                return response.get("result")
+        if timeout is _UNSET:
+            timeout = default_rpc_timeout()
+        attempt = 0
+        while True:
+            try:
+                with self._request_lock:
+                    return self._request_locked(op, timeout, fields)
+            except TimeoutError:
+                if attempt >= retries:
+                    raise
+                _retry_counter().labels(op=op).inc()
+                delay = min(backoff_s * (backoff_factor ** attempt), 5.0)
+                time.sleep(delay + random.uniform(0.0, jitter_s))
+                attempt += 1
+
+    def try_request(self, op: str, timeout: Any = _UNSET,
+                    **fields: Any) -> Any:
+        """Like :meth:`request`, but give up instead of queueing.
+
+        Returns ``None`` without sending anything when another request is
+        already outstanding on this connection — the behaviour a heartbeat
+        wants: never pile probe traffic behind a slow in-flight call (the
+        in-flight call's own deadline covers that case).
+        """
+        if timeout is _UNSET:
+            timeout = default_rpc_timeout()
+        if not self._request_lock.acquire(blocking=False):
+            return None
+        try:
+            return self._request_locked(op, timeout, fields)
+        finally:
+            self._request_lock.release()
+
+    def _request_locked(self, op: str, timeout: Optional[float],
+                        fields: Dict[str, Any]) -> Any:
+        """One send/receive round trip (the request lock is already held)."""
+        request_id = next(self._request_ids)
+        message = {"id": request_id, "op": op}
+        message.update(fields)
+        self.send(message)
+        while True:
+            response = self.receive(timeout=timeout)
+            if response.get("id") != request_id:
+                # A stale response from an earlier timed-out request;
+                # drop it and keep waiting for ours.
+                continue
+            if not response.get("ok"):
+                raise RpcError(
+                    f"RPC {op!r} failed: {response.get('error', 'unknown')}")
+            return response.get("result")
 
     def respond(self, request: Dict[str, Any], result: Any = None) -> None:
         """Answer one request affirmatively."""

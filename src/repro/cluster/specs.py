@@ -80,6 +80,9 @@ class StreamSpec:
     source: Dict[str, Any]
     sink: Dict[str, Any] = field(default_factory=lambda: {"kind": "collect"})
     filters: List[Dict[str, Any]] = field(default_factory=list)
+    #: Serialised :class:`~repro.core.supervision.ErrorPolicy` (or a bare
+    #: mode name) applied to the stream on the worker; None = unsupervised.
+    policy: Optional[Any] = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -113,17 +116,28 @@ class StreamSpec:
         """This spec plus one more filter (appended before the sink)."""
         return StreamSpec(name=self.name, source=dict(self.source),
                           sink=dict(self.sink),
-                          filters=[*self.filters, spec.to_dict()])
+                          filters=[*self.filters, spec.to_dict()],
+                          policy=self.policy)
+
+    def with_policy(self, policy: Any) -> "StreamSpec":
+        """This spec under an error policy (mode name or serialised dict)."""
+        return StreamSpec(name=self.name, source=dict(self.source),
+                          sink=dict(self.sink),
+                          filters=[dict(f) for f in self.filters],
+                          policy=policy)
 
     # -- serialisation ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "source": dict(self.source),
             "sink": dict(self.sink),
             "filters": [dict(f) for f in self.filters],
         }
+        if self.policy is not None:
+            payload["policy"] = self.policy
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "StreamSpec":
@@ -132,7 +146,8 @@ class StreamSpec:
         return cls(name=str(payload["name"]),
                    source=dict(payload["source"]),
                    sink=dict(payload.get("sink") or {"kind": "collect"}),
-                   filters=[dict(f) for f in payload.get("filters") or []])
+                   filters=[dict(f) for f in payload.get("filters") or []],
+                   policy=payload.get("policy"))
 
     # -- materialisation (worker side) -----------------------------------------
 

@@ -25,6 +25,7 @@ Ops served (all request/response, see :mod:`repro.cluster.rpc`):
 ``stop-stream``    shut down one stream
 ``shutdown``       stop the proxy and exit the control loop
 ``crash``          ``os._exit`` (test hook for the restart path)
+``hang``           sleep in the control loop (test hook for RPC deadlines)
 =================  ==========================================================
 """
 
@@ -88,7 +89,8 @@ class WorkerProcess:
         source = spec.build_source(transport=self.proxy.transport)
         sink = spec.build_sink(transport=self.proxy.transport)
         control = self.proxy.add_stream(source, sink, name=spec.name,
-                                        auto_start=False)
+                                        auto_start=False,
+                                        error_policy=spec.policy)
         for filter_spec in spec.filter_specs():
             control.add(self.registry.create(filter_spec))
         control.start()
@@ -184,6 +186,17 @@ class WorkerProcess:
         # sent.
         os._exit(int(request.get("code", 17)))
 
+    def op_hang(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # Test hook for the parent's RPC deadlines: the process stays
+        # alive (no sentinel fires) but the single-threaded control loop
+        # sleeps, so every subsequent request — including heartbeats —
+        # goes unanswered until the parent's deadline declares the worker
+        # unresponsive.
+        import time
+
+        time.sleep(float(request.get("seconds", 3600.0)))
+        return {"worker": self.worker_id}
+
     _OPS = {
         "ping": op_ping,
         "open-stream": op_open_stream,
@@ -197,6 +210,7 @@ class WorkerProcess:
         "stop-stream": op_stop_stream,
         "shutdown": op_shutdown,
         "crash": op_crash,
+        "hang": op_hang,
     }
 
     # -- control loop ----------------------------------------------------------

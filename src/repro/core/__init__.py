@@ -50,11 +50,13 @@ from .errors import (
     FilterStateError,
     ProxyError,
     RegistryError,
+    StreamSupervisionError,
 )
 from .filter import Filter, FilterContainer, PacketFilter
 from .proxy import Proxy, null_proxy
 from .registry import FilterRegistry, FilterSpec, default_registry
 from .stats import ChainSnapshot, FilterStats
+from .supervision import ErrorPolicy, StreamSupervisor
 
 __all__ = [
     "Filter",
@@ -93,6 +95,9 @@ __all__ = [
     "FilterStateError",
     "ControlProtocolError",
     "RegistryError",
+    "StreamSupervisionError",
+    "ErrorPolicy",
+    "StreamSupervisor",
     "any_packet_boundary",
     "gop_boundary",
     "i_frame_boundary",

@@ -39,6 +39,7 @@ from .endpoints import SinkEndPoint, SourceEndPoint
 from .errors import CompositionError
 from .filter import Filter
 from .stats import ChainSnapshot
+from .supervision import ErrorPolicy, StreamSupervisor
 
 #: How long composition operations wait for buffers to drain / filters to
 #: quiesce before giving up.
@@ -85,11 +86,17 @@ class ControlThread:
                  name: str = "stream", auto_start: bool = True,
                  operation_timeout: float = DEFAULT_OPERATION_TIMEOUT,
                  engine: Union[str, ExecutionEngine, None] = None,
-                 transport: Union[str, Transport, None] = None) -> None:
+                 transport: Union[str, Transport, None] = None,
+                 error_policy=None) -> None:
         self.name = name
         self.source = source
         self.sink = sink
         self.operation_timeout = operation_timeout
+        #: How filter crashes/stalls are handled (see
+        #: :mod:`repro.core.supervision`).  ``None`` — the default — means
+        #: unsupervised: no watcher thread, byte-identical legacy behaviour.
+        self.error_policy = ErrorPolicy.resolve(error_policy)
+        self._supervisor: Optional[StreamSupervisor] = None
         self._owns_engine = not isinstance(engine, ExecutionEngine)
         self.engine = resolve_engine(engine)
         self._owns_transport = not isinstance(transport, Transport)
@@ -130,15 +137,32 @@ class ControlThread:
             if self._started:
                 return
             chain = [self.source, *self._filters, self.sink]
+            for filter_obj in self._filters:
+                self._apply_policy_flags(filter_obj)
             for left, right in zip(chain, chain[1:]):
                 left.dos.connect(right.dis)
             for element in chain:
                 element.add_activity_listener(self._on_element_activity)
                 self.engine.start_element(element)
             self._started = True
+            if self.error_policy is not None and self._supervisor is None:
+                self._supervisor = StreamSupervisor(
+                    self, self.error_policy).start()
         self._emit_event(EVENT_STREAM_START,
                          engine=getattr(self.engine, "name", ""),
-                         filters=[f.name for f in self.filters])
+                         filters=[f.name for f in self.filters],
+                         policy=(self.error_policy.mode
+                                 if self.error_policy else ""))
+
+    def _apply_policy_flags(self, filter_obj: Filter) -> None:
+        """Prepare a filter for this stream's error policy.
+
+        Under a recoverable policy a crashing filter must *not* close its
+        downstream — the supervisor is about to splice around it, and a
+        premature EOF would end the stream it is trying to save.
+        """
+        if self.error_policy is not None and self.error_policy.recoverable:
+            filter_obj.close_output_on_error = False
 
     # -------------------------------------------------------------- transport
 
@@ -273,6 +297,7 @@ class ControlThread:
             finally:
                 if boundary is not None:
                     left.release_hold()
+            self._apply_policy_flags(filter_obj)
             filter_obj.add_activity_listener(self._on_element_activity)
             self.engine.start_element(filter_obj)
             self._filters.insert(position, filter_obj)
@@ -465,6 +490,11 @@ class ControlThread:
                 return
             self._shutdown = True
             elements = [self.source, *self._filters, self.sink]
+        if self._supervisor is not None:
+            # Stopped before the elements so a crash *during* teardown is
+            # never mistaken for a recoverable failure.
+            self._supervisor.stop()
+            self._supervisor = None
         if self._started:
             self._emit_event(EVENT_STREAM_STOP,
                              filters=[f.name for f in elements[1:-1]])

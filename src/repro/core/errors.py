@@ -23,3 +23,8 @@ class ControlProtocolError(ProxyError):
 
 class RegistryError(ProxyError):
     """Raised for unknown filter types and invalid filter uploads."""
+
+
+class StreamSupervisionError(ProxyError):
+    """Raised (and recorded on abandoned filters) by stream supervision —
+    stall watchdog trips, restart budget exhaustion, unrecoverable splices."""

@@ -111,6 +111,11 @@ class Filter:
         self.chunk_size = chunk_size
         self.pump_budget = pump_budget
         self.propagate_eof = propagate_eof
+        # Whether a filter *error* closes the downstream side (normal EOF
+        # always honours propagate_eof alone).  Stream supervision clears
+        # this under restart/bypass policies: a crashed filter about to be
+        # spliced out must not hand its successor a premature EOF.
+        self.close_output_on_error = True
 
         # Size the input buffer to hold *two* full pump budgets: one batch
         # being transformed and one the upstream hop deposits meanwhile, so
@@ -270,6 +275,26 @@ class Filter:
         """Wait until the filter's run loop has completed."""
         return self._finished.wait(timeout=timeout)
 
+    def abandon(self, error: BaseException) -> None:
+        """Declare a wedged filter dead without waiting for its thread.
+
+        The stall watchdog uses this when a filter holds queued input but
+        makes no progress: the filter is marked errored and *finished* so
+        the ControlThread's dead-filter splice applies, letting supervision
+        route around it.  The worker thread (if any) is asked to stop but
+        not joined — a transform blocked in C or a long sleep cannot be
+        interrupted; once the chain is re-spliced around it, its next write
+        hits a detached stream and the thread exits on its own.
+        """
+        if self.error is None:
+            self.error = error
+            self.stats.record_error()
+        self._stop_event.set()
+        self._resume.set()
+        self._notify_engine()
+        self._finished.set()
+        self._notify_activity()
+
     # ------------------------------------------------------------ hold/quiesce
 
     def hold_at_boundary(self, predicate: Optional[BoundaryPredicate] = None,
@@ -399,8 +424,7 @@ class Filter:
         except Exception as exc:  # noqa: BLE001 - surfaced via self.error
             self.error = exc
             self.stats.record_error()
-            if self.propagate_eof:
-                self._close_output()
+            self._close_output_after_error()
         finally:
             try:
                 self.on_stop()
@@ -545,7 +569,7 @@ class Filter:
         return progress
 
     def _close_output_after_error(self) -> None:
-        if self.propagate_eof:
+        if self.propagate_eof and self.close_output_on_error:
             self._close_output()
 
     def _queue_outputs(self, result: TransformResult) -> None:

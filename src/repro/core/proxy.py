@@ -75,8 +75,14 @@ class Proxy:
     # ----------------------------------------------------------------- streams
 
     def add_stream(self, source: SourceEndPoint, sink: SinkEndPoint,
-                   name: Optional[str] = None, auto_start: bool = True) -> ControlThread:
-        """Create (and by default start) a new proxied stream."""
+                   name: Optional[str] = None, auto_start: bool = True,
+                   error_policy=None) -> ControlThread:
+        """Create (and by default start) a new proxied stream.
+
+        ``error_policy`` selects the stream's supervision strategy (a mode
+        name, :class:`~repro.core.supervision.ErrorPolicy`, or dict; see
+        that module).  ``None`` keeps the stream unsupervised.
+        """
         with self._lock:
             if self._shutdown:
                 raise CompositionError(f"proxy {self.name!r} has been shut down")
@@ -86,7 +92,8 @@ class Proxy:
                     f"stream {stream_name!r} already exists on proxy {self.name!r}")
             control = ControlThread(source, sink, name=stream_name,
                                     auto_start=auto_start, engine=self._engine,
-                                    transport=self._transport)
+                                    transport=self._transport,
+                                    error_policy=error_policy)
             self._streams[stream_name] = control
             return control
 

@@ -122,7 +122,11 @@ class FilterRegistry:
         if spec.name is not None:
             kwargs.setdefault("name", spec.name)
         try:
-            return filter_class(**kwargs)
+            filter_obj = filter_class(**kwargs)
+            # Remember how the instance was built so stream supervision can
+            # construct an equivalent replacement under restart-filter.
+            filter_obj.creation_spec = spec
+            return filter_obj
         except TypeError as exc:
             raise RegistryError(
                 f"cannot construct {spec.type_name!r} with args {spec.args!r}: {exc}"

@@ -7,6 +7,7 @@ registry / control protocol (see :data:`BUILTIN_FILTERS`).
 """
 
 from .cache import BrowseCacheFilter, CacheStats, LruContentCache
+from .chaos import ChaosInjectedError, FaultInjectionFilter
 from .compression import XorCipherFilter, ZlibCompressFilter, ZlibDecompressFilter
 from .fec_filters import PAPER_FEC_K, PAPER_FEC_N, FecDecoderFilter, FecEncoderFilter
 from .passthrough import (
@@ -60,9 +61,12 @@ BUILTIN_FILTERS = (
     SequenceStamperFilter,
     DuplicateSuppressorFilter,
     ReorderingFilter,
+    FaultInjectionFilter,
 )
 
 __all__ = [
+    "ChaosInjectedError",
+    "FaultInjectionFilter",
     "PassthroughFilter",
     "BrowseCacheFilter",
     "LruContentCache",

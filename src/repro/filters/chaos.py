@@ -1,0 +1,76 @@
+"""Filter-level fault injection: crash at chunk N, or run slow.
+
+The datagram faults live in :mod:`repro.chaos.transport`; this filter
+covers the *compute* failure modes the supervision plane recovers from —
+a filter raising mid-stream (``crash_at_chunk``) and a filter that stops
+making progress (``delay_per_chunk_s``, slow enough to trip the pump-stall
+watchdog).  It is a registered builtin (``fault-injection``) so cluster
+stream specs can carry it to workers.
+
+Crash budgets are tracked per filter *name* at class level: a supervised
+restart builds a fresh instance from the same spec, and without the shared
+budget the replacement would crash at the same chunk forever.  The budget
+is per process, which is exactly the scope a restarted filter lives in.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..core.filter import Filter
+
+
+class ChaosInjectedError(RuntimeError):
+    """The deliberate failure raised by :class:`FaultInjectionFilter`."""
+
+
+class FaultInjectionFilter(Filter):
+    """Pass chunks through, with scripted crashes and latency.
+
+    ``crash_at_chunk`` raises :class:`ChaosInjectedError` when that input
+    chunk (0-based, counted per instance) arrives — but only while the
+    name's crash budget (``max_crashes``, default 1) has room, so a
+    restarted replacement succeeds and the stream completes.
+    ``delay_per_chunk_s`` sleeps before every chunk to emulate a slow or
+    wedged filter.
+    """
+
+    type_name = "fault-injection"
+
+    #: Crashes already taken, keyed by filter name — shared across the
+    #: instances a supervised restart creates from one spec.
+    _crash_counts: Dict[str, int] = {}
+
+    def __init__(self, name: Optional[str] = None,
+                 crash_at_chunk: Optional[int] = None,
+                 delay_per_chunk_s: float = 0.0,
+                 max_crashes: int = 1,
+                 error_text: str = "injected fault",
+                 **kwargs) -> None:
+        super().__init__(name=name, **kwargs)
+        self.crash_at_chunk = crash_at_chunk
+        self.delay_per_chunk_s = float(delay_per_chunk_s)
+        self.max_crashes = int(max_crashes)
+        self.error_text = error_text
+        self._seen = 0
+
+    @classmethod
+    def reset_crash_counts(cls) -> None:
+        """Forget all spent crash budgets (test hygiene)."""
+        cls._crash_counts.clear()
+
+    def transform(self, chunk: bytes) -> bytes:
+        index = self._seen
+        self._seen += 1
+        if self.delay_per_chunk_s > 0:
+            time.sleep(self.delay_per_chunk_s)
+        if (self.crash_at_chunk is not None
+                and index == self.crash_at_chunk
+                and self._crash_counts.get(self.name, 0) < self.max_crashes):
+            self._crash_counts[self.name] = (
+                self._crash_counts.get(self.name, 0) + 1)
+            raise ChaosInjectedError(
+                f"{self.error_text} (chunk {index}, "
+                f"crash {self._crash_counts[self.name]}/{self.max_crashes})")
+        return chunk

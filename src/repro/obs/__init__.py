@@ -17,13 +17,19 @@ Environment:
 """
 
 from .events import (
+    EVENT_CHAOS_FAULT,
     EVENT_FEC_POLICY_CHANGE,
+    EVENT_FILTER_BYPASS,
+    EVENT_FILTER_RESTART,
     EVENT_LOG_ENV_VAR,
     EVENT_SPLICE_INSERT,
     EVENT_SPLICE_REMOVE,
+    EVENT_STREAM_ERROR,
+    EVENT_STREAM_STALL,
     EVENT_STREAM_START,
     EVENT_STREAM_STOP,
     EVENT_TRANSPORT_ERROR,
+    EVENT_WORKER_UNRESPONSIVE,
     EventLog,
     configure_event_log,
     get_event_log,
@@ -34,9 +40,12 @@ from .exporter import (
     MetricsServer,
     default_server,
     ensure_default_server,
+    health_status,
     parse_metrics_addr,
+    register_health_provider,
     render,
     shutdown_default_server,
+    unregister_health_provider,
 )
 from .metrics import (
     Counter,
@@ -81,13 +90,19 @@ def __dir__():
 
 
 __all__ = [
+    "EVENT_CHAOS_FAULT",
     "EVENT_FEC_POLICY_CHANGE",
+    "EVENT_FILTER_BYPASS",
+    "EVENT_FILTER_RESTART",
     "EVENT_LOG_ENV_VAR",
     "EVENT_SPLICE_INSERT",
     "EVENT_SPLICE_REMOVE",
+    "EVENT_STREAM_ERROR",
+    "EVENT_STREAM_STALL",
     "EVENT_STREAM_START",
     "EVENT_STREAM_STOP",
     "EVENT_TRANSPORT_ERROR",
+    "EVENT_WORKER_UNRESPONSIVE",
     "EventLog",
     "configure_event_log",
     "get_event_log",
@@ -96,9 +111,12 @@ __all__ = [
     "MetricsServer",
     "default_server",
     "ensure_default_server",
+    "health_status",
     "parse_metrics_addr",
+    "register_health_provider",
     "render",
     "shutdown_default_server",
+    "unregister_health_provider",
     "Counter",
     "Gauge",
     "Histogram",

@@ -42,6 +42,19 @@ EVENT_TRANSPORT_ERROR = "transport-error"
 EVENT_WORKER_START = "worker-start"
 EVENT_WORKER_EXIT = "worker-exit"
 EVENT_WORKER_RESTART = "worker-restart"
+#: A worker that is alive but not answering RPCs within the deadline; the
+#: parent terminates it and the normal exit/restart pair follows, so an
+#: incident timeline reads unresponsive → exit → restart under one cid.
+EVENT_WORKER_UNRESPONSIVE = "worker-unresponsive"
+#: Stream supervision (see :mod:`repro.core.supervision`): recovery actions
+#: share the stream's correlation id with its start/splice/stop events.
+EVENT_STREAM_ERROR = "stream-error"
+EVENT_STREAM_STALL = "stream-stall"
+EVENT_FILTER_RESTART = "filter-restart"
+EVENT_FILTER_BYPASS = "filter-bypass"
+#: One injected fault from the chaos plane (:mod:`repro.chaos`); process
+#: scoped (empty stream/cid) but deterministic in order for a fixed seed.
+EVENT_CHAOS_FAULT = "chaos-fault"
 
 _cid_counter = itertools.count(1)
 
@@ -66,6 +79,11 @@ class EventLog:
         self._ring: "deque[Dict[str, object]]" = deque(maxlen=capacity)
         self._owns_stream = path is not None
         self._stream = open(path, "a", encoding="utf-8") if path else stream
+        #: Records evicted from the full ring (the JSONL tee, when one is
+        #: configured, still saw them).  Surfaced by the default metrics
+        #: registry as ``repro_events_dropped_total`` so a chaos run that
+        #: outpaces its ring cannot quietly lose its own evidence.
+        self.dropped_total = 0
 
     def emit(
         self, event: str, stream: str = "", cid: str = "", **fields: object
@@ -81,6 +99,8 @@ class EventLog:
             record[str(key)] = value
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
+            if self._ring.maxlen is not None and len(self._ring) == self._ring.maxlen:
+                self.dropped_total += 1
             self._ring.append(record)
             if self._stream is not None:
                 try:

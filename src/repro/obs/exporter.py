@@ -22,6 +22,52 @@ from .metrics import MetricFamily, MetricsRegistry, default_registry
 METRICS_ADDR_ENV_VAR = "REPRO_METRICS_ADDR"
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Named liveness checks evaluated per ``/healthz`` request.  A provider is
+#: a zero-argument callable returning a JSON-safe dict; ``healthy: false``
+#: in any result degrades the overall status.  Components with real health
+#: state (the cluster's worker heartbeats) register here; a process with no
+#: providers reports plain ``{"status": "ok"}`` exactly as before.
+_health_providers: dict = {}
+_health_lock = threading.Lock()
+
+
+def register_health_provider(name: str, provider) -> None:
+    """Add (or replace) one named ``/healthz`` check."""
+    with _health_lock:
+        _health_providers[str(name)] = provider
+
+
+def unregister_health_provider(name: str) -> None:
+    """Remove a named check (missing is a no-op)."""
+    with _health_lock:
+        _health_providers.pop(str(name), None)
+
+
+def health_status() -> dict:
+    """The ``/healthz`` body: overall status plus every provider's result.
+
+    Always answerable — a provider that raises is reported as an unhealthy
+    check rather than failing the probe — and always HTTP 200; degradation
+    is in the body (``status: "degraded"``), matching the convention that
+    the probe reports on the process, not with its own availability.
+    """
+    with _health_lock:
+        providers = dict(_health_providers)
+    checks = {}
+    status = "ok"
+    for name, provider in sorted(providers.items()):
+        try:
+            result = provider()
+        except Exception as exc:  # noqa: BLE001 - probe must not crash
+            result = {"healthy": False, "error": str(exc)}
+        checks[name] = result
+        if isinstance(result, dict) and result.get("healthy") is False:
+            status = "degraded"
+    body = {"status": status}
+    if checks:
+        body["checks"] = checks
+    return body
+
 
 def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
@@ -91,7 +137,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
         elif path == "/healthz":
-            body = json.dumps({"status": "ok"}).encode("utf-8")
+            body = json.dumps(health_status(), sort_keys=True).encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))

@@ -574,6 +574,25 @@ def collect_engines() -> List[MetricFamily]:
     return list(families.values())
 
 
+def collect_event_log() -> List[MetricFamily]:
+    """Drop accounting for the process-wide event log's bounded ring.
+
+    The ring evicts oldest-first when full; without this counter a chaos
+    run that emits faster than anyone reads would lose its own evidence
+    silently.  Imported lazily — events never imports metrics, so the
+    dependency stays one-way.
+    """
+    from .events import get_event_log
+
+    dropped = MetricFamily(
+        "repro_events_dropped_total",
+        "counter",
+        "Event records evicted from the in-memory ring (tee unaffected)",
+    )
+    dropped.add(get_event_log().dropped_total)
+    return [dropped]
+
+
 def collect_channels() -> List[MetricFamily]:
     """Datagram-channel metrics from every live transport channel."""
     sent = MetricFamily(
@@ -635,5 +654,6 @@ def default_registry() -> MetricsRegistry:
             registry.register_collector(collect_engines)
             registry.register_collector(collect_channels)
             registry.register_collector(collect_clusters)
+            registry.register_collector(collect_event_log)
             _default_registry = registry
         return _default_registry

@@ -60,6 +60,15 @@ class FecAudioProxyConfig:
     #: encoder).  Pinning makes two runs byte-identical on the wire, which
     #: the transport-equivalence tests rely on.
     fec_start_group_id: Optional[int] = None
+    #: Stream supervision policy — an :class:`~repro.core.ErrorPolicy`, a
+    #: mode name (``"fail"`` / ``"restart-filter"`` / ``"bypass"``), or a
+    #: serialised policy dict.  None = unsupervised (the pre-supervision
+    #: behaviour).
+    error_policy: Optional[object] = None
+    #: Pace the wired receiver (seconds between packets).  None = drain as
+    #: fast as the chain allows; the chaos demo paces the stream so faults
+    #: and recovery happen observably mid-flight.
+    source_pacing_s: Optional[float] = None
 
 
 class FecAudioProxy:
@@ -103,7 +112,8 @@ class FecAudioProxy:
         # LAN.  Each MediaPacket is framed so packet filters can be composed.
         self._source = IterableSource(
             [packet.pack() for packet in wired_packets],
-            name="wired-receiver", frame_output=True)
+            name="wired-receiver", frame_output=True,
+            pacing_s=self.config.source_pacing_s or 0.0)
         # Wireless sender: every packet leaving the chain is multicast on the
         # wireless channel; end-of-stream closes the channel so receivers
         # (local or remote) see EOF.
@@ -111,7 +121,7 @@ class FecAudioProxy:
                                    expect_frames=True)
         self.control: ControlThread = self.proxy.add_stream(
             self._source, self._sink, name=self.config.stream_name,
-            auto_start=False)
+            auto_start=False, error_policy=self.config.error_policy)
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -420,17 +420,8 @@ def set_default_transport(name: str) -> None:
     _DEFAULT_NAME = name
 
 
-def get_transport(name: Optional[str] = None) -> Transport:
-    """Instantiate a transport by name, environment variable, or default.
-
-    ``None`` consults ``REPRO_TRANSPORT`` and falls back to the registry
-    default (inproc).  Unknown names raise :class:`TransportError` so typos
-    never silently select the wrong network.  Each call returns a *fresh*
-    transport instance; share the instance explicitly (e.g. one per Proxy)
-    to share its sockets and channels.
-    """
-    if name is None:
-        name = os.environ.get(TRANSPORT_ENV_VAR) or _DEFAULT_NAME
+def _instantiate(name: Optional[str]) -> Transport:
+    """Registry lookup + construction, with no chaos decoration."""
     if name is None:
         raise TransportError("no transport registered")
     try:
@@ -440,6 +431,38 @@ def get_transport(name: Optional[str] = None) -> Transport:
             f"unknown transport {name!r}; "
             f"available: {', '.join(available_transports())}") from None
     return factory()
+
+
+def get_transport(name: Optional[str] = None) -> Transport:
+    """Instantiate a transport by name, environment variable, or default.
+
+    ``None`` consults ``REPRO_TRANSPORT`` and falls back to the registry
+    default (inproc).  Unknown names raise :class:`TransportError` so typos
+    never silently select the wrong network.  Each call returns a *fresh*
+    transport instance; share the instance explicitly (e.g. one per Proxy)
+    to share its sockets and channels.
+
+    Fault injection composes here rather than in the registry: a
+    ``chaos:<inner>`` name wraps the named transport in a
+    :class:`~repro.chaos.transport.ChaosTransport`, and when ``REPRO_CHAOS``
+    is set *every* resolution is wrapped — so an unchanged caller (or an
+    entire unchanged test suite) runs under the configured fault plan.
+    """
+    if name is None:
+        name = os.environ.get(TRANSPORT_ENV_VAR) or _DEFAULT_NAME
+    if name is not None and name.startswith("chaos:"):
+        # Imported lazily: repro.chaos imports this module for the base
+        # classes, so a top-level import would be circular.
+        from ..chaos import ChaosTransport
+
+        inner = name[len("chaos:"):] or _DEFAULT_NAME
+        return ChaosTransport(_instantiate(inner))
+    transport = _instantiate(name)
+    if os.environ.get("REPRO_CHAOS", "").strip():
+        from ..chaos import ChaosTransport, FaultPlan
+
+        return ChaosTransport(transport, FaultPlan.from_env())
+    return transport
 
 
 def resolve_transport(transport: Union[str, Transport, None]) -> Transport:

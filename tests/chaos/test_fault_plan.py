@@ -1,0 +1,162 @@
+"""FaultPlan parsing, serialisation, and injector determinism."""
+
+import pytest
+
+from repro.chaos import DatagramFaultInjector, FaultPlan, FaultPlanError
+
+
+class TestParsing:
+    def test_empty_text_is_noop_plan(self):
+        plan = FaultPlan.parse("")
+        assert not plan.active
+        assert plan == FaultPlan()
+
+    def test_compact_syntax(self):
+        plan = FaultPlan.parse("seed=42,drop=0.05,dup_at=3;9,delay=0.001")
+        assert plan.seed == 42
+        assert plan.drop_p == 0.05
+        assert plan.duplicate_offsets == (3, 9)
+        assert plan.delay_s == 0.001
+        assert plan.active
+
+    def test_compact_filter_hooks(self):
+        plan = FaultPlan.parse("crash_at=5,slow=0.01")
+        assert plan.crash_at_chunk == 5
+        assert plan.filter_delay_s == 0.01
+        # Filter hooks alone do not make the *datagram* plane active.
+        assert not plan.active
+
+    def test_json_syntax(self):
+        plan = FaultPlan.parse('{"seed": 7, "drop_offsets": [2, 5], "corrupt_p": 0.1}')
+        assert plan.seed == 7
+        assert plan.drop_offsets == (2, 5)
+        assert plan.corrupt_p == 0.1
+
+    def test_offsets_are_sorted_and_deduped(self):
+        plan = FaultPlan.parse("drop_at=9;2;9;2")
+        assert plan.drop_offsets == (2, 9)
+
+    @pytest.mark.parametrize("text", [
+        "bogus_key=1",
+        "drop",               # missing =
+        "drop=not-a-number",
+        '{"seed": 1, "unknown_field": 2}',
+        '{"broken json',
+    ])
+    def test_malformed_text_raises(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(text)
+
+    def test_probability_range_is_validated(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drop_p=1.5)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "seed=3,drop=0.25")
+        plan = FaultPlan.from_env()
+        assert plan.seed == 3 and plan.drop_p == 0.25
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert not FaultPlan.from_env().active
+
+
+class TestSerialisation:
+    def test_roundtrip_through_dict(self):
+        plan = FaultPlan(seed=11, drop_p=0.1, reorder_offsets=(4,),
+                         stall_offset=0, stall_s=1.5, crash_at_chunk=0)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_empty_plan_serialises_empty(self):
+        assert FaultPlan().to_dict() == {}
+        assert FaultPlan().describe() == "no-op"
+
+    def test_zero_offsets_survive_roundtrip(self):
+        # 0 is a real offset, not a falsy "unset".
+        plan = FaultPlan(stall_offset=0, stall_s=0.5, crash_at_chunk=0)
+        payload = plan.to_dict()
+        assert payload["stall_offset"] == 0
+        assert payload["crash_at_chunk"] == 0
+
+    def test_describe_mentions_faults(self):
+        text = FaultPlan(seed=9, drop_p=0.2).describe()
+        assert "drop_p=0.2" in text and "seed=9" in text
+
+
+class TestInjectorDeterminism:
+    def _faults(self, plan, key, payloads):
+        injector = DatagramFaultInjector(plan, key)
+        timeline = []
+        for payload in payloads:
+            sends, faults, delay = injector.process(payload)
+            timeline.append((tuple(bytes(s) for s in sends), tuple(faults)))
+        tail = injector.flush()
+        if tail is not None:
+            timeline.append(((bytes(tail),), ("flush",)))
+        return timeline
+
+    def test_same_seed_same_faults(self):
+        plan = FaultPlan(seed=1234, drop_p=0.2, duplicate_p=0.2,
+                         reorder_p=0.2, corrupt_p=0.2)
+        payloads = [bytes([i]) * 32 for i in range(50)]
+        first = self._faults(plan, "chan", payloads)
+        second = self._faults(plan, "chan", payloads)
+        assert first == second
+        # Something actually fired at these probabilities over 50 datagrams.
+        assert any(faults for _, faults in first)
+
+    def test_different_seed_different_faults(self):
+        payloads = [bytes([i]) * 32 for i in range(50)]
+        a = self._faults(FaultPlan(seed=1, drop_p=0.3), "chan", payloads)
+        b = self._faults(FaultPlan(seed=2, drop_p=0.3), "chan", payloads)
+        assert a != b
+
+    def test_channel_key_decorrelates_streams(self):
+        payloads = [bytes([i]) * 32 for i in range(50)]
+        plan = FaultPlan(seed=77, drop_p=0.3)
+        assert (self._faults(plan, "wlan-a", payloads)
+                != self._faults(plan, "wlan-b", payloads))
+
+    def test_offset_faults_fire_exactly_once(self):
+        plan = FaultPlan(seed=0, drop_offsets=(2,), duplicate_offsets=(4,))
+        payloads = [bytes([i]) * 8 for i in range(6)]
+        timeline = self._faults(plan, "c", payloads)
+        sends = [s for s, _ in timeline]
+        assert sends[2] == ()                      # dropped
+        assert sends[4] == (payloads[4], payloads[4])  # duplicated
+        for index in (0, 1, 3, 5):
+            assert sends[index] == (payloads[index],)
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        plan = FaultPlan(seed=0, corrupt_offsets=(1,))
+        injector = DatagramFaultInjector(plan, "c")
+        clean = bytes(range(16))
+        injector.process(clean)
+        sends, faults, _ = injector.process(clean)
+        corrupted = bytes(sends[0])
+        assert ("corrupt", 1) in faults
+        diff = [i for i in range(16) if corrupted[i] != clean[i]]
+        assert len(diff) == 1
+        assert corrupted[diff[0]] == clean[diff[0]] ^ 0xFF
+
+    def test_reorder_swaps_adjacent(self):
+        plan = FaultPlan(seed=0, reorder_offsets=(1,))
+        injector = DatagramFaultInjector(plan, "c")
+        outputs = []
+        for payload in [b"a", b"b", b"c"]:
+            sends, _, _ = injector.process(payload)
+            outputs.extend(bytes(s) for s in sends)
+        tail = injector.flush()
+        if tail is not None:
+            outputs.append(bytes(tail))
+        assert outputs == [b"a", b"c", b"b"]
+
+    def test_reorder_at_end_of_stream_flushes(self):
+        plan = FaultPlan(seed=0, reorder_offsets=(1,))
+        injector = DatagramFaultInjector(plan, "c")
+        outputs = []
+        for payload in [b"a", b"b"]:
+            sends, _, _ = injector.process(payload)
+            outputs.extend(bytes(s) for s in sends)
+        tail = injector.flush()
+        assert tail is not None
+        outputs.append(bytes(tail))
+        assert outputs == [b"a", b"b"]  # nothing lost, just delayed

@@ -1,0 +1,263 @@
+"""Stream supervision: error policies, restarts, bypass, stall watchdog."""
+
+import queue
+
+import pytest
+
+from repro.core import CollectorSink, ErrorPolicy, IterableSource, Proxy
+from repro.filters import FaultInjectionFilter
+from repro.obs.events import (
+    EVENT_FILTER_BYPASS,
+    EVENT_FILTER_RESTART,
+    EVENT_STREAM_ERROR,
+    EVENT_STREAM_STALL,
+    get_event_log,
+)
+from repro.obs.metrics import default_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    FaultInjectionFilter.reset_crash_counts()
+    get_event_log().clear()
+    yield
+    FaultInjectionFilter.reset_crash_counts()
+
+
+def _restart_metric(stream):
+    counter = default_registry().counter(
+        "repro_stream_filter_restarts_total",
+        "Filters restarted in place by stream supervision",
+        label_names=("stream",))
+    return counter.labels(stream=stream).value
+
+
+CHUNKS = [b"%03d" % i + b"x" * 61 for i in range(10)]
+
+
+def _run_stream(policy, crasher, stream_name, chunks=CHUNKS,
+                pacing_s=0.02, timeout=15.0):
+    """One supervised threaded stream through a fault-injection filter."""
+    proxy = Proxy(f"{stream_name}-proxy", engine="threaded")
+    try:
+        source = IterableSource(chunks, name="src", pacing_s=pacing_s)
+        sink = CollectorSink(name="sink")
+        control = proxy.add_stream(source, sink, name=stream_name,
+                                   auto_start=False, error_policy=policy)
+        control.add(crasher)
+        control.start()
+        completed = control.wait_for_completion(timeout=timeout)
+        return completed, sink
+    finally:
+        proxy.shutdown()
+
+
+class TestErrorPolicy:
+    def test_defaults(self):
+        policy = ErrorPolicy()
+        assert policy.mode == "fail"
+        assert not policy.recoverable
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorPolicy(mode="reboot-the-universe")
+
+    def test_resolve_accepts_none_str_dict_policy(self):
+        assert ErrorPolicy.resolve(None) is None
+        assert ErrorPolicy.resolve("bypass").mode == "bypass"
+        assert ErrorPolicy.resolve({"mode": "restart-filter",
+                                    "max_restarts": 5}).max_restarts == 5
+        policy = ErrorPolicy(mode="bypass")
+        assert ErrorPolicy.resolve(policy) is policy
+        with pytest.raises(ValueError):
+            ErrorPolicy.resolve(42)
+
+    def test_roundtrips_through_dict(self):
+        policy = ErrorPolicy(mode="restart-filter", max_restarts=2,
+                             stall_timeout_s=1.5)
+        assert ErrorPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            ErrorPolicy.from_dict({"mode": "fail", "retries": 3})
+
+
+class TestFailPolicy:
+    def test_crash_ends_stream_with_structured_error(self):
+        crasher = FaultInjectionFilter(name="boom", crash_at_chunk=2)
+        completed, sink = _run_stream("fail", crasher, "fail-stream")
+        # The error path still propagates EOF, so the stream terminates...
+        assert completed
+        # ...with less than the full payload...
+        assert len(sink.data()) < sum(len(c) for c in CHUNKS)
+        # ...and a stream-error event explaining why.
+        errors = get_event_log().records(event=EVENT_STREAM_ERROR)
+        assert len(errors) == 1
+        record = errors[0]
+        assert record["stream"] == "fail-stream"
+        assert record["filter"] == "boom"
+        assert record["policy"] == "fail"
+        assert "injected fault" in record["error"]
+
+    def test_unsupervised_stream_has_no_watcher_and_no_events(self):
+        crasher = FaultInjectionFilter(name="boom", crash_at_chunk=2)
+        completed, _ = _run_stream(None, crasher, "bare-stream")
+        assert completed
+        assert get_event_log().records(event=EVENT_STREAM_ERROR) == []
+
+
+class TestRestartPolicy:
+    def test_crash_is_survived_and_recorded(self):
+        before = _restart_metric("restart-stream")
+        crasher = FaultInjectionFilter(name="boom", crash_at_chunk=3)
+        completed, sink = _run_stream(
+            ErrorPolicy(mode="restart-filter", backoff_s=0.01),
+            crasher, "restart-stream")
+        assert completed
+        # The tail of the stream flowed through the replacement filter.
+        assert CHUNKS[-1] in sink.items()
+        restarts = get_event_log().records(event=EVENT_FILTER_RESTART)
+        assert len(restarts) == 1
+        record = restarts[0]
+        assert record["stream"] == "restart-stream"
+        assert record["filter"] == "boom"
+        assert record["attempt"] == 1
+        assert "injected fault" in record["error"]
+        assert _restart_metric("restart-stream") == before + 1
+
+    def test_correlation_id_ties_recovery_to_the_stream(self):
+        crasher = FaultInjectionFilter(name="boom", crash_at_chunk=3)
+        _run_stream(ErrorPolicy(mode="restart-filter", backoff_s=0.01),
+                    crasher, "cid-stream")
+        log = get_event_log()
+        start = next(r for r in log.records(event="stream-start")
+                     if r["stream"] == "cid-stream")
+        restart = log.records(event=EVENT_FILTER_RESTART)[0]
+        assert restart["cid"] == start["cid"]
+
+    def test_budget_exhaustion_degrades_to_fail(self):
+        from repro.core.registry import FilterSpec, default_registry as filters
+
+        # Registry-built so every restarted replacement carries the same
+        # crash args: it crashes on *its* first chunk, every generation,
+        # and the two-restart budget runs out.
+        crasher = filters().create(FilterSpec(
+            type_name="fault-injection",
+            args={"crash_at_chunk": 0, "max_crashes": 99},
+            name="always"))
+        completed, _ = _run_stream(
+            ErrorPolicy(mode="restart-filter", max_restarts=2,
+                        backoff_s=0.01),
+            crasher, "exhaust-stream", pacing_s=0.05)
+        assert completed  # EOF still reaches the sink; no wedged stream
+        restarts = get_event_log().records(event=EVENT_FILTER_RESTART)
+        assert len(restarts) == 2
+        errors = get_event_log().records(event=EVENT_STREAM_ERROR)
+        assert len(errors) == 1
+        assert errors[0]["restarts_exhausted"] == 2
+
+    def test_registry_built_filter_restarts_from_its_spec(self):
+        from repro.core.registry import FilterSpec, default_registry as filters
+
+        crasher = filters().create(FilterSpec(
+            type_name="fault-injection",
+            args={"crash_at_chunk": 3, "delay_per_chunk_s": 0.0},
+            name="spec-boom"))
+        completed, sink = _run_stream(
+            ErrorPolicy(mode="restart-filter", backoff_s=0.01),
+            crasher, "spec-stream")
+        assert completed
+        assert CHUNKS[-1] in sink.items()
+        assert len(get_event_log().records(event=EVENT_FILTER_RESTART)) == 1
+
+
+class TestBypassPolicy:
+    def test_crashed_filter_is_spliced_out(self):
+        crasher = FaultInjectionFilter(name="boom", crash_at_chunk=3)
+        completed, sink = _run_stream("bypass", crasher, "bypass-stream")
+        assert completed
+        assert CHUNKS[-1] in sink.items()
+        bypasses = get_event_log().records(event=EVENT_FILTER_BYPASS)
+        assert len(bypasses) == 1
+        record = bypasses[0]
+        assert record["stream"] == "bypass-stream"
+        assert record["filter"] == "boom"
+        assert record["position"] == 0
+
+    def test_healthy_filters_stay_in_the_chain(self):
+        from repro.core.filter import Filter
+
+        seen = []
+
+        class Tap(Filter):
+            def transform(self, chunk):
+                seen.append(bytes(chunk))
+                return chunk
+
+        proxy = Proxy("bypass2-proxy", engine="threaded")
+        try:
+            source = IterableSource(CHUNKS, name="src", pacing_s=0.02)
+            sink = CollectorSink(name="sink")
+            control = proxy.add_stream(source, sink, name="bypass2",
+                                       auto_start=False,
+                                       error_policy="bypass")
+            control.add(FaultInjectionFilter(name="boom", crash_at_chunk=3))
+            control.add(Tap(name="tap"))
+            control.start()
+            assert control.wait_for_completion(timeout=15.0)
+        finally:
+            proxy.shutdown()
+        # The tap (downstream of the bypassed crasher) saw the stream tail.
+        assert CHUNKS[-1] in seen
+        assert [f.name for f in control.filters] == ["tap"]
+
+
+class TestStallWatchdog:
+    def test_wedged_filter_is_detected_and_routed_around(self):
+        # The filter sleeps far longer than the stall window on every
+        # chunk; input queues behind it and its counters freeze.
+        wedged = FaultInjectionFilter(name="wedge", delay_per_chunk_s=30.0)
+        policy = ErrorPolicy(mode="bypass", stall_timeout_s=0.2,
+                             poll_interval_s=0.05)
+        # Paced input: the wedged filter grabs only the first chunk, the
+        # rest queue behind it and survive the splice-around.
+        completed, sink = _run_stream(policy, wedged, "stall-stream",
+                                      pacing_s=0.05, timeout=20.0)
+        assert completed
+        assert CHUNKS[-1] in sink.items()
+        stalls = get_event_log().records(event=EVENT_STREAM_STALL)
+        assert len(stalls) == 1
+        record = stalls[0]
+        assert record["stream"] == "stall-stream"
+        assert record["filter"] == "wedge"
+        assert get_event_log().records(event=EVENT_FILTER_BYPASS)
+
+    def test_fail_mode_reports_the_stall_but_does_not_recover(self):
+        wedged = FaultInjectionFilter(name="wedge", delay_per_chunk_s=30.0)
+        policy = ErrorPolicy(mode="fail", stall_timeout_s=0.3,
+                             poll_interval_s=0.05)
+        proxy = Proxy("stall-fail-proxy", engine="threaded")
+        try:
+            source = IterableSource(CHUNKS, name="src")
+            sink = CollectorSink(name="sink")
+            control = proxy.add_stream(source, sink, name="stall-fail",
+                                       auto_start=False, error_policy=policy)
+            control.add(wedged)
+            control.start()
+            deadline = queue.Queue()  # just a cheap waitable
+            for _ in range(40):
+                if get_event_log().records(event=EVENT_STREAM_STALL):
+                    break
+                try:
+                    deadline.get(timeout=0.1)
+                except queue.Empty:
+                    pass
+            stalls = get_event_log().records(event=EVENT_STREAM_STALL)
+            assert len(stalls) == 1
+            assert stalls[0]["policy"] == "fail"
+            # No recovery action under fail mode.
+            assert not get_event_log().records(event=EVENT_FILTER_BYPASS)
+            assert not get_event_log().records(event=EVENT_FILTER_RESTART)
+            assert [f.name for f in control.filters] == ["wedge"]
+        finally:
+            proxy.shutdown(timeout=1.0)

@@ -1,0 +1,284 @@
+"""Hung-worker recovery: RPC deadlines, retries, heartbeats, termination.
+
+A *crashed* worker fires its process sentinel and the supervisor restarts
+it (test_crash_recovery).  A *hung* worker is nastier: the process is
+alive, the sentinel never fires, and before RPC deadlines existed one
+wedged control loop blocked the parent forever.  These tests pin the
+deadline plumbing end to end: a deadline on every call, retries with
+backoff on the connection, heartbeat probes from the supervisor, and the
+``worker-unresponsive`` declaration that routes a hang into the ordinary
+restart/spill path.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ProxyCluster, StreamSpec, default_rpc_timeout
+from repro.cluster.rpc import (
+    DEFAULT_RPC_TIMEOUT_S,
+    RPC_TIMEOUT_ENV_VAR,
+    RpcConnection,
+    RpcError,
+)
+from repro.obs.events import (
+    EVENT_WORKER_EXIT,
+    EVENT_WORKER_RESTART,
+    EVENT_WORKER_UNRESPONSIVE,
+    get_event_log,
+)
+from repro.obs.metrics import default_registry
+
+
+def _wait_for_restart(handle, old_pid, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if handle.pid != old_pid and handle.connection is not None:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _retry_metric(op):
+    counter = default_registry().counter(
+        "repro_rpc_retries_total",
+        "Cluster RPC attempts re-sent after a deadline timeout",
+        label_names=("op",))
+    return counter.labels(op=op).value
+
+
+class TestRpcDeadlines:
+    def test_env_default_timeout(self, monkeypatch):
+        monkeypatch.delenv(RPC_TIMEOUT_ENV_VAR, raising=False)
+        assert default_rpc_timeout() == DEFAULT_RPC_TIMEOUT_S
+        monkeypatch.setenv(RPC_TIMEOUT_ENV_VAR, "7.5")
+        assert default_rpc_timeout() == 7.5
+        # 0 or negative disables the deadline (block forever).
+        monkeypatch.setenv(RPC_TIMEOUT_ENV_VAR, "0")
+        assert default_rpc_timeout() is None
+        monkeypatch.setenv(RPC_TIMEOUT_ENV_VAR, "-1")
+        assert default_rpc_timeout() is None
+
+    def test_env_invalid_value_raises(self, monkeypatch):
+        monkeypatch.setenv(RPC_TIMEOUT_ENV_VAR, "soonish")
+        with pytest.raises(RpcError):
+            default_rpc_timeout()
+
+    def test_silent_peer_trips_the_deadline(self):
+        ours, theirs = socket.socketpair()
+        connection = RpcConnection(ours)
+        try:
+            started = time.monotonic()
+            with pytest.raises(TimeoutError):
+                connection.request("ping", timeout=0.3)
+            assert time.monotonic() - started < 2.0
+        finally:
+            connection.close()
+            theirs.close()
+
+    def test_env_deadline_applies_when_call_names_none(self, monkeypatch):
+        monkeypatch.setenv(RPC_TIMEOUT_ENV_VAR, "0.3")
+        ours, theirs = socket.socketpair()
+        connection = RpcConnection(ours)
+        try:
+            started = time.monotonic()
+            with pytest.raises(TimeoutError):
+                connection.request("ping")  # no explicit timeout: env rules
+            assert time.monotonic() - started < 2.0
+        finally:
+            connection.close()
+            theirs.close()
+
+    def test_retries_resend_and_count(self):
+        # The responder ignores the first attempt and answers the second:
+        # the caller's retry must succeed and be counted in the metric.
+        ours, theirs = socket.socketpair()
+        connection = RpcConnection(ours)
+        responder = RpcConnection(theirs)
+        seen = []
+
+        def serve():
+            while len(seen) < 2:
+                try:
+                    request = responder.receive(timeout=10.0)
+                except (RpcError, TimeoutError, OSError):
+                    return
+                seen.append(request["id"])
+                if len(seen) >= 2:
+                    responder.respond(request, {"echo": request["op"]})
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        before = _retry_metric("poke")
+        try:
+            result = connection.request("poke", timeout=0.3, retries=2,
+                                        backoff_s=0.01, jitter_s=0.0)
+            assert result == {"echo": "poke"}
+            assert len(seen) == 2
+            assert seen[0] != seen[1]  # each attempt gets a fresh id
+            assert _retry_metric("poke") == before + 1
+        finally:
+            connection.close()
+            responder.close()
+            thread.join(timeout=5.0)
+
+    def test_exhausted_retries_raise_timeout(self):
+        ours, theirs = socket.socketpair()
+        connection = RpcConnection(ours)
+        before = _retry_metric("void")
+        try:
+            with pytest.raises(TimeoutError):
+                connection.request("void", timeout=0.1, retries=2,
+                                   backoff_s=0.01, jitter_s=0.0)
+            assert _retry_metric("void") == before + 2
+        finally:
+            connection.close()
+            theirs.close()
+
+    def test_try_request_never_queues_behind_inflight_call(self):
+        ours, theirs = socket.socketpair()
+        connection = RpcConnection(ours)
+        blocker = threading.Thread(
+            target=lambda: pytest.raises(
+                TimeoutError, connection.request, "slow", timeout=1.0),
+            daemon=True)
+        blocker.start()
+        time.sleep(0.1)  # let the blocking request take the lock
+        try:
+            started = time.monotonic()
+            assert connection.try_request("ping", timeout=5.0) is None
+            assert time.monotonic() - started < 0.5
+        finally:
+            blocker.join(timeout=5.0)
+            connection.close()
+            theirs.close()
+
+
+class TestHungWorkerRecovery:
+    def test_deadline_declares_hung_worker_and_restarts_it(self):
+        get_event_log().clear()
+        with ProxyCluster(workers=2, name="hang-cluster") as cluster:
+            handle = cluster.worker(0)
+            old_pid = handle.pid
+            # The worker's control loop goes to sleep for an hour; only
+            # the caller's deadline can notice.
+            with pytest.raises(TimeoutError):
+                handle.request("hang", seconds=3600.0, timeout=1.0)
+
+            assert _wait_for_restart(handle, old_pid), "worker never restarted"
+            assert handle.restarts == 1
+            assert not cluster.ring.is_down(0)
+            assert handle.request("ping", timeout=10.0)["worker"] == 0
+
+            log = get_event_log()
+            cid = handle.correlation_id
+            declared = [r for r in log.records(event=EVENT_WORKER_UNRESPONSIVE)
+                        if r["cid"] == cid]
+            assert len(declared) == 1
+            assert declared[0]["worker"] == 0
+            assert declared[0]["pid"] == old_pid
+            assert declared[0]["op"] == "hang"
+            exits = [r for r in log.records(event=EVENT_WORKER_EXIT)
+                     if r["cid"] == cid]
+            assert len(exits) == 1
+            assert exits[0]["exitcode"] != 0  # SIGTERM, not a clean exit
+            restarts = [r for r in log.records(event=EVENT_WORKER_RESTART)
+                        if r["cid"] == cid]
+            assert len(restarts) == 1
+            cluster.shutdown(timeout=10.0, drain=False)
+
+    def test_heartbeat_catches_a_silent_hang(self):
+        get_event_log().clear()
+        with ProxyCluster(workers=1, name="hb-cluster", heartbeat_s=0.3,
+                          heartbeat_timeout_s=1.0) as cluster:
+            handle = cluster.worker(0)
+            old_pid = handle.pid
+            # Wedge the worker without letting the request's own deadline
+            # report it: the heartbeat probe must find the hang on its own.
+            hook, handle.on_timeout = handle.on_timeout, None
+            try:
+                with pytest.raises(TimeoutError):
+                    handle.request("hang", seconds=3600.0, timeout=0.5)
+            finally:
+                handle.on_timeout = hook
+
+            assert _wait_for_restart(handle, old_pid), "worker never restarted"
+            declared = get_event_log().records(
+                event=EVENT_WORKER_UNRESPONSIVE)
+            assert len(declared) == 1
+            assert declared[0]["op"] == "ping"
+            cluster.shutdown(timeout=10.0, drain=False)
+
+    def test_heartbeat_timestamps_feed_health_checks(self):
+        with ProxyCluster(workers=1, name="hb2-cluster",
+                          heartbeat_s=0.2) as cluster:
+            handle = cluster.worker(0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and handle.last_heartbeat is None:
+                time.sleep(0.05)
+            assert handle.last_heartbeat is not None
+            health = cluster._health_check()
+            assert health["healthy"]
+            assert health["workers"]["0"]["up"]
+            assert "heartbeat_age_s" in health["workers"]["0"]
+            cluster.shutdown(timeout=10.0, drain=False)
+
+    def test_hung_worker_spills_streams_to_ring_successor(self):
+        # Without restarts, a hang must behave exactly like a crash:
+        # the shard goes down and new placements spill to the successor.
+        with ProxyCluster(workers=2, name="hang-spill-cluster",
+                          restart_workers=False) as cluster:
+            name = next(f"spill-{i}" for i in range(100)
+                        if cluster.worker_for(f"spill-{i}") == 0)
+            handle = cluster.worker(0)
+            with pytest.raises(TimeoutError):
+                handle.request("hang", seconds=3600.0, timeout=1.0)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and not cluster.ring.is_down(0):
+                time.sleep(0.05)
+            assert cluster.ring.is_down(0)
+            assert cluster.worker_for(name) == 1
+            spec = StreamSpec.from_pattern(name, seed=3, packets=10,
+                                           packet_size=64)
+            assert cluster.open_stream(spec) == 1
+            assert cluster.wait_stream(name, timeout=15.0)
+            cluster.shutdown(timeout=10.0, drain=False)
+
+
+class TestPolicyOverTheWire:
+    def test_stream_spec_carries_error_policy(self):
+        from repro.core import ErrorPolicy
+
+        policy = ErrorPolicy(mode="restart-filter", max_restarts=2)
+        spec = StreamSpec.from_pattern("s", seed=1, packets=5,
+                                       packet_size=32)
+        spec = spec.with_policy(policy.to_dict())
+        rebuilt = StreamSpec.from_dict(spec.to_dict())
+        assert rebuilt.policy == policy.to_dict()
+        assert ErrorPolicy.resolve(rebuilt.policy) == policy
+
+    def test_supervised_stream_recovers_inside_a_worker(self):
+        # A crash-at-chunk filter rides the spec to a worker under
+        # restart-filter policy: the stream must survive and complete.
+        from repro.core import ErrorPolicy
+        from repro.core.registry import FilterSpec
+
+        with ProxyCluster(workers=1, name="policy-cluster") as cluster:
+            spec = StreamSpec.from_pattern(
+                "survivor", seed=11, packets=40, packet_size=128,
+                pacing_s=0.01)
+            spec = spec.with_filter(FilterSpec(
+                type_name="fault-injection",
+                args={"crash_at_chunk": 5},
+                name="boom"))
+            spec = spec.with_policy(
+                ErrorPolicy(mode="restart-filter", backoff_s=0.01).to_dict())
+            cluster.open_stream(spec)
+            assert cluster.wait_stream("survivor", timeout=30.0)
+            families = {f.name: f for f in cluster.collect_metric_families()}
+            restarts = families.get("repro_stream_filter_restarts_total")
+            assert restarts is not None
+            assert sum(value for _, value in restarts.samples) >= 1
+            cluster.shutdown(timeout=10.0, drain=False)
